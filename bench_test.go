@@ -1,0 +1,348 @@
+package protemp
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md §4 for the experiment index). Each
+// benchmark times one full regeneration of its figure at the Quick
+// fidelity (1 ms thermal step, 100 ms windows, reduced grids) and logs
+// the same rows/series the paper reports; cmd/protemp-experiments runs
+// the identical experiments at the full paper fidelity.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"protemp/internal/core"
+	"protemp/internal/experiments"
+	"protemp/internal/linalg"
+	"protemp/internal/sim"
+	"protemp/internal/solver"
+	"protemp/internal/thermal"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSetup *experiments.Setup
+	benchErr   error
+)
+
+func setupBench(b *testing.B) *experiments.Setup {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSetup, benchErr = experiments.NewSetup(experiments.Quick())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSetup
+}
+
+func renderOnce(b *testing.B, i int, render func(io.Writer)) {
+	if i != 0 {
+		return
+	}
+	var sb strings.Builder
+	render(&sb)
+	b.Log("\n" + sb.String())
+}
+
+// BenchmarkFig1BasicDFSTrace regenerates the Basic-DFS temperature
+// snapshot of processor P1 (paper Fig. 1).
+func BenchmarkFig1BasicDFSTrace(b *testing.B) {
+	s := setupBench(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderOnce(b, i, func(w io.Writer) { r.Render(w) })
+	}
+}
+
+// BenchmarkFig2ProTempTrace regenerates the Pro-Temp snapshot (Fig. 2).
+func BenchmarkFig2ProTempTrace(b *testing.B) {
+	s := setupBench(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderOnce(b, i, func(w io.Writer) { r.Render(w) })
+	}
+}
+
+// BenchmarkFig6aTimeInBandsMixed regenerates the mixed-workload
+// time-in-band table (Fig. 6a).
+func BenchmarkFig6aTimeInBandsMixed(b *testing.B) {
+	s := setupBench(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig6a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderOnce(b, i, func(w io.Writer) { r.Render(w) })
+	}
+}
+
+// BenchmarkFig6bTimeInBandsCompute regenerates the compute-intensive
+// time-in-band table (Fig. 6b).
+func BenchmarkFig6bTimeInBandsCompute(b *testing.B) {
+	s := setupBench(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig6b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderOnce(b, i, func(w io.Writer) { r.Render(w) })
+	}
+}
+
+// BenchmarkFig7WaitingTime regenerates the normalized waiting-time
+// comparison (Fig. 7).
+func BenchmarkFig7WaitingTime(b *testing.B) {
+	s := setupBench(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderOnce(b, i, func(w io.Writer) { r.Render(w) })
+	}
+}
+
+// BenchmarkFig8GradientTrace regenerates the P1/P2 Pro-Temp trace
+// (Fig. 8).
+func BenchmarkFig8GradientTrace(b *testing.B) {
+	s := setupBench(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderOnce(b, i, func(w io.Writer) { r.Render(w) })
+	}
+}
+
+// BenchmarkFig9UniformVsVariable regenerates the supported-frequency
+// sweep (Fig. 9).
+func BenchmarkFig9UniformVsVariable(b *testing.B) {
+	s := setupBench(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderOnce(b, i, func(w io.Writer) { r.Render(w) })
+	}
+}
+
+// BenchmarkFig10PerCoreFrequency regenerates the per-core frequency
+// sweep (Fig. 10).
+func BenchmarkFig10PerCoreFrequency(b *testing.B) {
+	s := setupBench(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderOnce(b, i, func(w io.Writer) { r.Render(w) })
+	}
+}
+
+// BenchmarkFig11TaskAssignment regenerates the assignment-policy study
+// (Fig. 11 / §5.4).
+func BenchmarkFig11TaskAssignment(b *testing.B) {
+	s := setupBench(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderOnce(b, i, func(w io.Writer) { r.Render(w) })
+	}
+}
+
+// BenchmarkSolveSinglePoint times one Phase-1 convex solve — the
+// paper's §5.1 "less than 2 minutes with CVX" data point.
+func BenchmarkSolveSinglePoint(b *testing.B) {
+	s := setupBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := core.Solve(s.Spec(67, 500e6, core.VariantVariable))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !a.Feasible {
+			b.Fatal("design point unexpectedly infeasible")
+		}
+	}
+}
+
+// BenchmarkGenerateTable times full Phase-1 table generation — the
+// paper's §5.1 "few hours" data point.
+func BenchmarkGenerateTable(b *testing.B) {
+	s := setupBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl, err := core.GenerateTable(core.TableSpec{
+			Chip:     s.Chip,
+			Window:   s.Window,
+			TMax:     experiments.TMax,
+			TStarts:  s.Fid.TableTStarts,
+			FTargets: s.Fid.TableFTargets,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("table: %d solves, %d feasible, %d Newton iterations",
+				tbl.Stats.Solves, tbl.Stats.Feasible, tbl.Stats.NewtonIters)
+		}
+	}
+}
+
+// BenchmarkThermalStep times the simulator's inner loop: one 0.4 ms
+// thermal step of the 15-node Niagara network.
+func BenchmarkThermalStep(b *testing.B) {
+	model, err := thermal.NewRC(setupBench(b).Chip.Floorplan(), thermal.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	disc, err := model.Discretize(0.4e-3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := disc.NumNodes()
+	t0 := model.UniformStart(60)
+	next := linalg.NewVector(n)
+	p := linalg.Constant(n, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		disc.Step(next, t0, p)
+		t0, next = next, t0
+	}
+}
+
+// BenchmarkBarrierSolve times the raw interior-point solver on a
+// representative 2000-constraint Pro-Temp program.
+func BenchmarkBarrierSolve(b *testing.B) {
+	s := setupBench(b)
+	for i := 0; i < b.N; i++ {
+		a, err := core.Solve(s.Spec(87, 600e6, core.VariantVariable))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = a
+	}
+}
+
+// BenchmarkUniformBisect times the scalar cross-check path.
+func BenchmarkUniformBisect(b *testing.B) {
+	s := setupBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.SolveUniformBisect(s.Spec(87, 400e6, core.VariantUniform)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhaseI times strict-feasibility recovery from an infeasible
+// start.
+func BenchmarkPhaseI(b *testing.B) {
+	prob := &solver.Problem{Objective: &solver.Affine{A: linalg.Constant(8, 1)}}
+	for j := 0; j < 8; j++ {
+		lo := linalg.NewVector(8)
+		lo[j] = -1
+		hi := linalg.NewVector(8)
+		hi[j] = 1
+		prob.Constraints = append(prob.Constraints,
+			&solver.Affine{A: lo, B: 1},
+			&solver.Affine{A: hi, B: -3},
+		)
+	}
+	start := linalg.Constant(8, -25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.PhaseI(prob, start, solver.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGradStride ablates the gradient-constraint stride
+// (Spec.GradStride): denser pairwise constraints buy a marginally
+// tighter bound at a steep solve-time cost, which is why the default
+// strides.
+func BenchmarkAblationGradStride(b *testing.B) {
+	s := setupBench(b)
+	for _, stride := range []int{1, 5, 25} {
+		b.Run(fmt.Sprintf("stride%d", stride), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec := s.Spec(60, 500e6, core.VariantGradient)
+				spec.GradStride = stride
+				a, err := core.Solve(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !a.Feasible {
+					b.Fatal("ablation point must be feasible")
+				}
+				if i == 0 {
+					b.ReportMetric(a.TGrad, "tgrad°C")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTableResolution ablates the Phase-1 frequency-grid
+// granularity: coarser tables are cheaper to generate but quantize the
+// controller's frequency choices, inflating task waiting times.
+func BenchmarkAblationTableResolution(b *testing.B) {
+	s := setupBench(b)
+	trace := s.Heavy
+	for _, cols := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("cols%d", cols), func(b *testing.B) {
+			targets := make([]float64, cols)
+			for i := range targets {
+				targets[i] = float64(i+1) / float64(cols) * 1e9
+			}
+			for i := 0; i < b.N; i++ {
+				tbl, err := core.GenerateTable(core.TableSpec{
+					Chip:     s.Chip,
+					Window:   s.Window,
+					TMax:     experiments.TMax,
+					TStarts:  s.Fid.TableTStarts,
+					FTargets: targets,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctrl, err := core.NewController(tbl)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(sim.Config{
+					Chip:   s.Chip,
+					Disc:   s.Disc,
+					Policy: &sim.ProTemp{Controller: ctrl},
+					Trace:  trace,
+					TMax:   experiments.TMax,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.MaxCoreTemp > experiments.TMax+0.01 {
+					b.Fatalf("guarantee broken at %d columns: %.2f", cols, res.MaxCoreTemp)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Wait.Mean(), "wait_s")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,139 @@
+// Command protemp-experiments regenerates every figure of the paper's
+// evaluation section and prints the series/tables; optionally it also
+// writes plottable CSVs.
+//
+// Usage:
+//
+//	protemp-experiments [-fidelity paper|quick] [-csv out/] [-only fig9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"protemp/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("protemp-experiments: ")
+
+	var (
+		fidelity = flag.String("fidelity", "quick", "paper (0.4 ms, full grids) or quick (1 ms, reduced)")
+		csvDir   = flag.String("csv", "", "directory for plottable CSV output (skipped if empty)")
+		only     = flag.String("only", "", "run a single experiment: fig1,fig2,fig6a,fig6b,fig7,fig8,fig9,fig10,fig11,cost")
+	)
+	flag.Parse()
+
+	var fid experiments.Fidelity
+	switch *fidelity {
+	case "paper":
+		fid = experiments.Paper()
+	case "quick":
+		fid = experiments.Quick()
+	default:
+		log.Fatalf("unknown fidelity %q", *fidelity)
+	}
+
+	start := time.Now()
+	log.Printf("building setup (%s fidelity; includes Phase-1 table generation) ...", *fidelity)
+	setup, err := experiments.NewSetup(fid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("setup ready in %v (table: %d solves, %d feasible)",
+		time.Since(start).Round(time.Millisecond), setup.Table.Stats.Solves, setup.Table.Stats.Feasible)
+
+	if *only != "" {
+		if err := runOne(setup, *only); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	report, err := setup.RunAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Render(os.Stdout)
+	if *csvDir != "" {
+		if err := report.WriteCSVs(*csvDir); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("CSV series written to %s", *csvDir)
+	}
+	log.Printf("total %v", time.Since(start).Round(time.Millisecond))
+}
+
+func runOne(setup *experiments.Setup, name string) error {
+	type renderer interface{ Render(w *os.File) }
+	_ = renderer(nil)
+	switch name {
+	case "fig1":
+		r, err := setup.Fig1()
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+	case "fig2":
+		r, err := setup.Fig2()
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+	case "fig6a":
+		r, err := setup.Fig6a()
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+	case "fig6b":
+		r, err := setup.Fig6b()
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+	case "fig7":
+		r, err := setup.Fig7()
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+	case "fig8":
+		r, err := setup.Fig8()
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+	case "fig9":
+		r, err := setup.Fig9()
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+	case "fig10":
+		r, err := setup.Fig10()
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+	case "fig11":
+		r, err := setup.Fig11()
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+	case "cost":
+		r, err := setup.Section51()
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+// Command protemp-sim runs closed-loop policy comparisons on the
+// Niagara-8 model: No-TC, Basic-DFS and Pro-Temp over a synthetic
+// benchmark trace (or a trace loaded from CSV), printing the paper's
+// headline metrics — time in temperature bands, violations, waiting
+// times and spatial gradients.
+//
+// Usage:
+//
+//	protemp-sim [-workload mixed|compute] [-seconds 10] [-seed 1]
+//	            [-policies notc,basic,protemp] [-assign first-idle|coolest]
+//	            [-table table.json] [-trace trace.csv] [-dt 0.0004]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"protemp/internal/core"
+	"protemp/internal/floorplan"
+	"protemp/internal/power"
+	"protemp/internal/sim"
+	"protemp/internal/thermal"
+	"protemp/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("protemp-sim: ")
+
+	var (
+		kind      = flag.String("workload", "mixed", "synthetic workload: mixed or compute")
+		seconds   = flag.Float64("seconds", 10, "trace arrival horizon in seconds")
+		seed      = flag.Int64("seed", 1, "trace seed")
+		tracePath = flag.String("trace", "", "load trace from CSV instead of generating")
+		policies  = flag.String("policies", "notc,basic,protemp", "comma-separated policies to run")
+		assign    = flag.String("assign", "first-idle", "task assignment: first-idle or coolest")
+		tablePath = flag.String("table", "", "Phase-1 table JSON (generated on the fly if empty)")
+		dt        = flag.Float64("dt", 0.4e-3, "thermal step in seconds")
+		steps     = flag.Int("steps", 250, "DFS window horizon in steps")
+		threshold = flag.Float64("threshold", 90, "Basic-DFS shutdown threshold in °C")
+		tmax      = flag.Float64("tmax", 100, "maximum temperature in °C")
+	)
+	flag.Parse()
+
+	fp := floorplan.Niagara()
+	chip, err := power.NewChip(fp, power.NiagaraCore(), power.UncoreShare)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := thermal.NewRC(fp, thermal.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	disc, err := model.Discretize(*dt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Trace.
+	var trace *workload.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace, err = workload.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var gen *workload.Generator
+		switch *kind {
+		case "mixed":
+			gen = workload.Mixed(*seed, chip.NumCores(), *seconds)
+		case "compute":
+			gen = workload.ComputeIntensive(*seed, chip.NumCores(), *seconds)
+		default:
+			log.Fatalf("unknown workload %q", *kind)
+		}
+		if trace, err = gen.Generate(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := workload.Summarize(trace, chip.NumCores())
+	fmt.Printf("trace: %d tasks, %.1f s, offered load %.2f, burstiness %.2f\n\n",
+		st.Tasks, st.Duration, st.OfferedLoad, st.Burstiness)
+
+	// Assignment policy.
+	var assigner sim.Assigner
+	switch *assign {
+	case "first-idle":
+		assigner = sim.FirstIdle{}
+	case "coolest":
+		blocks := make([]int, chip.NumCores())
+		for i := range blocks {
+			blocks[i] = chip.CoreBlockIndex(i)
+		}
+		assigner = sim.NewCoolestFirst(fp, blocks, 0.5)
+	default:
+		log.Fatalf("unknown assignment %q", *assign)
+	}
+
+	// Policies.
+	var runs []sim.Policy
+	needTable := false
+	for _, p := range strings.Split(*policies, ",") {
+		switch strings.TrimSpace(p) {
+		case "notc":
+			runs = append(runs, &sim.NoTC{NumCores: chip.NumCores(), FMax: chip.FMax()})
+		case "basic":
+			runs = append(runs, &sim.BasicDFS{NumCores: chip.NumCores(), FMax: chip.FMax(), Threshold: *threshold})
+		case "protemp":
+			needTable = true
+			runs = append(runs, nil) // placeholder, filled below
+		default:
+			log.Fatalf("unknown policy %q", p)
+		}
+	}
+	if needTable {
+		var table *core.Table
+		if *tablePath != "" {
+			f, err := os.Open(*tablePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			table, err = core.ReadTableJSON(f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			log.Printf("generating Phase-1 table (pass -table to reuse one) ...")
+			window, err := disc.Window(*steps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			table, err = core.GenerateTable(core.TableSpec{
+				Chip:     chip,
+				Window:   window,
+				TMax:     *tmax,
+				TStarts:  core.DefaultTStarts(),
+				FTargets: core.DefaultFTargets(chip.FMax()),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		ctrl, err := core.NewController(table)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, p := range runs {
+			if p == nil {
+				runs[i] = &sim.ProTemp{Controller: ctrl}
+			}
+		}
+	}
+
+	// Run and report.
+	fmt.Printf("%-10s %8s %8s %8s %8s %9s %9s %8s %8s\n",
+		"policy", "<80", "80-90", "90-100", ">100", "maxT(°C)", "wait(s)", "grad(°C)", "done")
+	for _, p := range runs {
+		res, err := sim.Run(sim.Config{
+			Chip:     chip,
+			Disc:     disc,
+			Policy:   p,
+			Assigner: assigner,
+			Trace:    trace,
+			Window:   *dt * float64(*steps),
+			TMax:     *tmax,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fr := res.AvgBands.Fractions()
+		fmt.Printf("%-10s %8.3f %8.3f %8.3f %8.3f %9.1f %9.4f %8.2f %8d\n",
+			res.Policy, fr[0], fr[1], fr[2], fr[3],
+			res.MaxCoreTemp, res.Wait.Mean(), res.Gradient.Mean(), res.Completed)
+	}
+}

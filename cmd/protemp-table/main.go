@@ -1,0 +1,138 @@
+// Command protemp-table runs Phase 1 of the Pro-Temp method: it sweeps
+// starting temperatures and target frequencies, solves the convex
+// program at every grid point, and writes the resulting frequency table
+// as JSON for the run-time controller.
+//
+// Usage:
+//
+//	protemp-table [-o table.json] [-tmax 100] [-dt 0.0004] [-steps 250]
+//	              [-tstarts 27,37,...] [-ftargets-mhz 50,100,...]
+//	              [-variant variable|uniform|gradient] [-floorplan file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"protemp/internal/core"
+	"protemp/internal/floorplan"
+	"protemp/internal/power"
+	"protemp/internal/thermal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("protemp-table: ")
+
+	var (
+		out      = flag.String("o", "table.json", "output JSON path ('-' for stdout)")
+		tmax     = flag.Float64("tmax", 100, "maximum temperature in °C")
+		dt       = flag.Float64("dt", 0.4e-3, "thermal step in seconds")
+		steps    = flag.Int("steps", 250, "DFS window horizon in steps")
+		tstarts  = flag.String("tstarts", "", "comma-separated starting temperatures in °C (default paper grid)")
+		ftargets = flag.String("ftargets-mhz", "", "comma-separated target frequencies in MHz (default 50 MHz grid)")
+		variant  = flag.String("variant", "variable", "model variant: variable, uniform or gradient")
+		fpPath   = flag.String("floorplan", "", "floorplan file (default built-in Niagara-8)")
+		workers  = flag.Int("workers", 0, "parallel solves (default GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	fp := floorplan.Niagara()
+	if *fpPath != "" {
+		f, err := os.Open(*fpPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fp2, err := floorplan.Parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fp = fp2
+	}
+
+	chip, err := power.NewChip(fp, power.NiagaraCore(), power.UncoreShare)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := thermal.NewRC(fp, thermal.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	disc, err := model.Discretize(*dt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	window, err := disc.Window(*steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := core.TableSpec{
+		Chip:    chip,
+		Window:  window,
+		TMax:    *tmax,
+		Workers: *workers,
+	}
+	switch *variant {
+	case "variable":
+		spec.Variant = core.VariantVariable
+	case "uniform":
+		spec.Variant = core.VariantUniform
+	case "gradient":
+		spec.Variant = core.VariantGradient
+	default:
+		log.Fatalf("unknown variant %q", *variant)
+	}
+	spec.TStarts = core.DefaultTStarts()
+	if *tstarts != "" {
+		if spec.TStarts, err = parseFloats(*tstarts, 1); err != nil {
+			log.Fatalf("-tstarts: %v", err)
+		}
+	}
+	spec.FTargets = core.DefaultFTargets(chip.FMax())
+	if *ftargets != "" {
+		if spec.FTargets, err = parseFloats(*ftargets, 1e6); err != nil {
+			log.Fatalf("-ftargets-mhz: %v", err)
+		}
+	}
+
+	start := time.Now()
+	table, err := core.GenerateTable(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := table.WriteJSON(w); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d points (%d feasible) in %v -> %s",
+		table.Stats.Solves, table.Stats.Feasible, elapsed.Round(time.Millisecond), *out)
+}
+
+func parseFloats(s string, scale float64) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %v", part, err)
+		}
+		out = append(out, v*scale)
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+// Command protemp-thermal inspects the RC thermal model: block list and
+// adjacency, the paper's Eq. 1 coefficients, steady-state temperatures
+// at a chosen operating point, and a step-response simulation.
+//
+// Usage:
+//
+//	protemp-thermal [-floorplan file] [-freq-mhz 1000] [-t0 45]
+//	                [-seconds 1] [-dt 0.0004] [-coeffs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"protemp/internal/floorplan"
+	"protemp/internal/linalg"
+	"protemp/internal/power"
+	"protemp/internal/thermal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("protemp-thermal: ")
+
+	var (
+		fpPath  = flag.String("floorplan", "", "floorplan file (default built-in Niagara-8)")
+		freqMHz = flag.Float64("freq-mhz", 1000, "uniform core frequency for the operating point")
+		t0      = flag.Float64("t0", 45, "initial temperature in °C for the step response")
+		seconds = flag.Float64("seconds", 1, "step-response horizon")
+		dt      = flag.Float64("dt", 0.4e-3, "thermal step in seconds")
+		coeffs  = flag.Bool("coeffs", false, "print the paper's Eq. 1 coefficients per block")
+	)
+	flag.Parse()
+
+	fp := floorplan.Niagara()
+	if *fpPath != "" {
+		f, err := os.Open(*fpPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fp2, err := floorplan.Parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fp = fp2
+	}
+	chip, err := power.NewChip(fp, power.NiagaraCore(), power.UncoreShare)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := thermal.NewRC(fp, thermal.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("floorplan: %d blocks, %d cores, die %.1f x %.1f mm\n",
+		fp.NumBlocks(), len(fp.CoreIndices()), dieMM(fp, true), dieMM(fp, false))
+	fmt.Println("adjacency (shared edges):")
+	for _, adj := range fp.Adjacencies() {
+		fmt.Printf("  %-5s - %-5s %.2f mm\n",
+			fp.Block(adj.I).Name, fp.Block(adj.J).Name, adj.SharedLength*1e3)
+	}
+
+	freqs := linalg.Constant(chip.NumCores(), *freqMHz*1e6)
+	p, err := chip.PowerVector(freqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ss, err := model.SteadyState(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsteady state at %.0f MHz on all cores (%.1f W total):\n", *freqMHz, p.Sum())
+	printTemps(fp, ss)
+
+	disc, err := model.Discretize(*dt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndiscretization: dt = %.4g s, spectral radius ≈ %.5f\n", *dt, disc.SpectralRadiusEstimate())
+
+	if *coeffs {
+		fmt.Println("\nEq. 1 coefficients (a_ij to neighbours, a_amb, b_i per watt):")
+		for i := 0; i < fp.NumBlocks(); i++ {
+			aAdj, aAmb, b := disc.Coefficients(i)
+			fmt.Printf("  %-5s b=%.3e a_amb=%.3e", fp.Block(i).Name, b, aAmb)
+			keys := make([]int, 0, len(aAdj))
+			for j := range aAdj {
+				keys = append(keys, j)
+			}
+			sort.Ints(keys)
+			for _, j := range keys {
+				fmt.Printf(" a[%s]=%.3e", fp.Block(j).Name, aAdj[j])
+			}
+			fmt.Println()
+		}
+	}
+
+	simulator, err := thermal.NewSimulator(disc, model.UniformStart(*t0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	steps := int(*seconds / *dt)
+	fmt.Printf("\nstep response from %.0f °C over %.2f s:\n", *t0, *seconds)
+	fmt.Printf("%8s %10s %10s\n", "t(ms)", "hottest", "coolest")
+	report := steps / 10
+	if report == 0 {
+		report = 1
+	}
+	for k := 0; k <= steps; k++ {
+		if k%report == 0 {
+			temps := simulator.Temps()
+			fmt.Printf("%8.1f %10.2f %10.2f\n", float64(k)**dt*1e3, temps.Max(), temps.Min())
+		}
+		simulator.Step(p)
+	}
+}
+
+func dieMM(fp *floorplan.Floorplan, width bool) float64 {
+	_, _, w, h := fp.BoundingBox()
+	if width {
+		return w * 1e3
+	}
+	return h * 1e3
+}
+
+func printTemps(fp *floorplan.Floorplan, t linalg.Vector) {
+	for i := 0; i < fp.NumBlocks(); i++ {
+		fmt.Printf("  %-5s %7.2f °C\n", fp.Block(i).Name, t[i])
+	}
+}

@@ -1,0 +1,106 @@
+// Command protemp-trace generates and inspects benchmark task traces.
+//
+// Usage:
+//
+//	protemp-trace gen  [-workload mixed|compute|assign|paper] [-seconds 60]
+//	                   [-seed 1] [-cores 8] [-o trace.csv]
+//	protemp-trace info [-cores 8] trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"protemp/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("protemp-trace: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: protemp-trace gen|info [flags]")
+	}
+	switch os.Args[1] {
+	case "gen":
+		generate(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		log.Fatalf("unknown subcommand %q (want gen or info)", os.Args[1])
+	}
+}
+
+func generate(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		kind    = fs.String("workload", "mixed", "mixed, compute, assign or paper")
+		seconds = fs.Float64("seconds", 60, "arrival horizon in seconds (ignored for paper)")
+		seed    = fs.Int64("seed", 1, "generator seed")
+		cores   = fs.Int("cores", 8, "core count the load is sized for")
+		out     = fs.String("o", "-", "output CSV path ('-' for stdout)")
+	)
+	fs.Parse(args)
+
+	var gen *workload.Generator
+	switch *kind {
+	case "mixed":
+		gen = workload.Mixed(*seed, *cores, *seconds)
+	case "compute":
+		gen = workload.ComputeIntensive(*seed, *cores, *seconds)
+	case "assign":
+		gen = workload.AssignStudy(*seed, *cores, *seconds)
+	case "paper":
+		gen = workload.PaperScale(*seed, *cores)
+	default:
+		log.Fatalf("unknown workload %q", *kind)
+	}
+	tr, err := gen.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := workload.WriteCSV(w, tr); err != nil {
+		log.Fatal(err)
+	}
+	printStats(tr, *cores)
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	cores := fs.Int("cores", 8, "core count for the offered-load figure")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("usage: protemp-trace info [-cores N] trace.csv")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := workload.ReadCSV(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printStats(tr, *cores)
+}
+
+func printStats(tr *workload.Trace, cores int) {
+	st := workload.Summarize(tr, cores)
+	fmt.Fprintf(os.Stderr, "tasks        %d\n", st.Tasks)
+	fmt.Fprintf(os.Stderr, "duration     %.2f s\n", st.Duration)
+	fmt.Fprintf(os.Stderr, "total work   %.2f core-s\n", st.TotalWork)
+	fmt.Fprintf(os.Stderr, "task length  %.2f-%.2f ms (mean %.2f)\n",
+		st.MinWork*1e3, st.MaxWork*1e3, st.MeanWork*1e3)
+	fmt.Fprintf(os.Stderr, "offered load %.3f of %d cores\n", st.OfferedLoad, cores)
+	fmt.Fprintf(os.Stderr, "burstiness   %.2f (index of dispersion, 1 = Poisson)\n", st.Burstiness)
+}

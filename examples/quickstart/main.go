@@ -1,0 +1,39 @@
+// Quickstart: build the paper's Niagara-8 platform and ask Pro-Temp for
+// one optimal frequency assignment — cores starting at 80 °C, workload
+// requiring a 600 MHz average, limit 100 °C.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"protemp"
+	"protemp/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	sys, err := protemp.NewNiagaraSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("platform: %d cores at %.0f MHz / %.0f W max, tmax %.0f °C\n",
+		sys.Chip.NumCores(), sys.Chip.FMax()/1e6, 4.0, sys.Config.TMax)
+
+	a, err := sys.Optimize(80, 600e6, core.VariantVariable)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !a.Feasible {
+		log.Fatal("design point infeasible — lower the target or cool the chip")
+	}
+
+	fmt.Printf("\noptimal assignment for tstart=80 °C, target 600 MHz average:\n")
+	for j, f := range a.Freqs {
+		fmt.Printf("  core P%d: %7.1f MHz  (%.2f W)\n", j+1, f/1e6, a.Powers[j])
+	}
+	fmt.Printf("\naverage %.1f MHz, total core power %.2f W\n", a.AvgFreq/1e6, a.TotalPower)
+	fmt.Printf("worst-case temperature over the next 100 ms window: %.2f °C (limit %.0f)\n",
+		a.PeakTemp, sys.Config.TMax)
+}

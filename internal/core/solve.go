@@ -1,0 +1,359 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"protemp/internal/linalg"
+	"protemp/internal/solver"
+)
+
+// fullSpeedPhi is the normalized target above which the workload
+// constraint pins every frequency to fmax and the program degenerates
+// to a feasibility check of the full-speed point.
+const fullSpeedPhi = 1 - 1e-9
+
+// Solve computes the optimal frequency assignment for the design point,
+// or Assignment{Feasible: false} when the paper's "infeasible solution"
+// signal applies. Solver failures other than infeasibility are returned
+// as errors.
+func Solve(s *Spec) (*Assignment, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := s.Chip.NumCores()
+	phi := s.FTarget / s.Chip.FMax()
+
+	// Degenerate target: the only candidate is full speed on all cores.
+	if phi >= fullSpeedPhi {
+		return solveFullSpeed(s)
+	}
+
+	prob, lay, rows, err := s.build()
+	if err != nil {
+		return nil, err
+	}
+
+	opts := solver.DefaultOptions()
+	opts.Tol = 1e-7
+
+	start := heuristicStart(s, lay, rows, phi)
+	if start == nil {
+		// Near the capacity boundary only a non-uniform assignment is
+		// feasible; a physics-guided rebalance finds one directly where
+		// the generic Phase-I auxiliary problem converges too slowly.
+		start = rebalanceStart(s, lay, rows, phi)
+	}
+	var res *solver.Result
+	if start != nil {
+		res, err = solver.Barrier(prob, start, opts)
+	} else {
+		res, err = solver.Solve(prob, neutralStart(lay, phi), opts)
+	}
+	if err != nil {
+		if errors.Is(err, solver.ErrInfeasible) {
+			return &Assignment{}, nil
+		}
+		return nil, fmt.Errorf("core: solve (%s, tstart=%g, ftarget=%g): %w",
+			s.Variant, s.TStart, s.FTarget, err)
+	}
+
+	a := &Assignment{
+		Feasible:    true,
+		Freqs:       make([]float64, n),
+		Powers:      make([]float64, n),
+		Gap:         res.Gap,
+		NewtonIters: res.NewtonIters,
+	}
+	for j := 0; j < n; j++ {
+		model := s.Chip.CoreModelOf(j)
+		fn := clamp01(res.X[lay.fIdx(j)])
+		pn := clamp01(res.X[lay.pIdx(j)])
+		a.Freqs[j] = fn * model.FMax
+		a.Powers[j] = pn * model.PMax
+		a.AvgFreq += a.Freqs[j] / float64(n)
+		a.TotalPower += a.Powers[j]
+	}
+	if s.Variant == VariantGradient {
+		a.TGrad = res.X[lay.gIdx()]
+	}
+	a.PeakTemp = peakTemp(s, a.Powers)
+	return a, nil
+}
+
+// SolveUniformBisect solves the uniform-frequency problem by direct
+// bisection on the scalar frequency: feasibility of f is monotone (more
+// frequency means more power means higher temperatures everywhere), so
+// the optimum is the largest feasible f if that exceeds the target, or
+// the target itself when the target is feasible. It is an independent
+// cross-check of the barrier path and is also what the run-time
+// fallback uses for off-grid targets.
+//
+// It returns the maximum supportable average frequency in Hz and whether
+// the requested target is supportable.
+func SolveUniformBisect(s *Spec) (maxFreq float64, targetOK bool, err error) {
+	if err := s.Validate(); err != nil {
+		return 0, false, err
+	}
+	rows, err := s.tempRows()
+	if err != nil {
+		return 0, false, err
+	}
+	fmax := s.Chip.FMax()
+	feasible := func(fn float64) bool {
+		return uniformPeak(s, rows, fn) <= s.TMax
+	}
+	fnMax, ok := solver.BisectMax(0, 1, 1e-7, feasible)
+	if !ok {
+		return 0, false, nil
+	}
+	return fnMax * fmax, fnMax*fmax+1e-3 >= s.FTarget, nil
+}
+
+// uniformPeak returns the peak constrained temperature over the window
+// when every core runs at normalized frequency fn.
+func uniformPeak(s *Spec, rows []tempRow, fn float64) float64 {
+	n := s.Chip.NumCores()
+	pn := linalg.NewVector(n)
+	for j := 0; j < n; j++ {
+		model := s.Chip.CoreModelOf(j)
+		pn[j] = model.AtFrequency(fn*model.FMax) / model.PMax
+	}
+	peak := math.Inf(-1)
+	for _, r := range rows {
+		if t := r.c0 + r.coef.Dot(pn); t > peak {
+			peak = t
+		}
+	}
+	return peak
+}
+
+// solveFullSpeed evaluates the single candidate point f = fmax.
+func solveFullSpeed(s *Spec) (*Assignment, error) {
+	rows, err := s.tempRows()
+	if err != nil {
+		return nil, err
+	}
+	if uniformPeak(s, rows, 1) > s.TMax {
+		return &Assignment{}, nil
+	}
+	n := s.Chip.NumCores()
+	a := &Assignment{Feasible: true, Freqs: make([]float64, n), Powers: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		model := s.Chip.CoreModelOf(j)
+		a.Freqs[j] = model.FMax
+		a.Powers[j] = model.PMax
+		a.AvgFreq += model.FMax / float64(n)
+		a.TotalPower += model.PMax
+	}
+	a.PeakTemp = peakTemp(s, a.Powers)
+	return a, nil
+}
+
+// heuristicStart tries cheap strictly feasible points (uniform
+// frequency just above the target with a little power slack) before
+// paying for a Phase-I solve. Returns nil if none works.
+func heuristicStart(s *Spec, lay layout, rows []tempRow, phi float64) linalg.Vector {
+	n := s.Chip.NumCores()
+	fn := phi + 1e-4*(1-phi) + 1e-9
+	if fn >= 1 {
+		return nil
+	}
+	for _, slack := range []float64{1e-3, 1e-2, 5e-2} {
+		x := linalg.NewVector(lay.dim)
+		ok := true
+		pn := linalg.NewVector(n)
+		for j := 0; j < n; j++ {
+			model := s.Chip.CoreModelOf(j)
+			pj := model.AtFrequency(fn*model.FMax)/model.PMax + slack
+			if pj >= 1 {
+				ok = false
+				break
+			}
+			x[lay.fIdx(j)] = fn
+			x[lay.pIdx(j)] = pj
+			pn[j] = pj
+		}
+		if !ok {
+			continue
+		}
+		// Strict temperature feasibility with margin.
+		worst := math.Inf(-1)
+		for _, r := range rows {
+			if t := r.c0 + r.coef.Dot(pn) - s.TMax; t > worst {
+				worst = t
+			}
+		}
+		if worst >= -1e-6 {
+			continue
+		}
+		if s.Variant == VariantGradient {
+			x[lay.gIdx()] = maxPairGap(s, rows, pn) + 1
+		}
+		return x
+	}
+	return nil
+}
+
+// rebalanceStart searches for a strictly feasible non-uniform start by
+// greedy heat rebalancing: begin at the uniform target frequency and
+// repeatedly move a small frequency quantum from the core with the
+// hottest predicted trajectory to the coolest core with headroom. The
+// frequency sum is preserved, so the workload constraint stays
+// satisfied; the procedure succeeds exactly in the boundary band where
+// periphery cores hold thermal slack the uniform assignment cannot use
+// (the physics behind the paper's Fig. 9/10). Returns nil on failure.
+func rebalanceStart(s *Spec, lay layout, rows []tempRow, phi float64) linalg.Vector {
+	if lay.variant == VariantUniform {
+		return nil // a single shared frequency cannot rebalance
+	}
+	n := s.Chip.NumCores()
+	fn := phi + 1e-6
+	if fn >= 1 {
+		return nil
+	}
+	freqs := linalg.Constant(n, fn)
+	pn := linalg.NewVector(n)
+	const (
+		slack   = 1e-4
+		quantum = 2e-3
+		maxIter = 1200
+	)
+	blockToCore := make(map[int]int, n)
+	for j := 0; j < n; j++ {
+		blockToCore[s.Chip.CoreBlockIndex(j)] = j
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		ok := true
+		for j := 0; j < n; j++ {
+			model := s.Chip.CoreModelOf(j)
+			pn[j] = model.AtFrequency(freqs[j]*model.FMax)/model.PMax + slack
+			if pn[j] >= 1 || freqs[j] <= 0 || freqs[j] >= 1 {
+				ok = false
+			}
+		}
+		if !ok {
+			return nil
+		}
+		// Per-core worst margin (temperature minus limit) over all rows
+		// of that core's own block, plus the global worst row.
+		margin := linalg.Constant(n, math.Inf(-1))
+		worst := math.Inf(-1)
+		for _, r := range rows {
+			v := r.c0 + r.coef.Dot(pn) - s.TMax
+			if v > worst {
+				worst = v
+			}
+			if j, isCore := blockToCore[r.block]; isCore && v > margin[j] {
+				margin[j] = v
+			}
+		}
+		if worst < -1e-6 {
+			x := linalg.NewVector(lay.dim)
+			for j := 0; j < n; j++ {
+				x[lay.fIdx(j)] = freqs[j]
+				x[lay.pIdx(j)] = pn[j]
+			}
+			if s.Variant == VariantGradient {
+				x[lay.gIdx()] = maxPairGap(s, rows, pn) + 1
+			}
+			return x
+		}
+		hot, cool := margin.ArgMax(), 0
+		coolMargin := math.Inf(1)
+		for j := 0; j < n; j++ {
+			if j != hot && freqs[j] < 1-2*quantum && margin[j] < coolMargin {
+				cool, coolMargin = j, margin[j]
+			}
+		}
+		if math.IsInf(coolMargin, 1) || hot == cool || freqs[hot] <= 2*quantum {
+			return nil
+		}
+		freqs[hot] -= quantum
+		freqs[cool] += quantum
+	}
+	return nil
+}
+
+// maxPairGap returns the largest pairwise core temperature difference
+// over the window at normalized powers pn.
+func maxPairGap(s *Spec, rows []tempRow, pn linalg.Vector) float64 {
+	isCore := make(map[int]bool)
+	for _, bi := range s.Chip.Floorplan().CoreIndices() {
+		isCore[bi] = true
+	}
+	byStep := make(map[int][]float64)
+	for _, r := range rows {
+		if isCore[r.block] {
+			byStep[r.step] = append(byStep[r.step], r.c0+r.coef.Dot(pn))
+		}
+	}
+	var gap float64
+	for _, temps := range byStep {
+		v := linalg.Vector(temps)
+		if g := v.Max() - v.Min(); g > gap {
+			gap = g
+		}
+	}
+	return gap
+}
+
+// neutralStart is the Phase-I entry point when no heuristic start is
+// strictly feasible.
+func neutralStart(lay layout, phi float64) linalg.Vector {
+	x := linalg.NewVector(lay.dim)
+	fn := math.Min(0.9, phi+0.05)
+	n := lay.nCores
+	vars := n
+	if lay.variant == VariantUniform {
+		vars = 1
+	}
+	for j := 0; j < vars; j++ {
+		x[lay.fIdx(j)] = fn
+		x[lay.pIdx(j)] = math.Min(0.95, fn*fn+0.05)
+	}
+	if lay.variant == VariantGradient {
+		x[lay.gIdx()] = 50
+	}
+	return x
+}
+
+// peakTemp forward-simulates the window at the given core powers and
+// returns the hottest core temperature reached — the verification the
+// controller's guarantee rests on.
+func peakTemp(s *Spec, corePowers []float64) float64 {
+	chip := s.Chip
+	fp := chip.Floorplan()
+	nb := fp.NumBlocks()
+	p := chip.FixedPower()
+	for j, w := range corePowers {
+		p[chip.CoreBlockIndex(j)] = w
+	}
+	t0 := s.startTemps(nb)
+	peak := math.Inf(-1)
+	cores := fp.CoreIndices()
+	m := s.Window.Steps()
+	for k := 1; k <= m; k++ {
+		t, err := s.Window.TempAt(k, t0, p)
+		if err != nil {
+			return math.NaN()
+		}
+		for _, ci := range cores {
+			if t[ci] > peak {
+				peak = t[ci]
+			}
+		}
+	}
+	return peak
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

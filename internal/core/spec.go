@@ -1,0 +1,174 @@
+// Package core implements Pro-Temp, the paper's contribution: a convex
+// program that assigns per-core frequencies so that every core stays
+// below the maximum temperature at every sub-step of the next DFS
+// window, while total power is minimized and the workload's average
+// frequency requirement is met (the paper's model (3), with the
+// gradient extension (4)-(5) and the uniform-frequency restriction of
+// Section 5.3); an off-line table generator sweeping starting
+// temperatures and target frequencies (Phase 1, their Fig. 3-4); and
+// the run-time controller that drives DVFS from that table (Phase 2).
+//
+// Following the paper's formulation, the decision variables are the
+// frequencies f_i and the powers p_i coupled by the convex inequality
+// p_i >= pmax·f_i²/fmax² (their Eq. 2 relaxed to an inequality, tight
+// at the optimum of the power-minimizing objective but deliberately
+// loose in the gradient variant, where a core may burn extra power to
+// flatten the spatial profile). Temperatures are affine in p through
+// the discrete thermal dynamics, so all constraints are affine or
+// diagonal-quadratic and the program is solved by the interior-point
+// method in internal/solver.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"protemp/internal/power"
+	"protemp/internal/thermal"
+)
+
+// Variant selects the optimization model.
+type Variant int
+
+const (
+	// VariantVariable lets each core take its own frequency (the
+	// paper's primary model (3)).
+	VariantVariable Variant = iota
+	// VariantUniform forces a single common frequency, as many
+	// commercial parts require (Section 5.3).
+	VariantUniform
+	// VariantGradient is VariantVariable plus the spatial-gradient
+	// variable tgrad bounded by every pairwise core temperature
+	// difference, jointly minimized with power (their (4)-(5)).
+	VariantGradient
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantVariable:
+		return "variable"
+	case VariantUniform:
+		return "uniform"
+	case VariantGradient:
+		return "gradient"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Spec is one Phase-1 design point.
+type Spec struct {
+	// Chip provides the floorplan, core power models and fixed powers.
+	Chip *power.Chip
+	// Window is the precomputed thermal response over the DFS window
+	// (horizon m steps of the paper's 0.4 ms discretization). It must be
+	// built from the same floorplan as Chip.
+	Window *thermal.WindowResponse
+	// TStart is the uniform starting temperature in °C. The paper
+	// iterates Phase 1 on this single value; at run time it corresponds
+	// to the maximum temperature across the cores.
+	TStart float64
+	// TMax is the maximum allowed temperature in °C (100 in the paper).
+	TMax float64
+	// FTarget is the required average core frequency in Hz
+	// (Σ f_i >= n·FTarget).
+	FTarget float64
+	// Variant selects the model; zero value is VariantVariable.
+	Variant Variant
+	// GradWeight is the objective weight on tgrad for VariantGradient.
+	// The paper's Eq. 5 uses weight 1 on tgrad in °C against power in
+	// watts; zero selects that default.
+	GradWeight float64
+	// GradStride constrains pairwise gradients every GradStride-th
+	// sub-step (plus the final one) to keep the constraint count
+	// manageable; zero selects 5. Temperature-limit constraints are
+	// never strided — the tmax guarantee covers every sub-step.
+	GradStride int
+	// ConstrainAllBlocks also applies TMax to cache and uncore blocks.
+	// The paper constrains the cores; non-core blocks run cooler.
+	ConstrainAllBlocks bool
+	// T0 optionally supplies per-block starting temperatures (length
+	// NumBlocks, °C) instead of the uniform TStart. This is the
+	// extension the paper's Section 3.2 sets aside ("we simplify the
+	// process by only iterating on one temperature value"): a controller
+	// with full sensor state can solve on the true thermal map. When T0
+	// is nil the paper's single-value scheme is used.
+	T0 []float64
+}
+
+// Validate checks the spec for consistency.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Chip == nil:
+		return fmt.Errorf("core: nil chip")
+	case s.Window == nil:
+		return fmt.Errorf("core: nil thermal window")
+	case math.IsNaN(s.TStart) || math.IsInf(s.TStart, 0):
+		return fmt.Errorf("core: non-finite TStart %v", s.TStart)
+	case math.IsNaN(s.TMax) || s.TMax <= 0:
+		return fmt.Errorf("core: invalid TMax %v", s.TMax)
+	case math.IsNaN(s.FTarget) || s.FTarget < 0:
+		return fmt.Errorf("core: invalid FTarget %v", s.FTarget)
+	case s.FTarget > s.Chip.FMax():
+		return fmt.Errorf("core: FTarget %g above FMax %g", s.FTarget, s.Chip.FMax())
+	case s.GradWeight < 0:
+		return fmt.Errorf("core: negative GradWeight %v", s.GradWeight)
+	case s.GradStride < 0:
+		return fmt.Errorf("core: negative GradStride %v", s.GradStride)
+	}
+	if s.Variant != VariantVariable && s.Variant != VariantUniform && s.Variant != VariantGradient {
+		return fmt.Errorf("core: unknown variant %v", s.Variant)
+	}
+	if s.T0 != nil {
+		if len(s.T0) != s.Chip.Floorplan().NumBlocks() {
+			return fmt.Errorf("core: T0 has %d entries for %d blocks", len(s.T0), s.Chip.Floorplan().NumBlocks())
+		}
+		for i, t := range s.T0 {
+			if math.IsNaN(t) || math.IsInf(t, 0) {
+				return fmt.Errorf("core: non-finite T0[%d]", i)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Spec) gradWeight() float64 {
+	if s.GradWeight > 0 {
+		return s.GradWeight
+	}
+	return 1
+}
+
+func (s *Spec) gradStride() int {
+	if s.GradStride > 0 {
+		return s.GradStride
+	}
+	return 5
+}
+
+// Assignment is the solved frequency assignment for one design point.
+type Assignment struct {
+	// Feasible reports whether the design point admits any assignment.
+	// When false all other fields are zero — the paper's "optimization
+	// notifies an infeasible solution".
+	Feasible bool
+	// Freqs holds the per-core frequencies in Hz (length NumCores).
+	Freqs []float64
+	// Powers holds the per-core powers in watts at the optimum.
+	Powers []float64
+	// AvgFreq is the mean of Freqs.
+	AvgFreq float64
+	// TotalPower is the summed core power (objective's power term).
+	TotalPower float64
+	// TGrad is the optimized spatial-gradient bound in °C
+	// (VariantGradient only; zero otherwise).
+	TGrad float64
+	// PeakTemp is the highest predicted core temperature over the
+	// window under this assignment (a forward simulation check).
+	PeakTemp float64
+	// Gap is the solver's duality-gap bound.
+	Gap float64
+	// NewtonIters counts solver work, for the §5.1 cost accounting.
+	NewtonIters int
+}

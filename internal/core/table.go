@@ -1,0 +1,281 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"protemp/internal/power"
+	"protemp/internal/thermal"
+)
+
+// TableSpec drives Phase-1 table generation (the paper's Fig. 3): the
+// convex program is solved at every (TStart, FTarget) grid point and
+// the resulting frequency vectors are stored for run-time lookup.
+type TableSpec struct {
+	Chip    *power.Chip
+	Window  *thermal.WindowResponse
+	TMax    float64
+	TStarts []float64 // ascending °C grid of starting temperatures
+	// FTargets is the ascending Hz grid of required average frequencies.
+	FTargets []float64
+	Variant  Variant
+	// GradWeight / GradStride forward to Spec for VariantGradient.
+	GradWeight float64
+	GradStride int
+	// Workers bounds parallel solves; zero means GOMAXPROCS.
+	Workers int
+	// ConstrainAllBlocks forwards to Spec.
+	ConstrainAllBlocks bool
+}
+
+// DefaultTStarts is the paper's starting-temperature sweep (Figs. 9-10
+// run 27 °C to 97 °C in 10 °C steps) extended to the 100 °C limit so
+// run-time round-up lookups always have a safe row.
+func DefaultTStarts() []float64 {
+	return []float64{27, 37, 47, 57, 67, 77, 87, 97, 100}
+}
+
+// DefaultFTargets returns a 50 MHz-granularity target grid up to fmax.
+func DefaultFTargets(fmax float64) []float64 {
+	var out []float64
+	for f := 0.05 * fmax; f <= fmax*(1+1e-12); f += 0.05 * fmax {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Validate checks the table spec.
+func (ts *TableSpec) Validate() error {
+	probe := Spec{
+		Chip: ts.Chip, Window: ts.Window, TMax: ts.TMax,
+		Variant: ts.Variant, GradWeight: ts.GradWeight, GradStride: ts.GradStride,
+	}
+	if err := probe.Validate(); err != nil {
+		return err
+	}
+	if len(ts.TStarts) == 0 || len(ts.FTargets) == 0 {
+		return fmt.Errorf("core: empty table grid (%d temps, %d freqs)", len(ts.TStarts), len(ts.FTargets))
+	}
+	if !sort.Float64sAreSorted(ts.TStarts) {
+		return fmt.Errorf("core: TStarts not ascending")
+	}
+	if !sort.Float64sAreSorted(ts.FTargets) {
+		return fmt.Errorf("core: FTargets not ascending")
+	}
+	fmax := ts.Chip.FMax()
+	for _, f := range ts.FTargets {
+		if f < 0 || f > fmax {
+			return fmt.Errorf("core: FTarget %g outside [0, %g]", f, fmax)
+		}
+	}
+	return nil
+}
+
+// Entry is one stored frequency assignment.
+type Entry struct {
+	Feasible   bool      `json:"feasible"`
+	Freqs      []float64 `json:"freqs,omitempty"` // Hz per core
+	AvgFreq    float64   `json:"avg_freq,omitempty"`
+	TotalPower float64   `json:"total_power,omitempty"`
+	PeakTemp   float64   `json:"peak_temp,omitempty"`
+	TGrad      float64   `json:"tgrad,omitempty"`
+}
+
+// Table is the Phase-1 output (the paper's Fig. 4): Entries[ti][fi]
+// holds the assignment for TStarts[ti] and FTargets[fi].
+type Table struct {
+	TMax     float64    `json:"tmax"`
+	FMax     float64    `json:"fmax"`
+	NumCores int        `json:"num_cores"`
+	Variant  string     `json:"variant"`
+	TStarts  []float64  `json:"tstarts"`
+	FTargets []float64  `json:"ftargets"`
+	Entries  [][]Entry  `json:"entries"`
+	Stats    TableStats `json:"stats"`
+}
+
+// TableStats records Phase-1 cost, the paper's §5.1 accounting.
+type TableStats struct {
+	Solves      int `json:"solves"`
+	Feasible    int `json:"feasible"`
+	NewtonIters int `json:"newton_iters"`
+}
+
+// GenerateTable runs Phase 1: one convex solve per grid point, in
+// parallel. A solver error at any point aborts the generation.
+func GenerateTable(ts TableSpec) (*Table, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	nT, nF := len(ts.TStarts), len(ts.FTargets)
+	tbl := &Table{
+		TMax:     ts.TMax,
+		FMax:     ts.Chip.FMax(),
+		NumCores: ts.Chip.NumCores(),
+		Variant:  ts.Variant.String(),
+		TStarts:  append([]float64(nil), ts.TStarts...),
+		FTargets: append([]float64(nil), ts.FTargets...),
+		Entries:  make([][]Entry, nT),
+	}
+	for i := range tbl.Entries {
+		tbl.Entries[i] = make([]Entry, nF)
+	}
+
+	type job struct{ ti, fi int }
+	jobs := make(chan job)
+	workers := ts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				spec := &Spec{
+					Chip:               ts.Chip,
+					Window:             ts.Window,
+					TStart:             ts.TStarts[j.ti],
+					TMax:               ts.TMax,
+					FTarget:            ts.FTargets[j.fi],
+					Variant:            ts.Variant,
+					GradWeight:         ts.GradWeight,
+					GradStride:         ts.GradStride,
+					ConstrainAllBlocks: ts.ConstrainAllBlocks,
+				}
+				a, err := Solve(spec)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("core: table point (%.0f°C, %.0f MHz): %w",
+						ts.TStarts[j.ti], ts.FTargets[j.fi]/1e6, err)
+				}
+				if err == nil {
+					tbl.Stats.Solves++
+					tbl.Stats.NewtonIters += a.NewtonIters
+					if a.Feasible {
+						tbl.Stats.Feasible++
+						tbl.Entries[j.ti][j.fi] = Entry{
+							Feasible:   true,
+							Freqs:      a.Freqs,
+							AvgFreq:    a.AvgFreq,
+							TotalPower: a.TotalPower,
+							PeakTemp:   a.PeakTemp,
+							TGrad:      a.TGrad,
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for ti := 0; ti < nT; ti++ {
+		for fi := 0; fi < nF; fi++ {
+			jobs <- job{ti, fi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return tbl, nil
+}
+
+// Lookup implements the paper's Phase-2 table access: round the
+// observed maximum core temperature up to the next grid row (hotter
+// assumed start is always safe), take the smallest stored target at or
+// above the required frequency, and if that point is infeasible fall
+// back to "the next lower frequency point in the table that can
+// support the temperature constraints". The boolean reports whether
+// any feasible entry exists at that temperature row; when false the
+// caller must idle the cores for the window.
+func (t *Table) Lookup(maxCoreTemp, requiredFreq float64) (Entry, bool) {
+	ti := sort.SearchFloat64s(t.TStarts, maxCoreTemp)
+	if ti == len(t.TStarts) {
+		// Hotter than the grid covers: use the hottest (most
+		// conservative) row available.
+		ti = len(t.TStarts) - 1
+	}
+	fi := sort.SearchFloat64s(t.FTargets, requiredFreq)
+	if fi == len(t.FTargets) {
+		fi = len(t.FTargets) - 1
+	}
+	for ; fi >= 0; fi-- {
+		if e := t.Entries[ti][fi]; e.Feasible {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// MaxSupportedFreq returns the largest stored feasible average
+// frequency for the given starting temperature row — the quantity the
+// paper's Fig. 9 sweeps.
+func (t *Table) MaxSupportedFreq(tstart float64) float64 {
+	e, ok := t.Lookup(tstart, t.FMax)
+	if !ok {
+		return 0
+	}
+	return e.AvgFreq
+}
+
+// Validate checks structural integrity (after deserialization).
+func (t *Table) Validate() error {
+	if len(t.TStarts) == 0 || len(t.FTargets) == 0 {
+		return fmt.Errorf("core: table has empty grid")
+	}
+	if !sort.Float64sAreSorted(t.TStarts) || !sort.Float64sAreSorted(t.FTargets) {
+		return fmt.Errorf("core: table grids not ascending")
+	}
+	if len(t.Entries) != len(t.TStarts) {
+		return fmt.Errorf("core: %d entry rows for %d temperatures", len(t.Entries), len(t.TStarts))
+	}
+	for ti, row := range t.Entries {
+		if len(row) != len(t.FTargets) {
+			return fmt.Errorf("core: row %d has %d entries, want %d", ti, len(row), len(t.FTargets))
+		}
+		for fi, e := range row {
+			if e.Feasible {
+				if len(e.Freqs) != t.NumCores {
+					return fmt.Errorf("core: entry (%d,%d) has %d freqs, want %d", ti, fi, len(e.Freqs), t.NumCores)
+				}
+				for _, f := range e.Freqs {
+					if f < 0 || f > t.FMax*(1+1e-9) || math.IsNaN(f) {
+						return fmt.Errorf("core: entry (%d,%d) frequency %g out of range", ti, fi, f)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the table.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// ReadTableJSON deserializes and validates a table.
+func ReadTableJSON(r io.Reader) (*Table, error) {
+	var t Table
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("core: decode table: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	setupOnce sync.Once
+	setupV    *Setup
+	setupErr  error
+)
+
+func quickSetup(t *testing.T) *Setup {
+	t.Helper()
+	setupOnce.Do(func() {
+		setupV, setupErr = NewSetup(Quick())
+	})
+	if setupErr != nil {
+		t.Fatal(setupErr)
+	}
+	return setupV
+}
+
+func TestFidelityValidate(t *testing.T) {
+	if err := Paper().Validate(); err != nil {
+		t.Fatalf("paper fidelity invalid: %v", err)
+	}
+	if err := Quick().Validate(); err != nil {
+		t.Fatalf("quick fidelity invalid: %v", err)
+	}
+	bad := Quick()
+	bad.Dt = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := NewSetup(bad); err == nil {
+		t.Error("NewSetup accepted invalid fidelity")
+	}
+	bad2 := Quick()
+	bad2.TableTStarts = nil
+	if err := bad2.Validate(); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+// Fig. 1 vs Fig. 2: Basic-DFS violates the limit, Pro-Temp does not —
+// the paper's headline contrast.
+func TestFig1Fig2Contrast(t *testing.T) {
+	s := quickSetup(t)
+	f1, err := s.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.MaxTemp <= TMax {
+		t.Fatalf("Fig1 Basic-DFS never exceeded the limit (max %.1f)", f1.MaxTemp)
+	}
+	if f2.MaxTemp > TMax+0.01 {
+		t.Fatalf("Fig2 Pro-Temp exceeded the limit (max %.2f)", f2.MaxTemp)
+	}
+	if f2.ViolationFrac != 0 {
+		t.Fatalf("Fig2 violation fraction %.4f", f2.ViolationFrac)
+	}
+	if len(f1.Series) != 1 || f1.Series[0].Name != "P1" {
+		t.Fatalf("Fig1 series wrong: %+v", f1.Series)
+	}
+}
+
+// Fig. 6: Pro-Temp's >100 band is empty; Basic-DFS's is substantial on
+// the compute-intensive load (paper: up to 40%).
+func TestFig6Shapes(t *testing.T) {
+	s := quickSetup(t)
+	a, err := s.Fig6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Fig6b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*BandsResult{a, b} {
+		if hot := r.HotFraction("Pro-Temp"); hot != 0 {
+			t.Fatalf("%s: Pro-Temp hot fraction %.4f", r.Figure, hot)
+		}
+		if r.HotFraction("nonexistent") != -1 {
+			t.Fatal("unknown policy should report -1")
+		}
+	}
+	basicHot := b.HotFraction("Basic-DFS")
+	if basicHot < 0.05 {
+		t.Fatalf("Fig6b Basic-DFS hot fraction %.3f too small to match the paper's shape", basicHot)
+	}
+	noTCHot := b.HotFraction("No-TC")
+	if noTCHot <= basicHot {
+		t.Fatalf("No-TC (%.3f) should be above Basic-DFS (%.3f)", noTCHot, basicHot)
+	}
+	// Mixed load is milder than compute-intensive for the baselines.
+	if a.HotFraction("Basic-DFS") > basicHot {
+		t.Fatalf("mixed hot fraction %.3f above compute-intensive %.3f",
+			a.HotFraction("Basic-DFS"), basicHot)
+	}
+}
+
+// Fig. 7: Pro-Temp reduces waiting substantially (paper: ~60%).
+func TestFig7Shape(t *testing.T) {
+	s := quickSetup(t)
+	r, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BasicMean <= 0 {
+		t.Fatal("Basic-DFS waiting zero; comparison vacuous")
+	}
+	if r.Ratio >= 0.8 {
+		t.Fatalf("waiting ratio %.3f does not reproduce a substantial reduction", r.Ratio)
+	}
+}
+
+// Fig. 8: the gradient between P1 and P2 stays small under Pro-Temp.
+func TestFig8Gradient(t *testing.T) {
+	s := quickSetup(t)
+	r, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 {
+		t.Fatalf("want P1+P2 series, got %d", len(r.Series))
+	}
+	if r.MaxTemp > TMax+0.01 {
+		t.Fatalf("Fig8 violated the limit: %.2f", r.MaxTemp)
+	}
+	if r.MeanGradient > 10 {
+		t.Fatalf("mean gradient %.2f °C too large for the Fig. 8 claim", r.MeanGradient)
+	}
+}
+
+// Fig. 9: variable ≥ uniform everywhere; both decrease with
+// temperature; variable is strictly better somewhere hot.
+func TestFig9Shape(t *testing.T) {
+	s := quickSetup(t)
+	r, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyStrict := false
+	for i := range r.TStarts {
+		if r.VariableMHz[i] < r.UniformMHz[i]-5 {
+			t.Fatalf("tstart %g: variable %.0f below uniform %.0f",
+				r.TStarts[i], r.VariableMHz[i], r.UniformMHz[i])
+		}
+		if r.VariableMHz[i] > r.UniformMHz[i]+5 {
+			anyStrict = true
+		}
+		if i > 0 {
+			if r.UniformMHz[i] > r.UniformMHz[i-1]+5 || r.VariableMHz[i] > r.VariableMHz[i-1]+5 {
+				t.Fatalf("supported frequency rose with temperature at %g °C", r.TStarts[i])
+			}
+		}
+	}
+	if !anyStrict {
+		t.Fatal("variable never strictly dominated uniform — Fig. 9's contrast missing")
+	}
+}
+
+// Fig. 10: the periphery core P1 runs at least as fast as the middle
+// core P2, strictly faster somewhere.
+func TestFig10Shape(t *testing.T) {
+	s := quickSetup(t)
+	r, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyStrict := false
+	for i := range r.TStarts {
+		if r.P1MHz[i] < r.P2MHz[i]-5 {
+			t.Fatalf("tstart %g: P1 %.0f MHz below P2 %.0f MHz", r.TStarts[i], r.P1MHz[i], r.P2MHz[i])
+		}
+		if r.P1MHz[i] > r.P2MHz[i]+5 {
+			anyStrict = true
+		}
+	}
+	if !anyStrict {
+		t.Fatal("P1 never strictly faster than P2 — Fig. 10's asymmetry missing")
+	}
+}
+
+// Fig. 11: coolest-first reduces (but does not eliminate) Basic-DFS hot
+// time; Pro-Temp's gradient shrinks and the guarantee still holds.
+func TestFig11Shape(t *testing.T) {
+	s := quickSetup(t)
+	r, err := s.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BasicFirstIdle <= 0 {
+		t.Fatal("Basic-DFS first-idle has no violations; experiment vacuous")
+	}
+	if r.BasicCoolest > r.BasicFirstIdle+0.02 {
+		t.Fatalf("coolest-first worsened Basic-DFS: %.3f -> %.3f", r.BasicFirstIdle, r.BasicCoolest)
+	}
+	if r.BasicCoolest == 0 {
+		t.Fatal("coolest-first eliminated Basic-DFS violations entirely — paper says it should not")
+	}
+	if r.ProMaxTemp > TMax+0.01 {
+		t.Fatalf("Pro-Temp + coolest-first violated: %.2f", r.ProMaxTemp)
+	}
+}
+
+func TestSection51Cost(t *testing.T) {
+	s := quickSetup(t)
+	r, err := s.Section51()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SingleSolve <= 0 || r.TableTime <= 0 || r.TablePoints == 0 {
+		t.Fatalf("degenerate cost result: %+v", r)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "single solve") {
+		t.Fatalf("render output: %q", buf.String())
+	}
+}
+
+func TestRenderAndCSVOutputs(t *testing.T) {
+	s := quickSetup(t)
+	f1, err := s.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	f1.Render(&buf)
+	if !strings.Contains(buf.String(), "Fig1") {
+		t.Fatalf("render: %q", buf.String())
+	}
+	buf.Reset()
+	if err := f1.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "time_s,P1") {
+		t.Fatalf("csv header: %q", buf.String()[:20])
+	}
+
+	// Report CSVs to a temp dir.
+	rep := &Report{Fig1: f1, Fig2: f1, Fig8: f1,
+		Fig9:  &SweepResult{TStarts: []float64{27}, UniformMHz: []float64{700}, VariableMHz: []float64{750}},
+		Fig10: &PerCoreResult{TStarts: []float64{27}, P1MHz: []float64{800}, P2MHz: []float64{700}},
+	}
+	dir := filepath.Join(t.TempDir(), "csv")
+	if err := rep.WriteCSVs(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig1.csv", "fig2.csv", "fig8.csv", "fig9.csv", "fig10.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Report bundles every experiment's result.
+type Report struct {
+	Fig1  *TraceResult
+	Fig2  *TraceResult
+	Fig6a *BandsResult
+	Fig6b *BandsResult
+	Fig7  *WaitResult
+	Fig8  *TraceResult
+	Fig9  *SweepResult
+	Fig10 *PerCoreResult
+	Fig11 *AssignResult
+	Cost  *CostResult
+}
+
+// RunAll executes every experiment in figure order.
+func (s *Setup) RunAll() (*Report, error) {
+	r := &Report{}
+	var err error
+	if r.Fig1, err = s.Fig1(); err != nil {
+		return nil, fmt.Errorf("fig1: %w", err)
+	}
+	if r.Fig2, err = s.Fig2(); err != nil {
+		return nil, fmt.Errorf("fig2: %w", err)
+	}
+	if r.Fig6a, err = s.Fig6a(); err != nil {
+		return nil, fmt.Errorf("fig6a: %w", err)
+	}
+	if r.Fig6b, err = s.Fig6b(); err != nil {
+		return nil, fmt.Errorf("fig6b: %w", err)
+	}
+	if r.Fig7, err = s.Fig7(); err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	if r.Fig8, err = s.Fig8(); err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	if r.Fig9, err = s.Fig9(); err != nil {
+		return nil, fmt.Errorf("fig9: %w", err)
+	}
+	if r.Fig10, err = s.Fig10(); err != nil {
+		return nil, fmt.Errorf("fig10: %w", err)
+	}
+	if r.Fig11, err = s.Fig11(); err != nil {
+		return nil, fmt.Errorf("fig11: %w", err)
+	}
+	if r.Cost, err = s.Section51(); err != nil {
+		return nil, fmt.Errorf("section 5.1: %w", err)
+	}
+	return r, nil
+}
+
+// Render prints the full report.
+func (r *Report) Render(w io.Writer) {
+	r.Fig1.Render(w)
+	r.Fig2.Render(w)
+	fmt.Fprintln(w)
+	r.Fig6a.Render(w)
+	fmt.Fprintln(w)
+	r.Fig6b.Render(w)
+	fmt.Fprintln(w)
+	r.Fig7.Render(w)
+	fmt.Fprintln(w)
+	r.Fig8.Render(w)
+	fmt.Fprintln(w)
+	r.Fig9.Render(w)
+	fmt.Fprintln(w)
+	r.Fig10.Render(w)
+	fmt.Fprintln(w)
+	r.Fig11.Render(w)
+	fmt.Fprintln(w)
+	r.Cost.Render(w)
+}
+
+// WriteCSVs writes the plottable series to dir (created if needed):
+// fig1.csv, fig2.csv, fig8.csv, fig9.csv, fig10.csv.
+func (r *Report) WriteCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	if err := write("fig1.csv", r.Fig1.WriteCSV); err != nil {
+		return err
+	}
+	if err := write("fig2.csv", r.Fig2.WriteCSV); err != nil {
+		return err
+	}
+	if err := write("fig8.csv", r.Fig8.WriteCSV); err != nil {
+		return err
+	}
+	if err := write("fig9.csv", func(w io.Writer) error {
+		fmt.Fprintln(w, "tstart_c,uniform_mhz,variable_mhz")
+		for i, ts := range r.Fig9.TStarts {
+			fmt.Fprintf(w, "%.0f,%.1f,%.1f\n", ts, r.Fig9.UniformMHz[i], r.Fig9.VariableMHz[i])
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return write("fig10.csv", func(w io.Writer) error {
+		fmt.Fprintln(w, "tstart_c,p1_mhz,p2_mhz")
+		for i, ts := range r.Fig10.TStarts {
+			fmt.Fprintf(w, "%.0f,%.1f,%.1f\n", ts, r.Fig10.P1MHz[i], r.Fig10.P2MHz[i])
+		}
+		return nil
+	})
+}

@@ -1,0 +1,281 @@
+// Package floorplan models chip floorplans: rectangular blocks placed on
+// a die, their adjacency (shared edges, which carry lateral heat flow),
+// and validation. It ships the Sun Niagara-8 floorplan used throughout
+// the paper's evaluation (their Fig. 5) plus synthetic grid floorplans
+// for scalability studies.
+//
+// Dimensions are in metres; the Niagara plan is proportioned after the
+// published die photo with a ~12x12 mm die.
+package floorplan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// BlockKind classifies a block's role on the die. The thermal model uses
+// it for material defaults; the power model uses it to separate
+// frequency-scaled cores from fixed-power infrastructure.
+type BlockKind int
+
+const (
+	// KindCore is a processing core subject to DVFS.
+	KindCore BlockKind = iota
+	// KindCache is an SRAM block (L2 banks, buffers).
+	KindCache
+	// KindUncore is interconnect, memory controllers, I/O bridges.
+	KindUncore
+)
+
+var kindNames = map[BlockKind]string{
+	KindCore:   "core",
+	KindCache:  "cache",
+	KindUncore: "uncore",
+}
+
+// String returns the lower-case kind name used by the text format.
+func (k BlockKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("BlockKind(%d)", int(k))
+}
+
+// ParseKind converts a kind name back to a BlockKind.
+func ParseKind(s string) (BlockKind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("floorplan: unknown block kind %q", s)
+}
+
+// Block is an axis-aligned rectangle on the die.
+type Block struct {
+	Name string
+	Kind BlockKind
+	// X, Y locate the lower-left corner; W, H are width and height.
+	// All in metres.
+	X, Y, W, H float64
+}
+
+// Area returns the block area in m².
+func (b Block) Area() float64 { return b.W * b.H }
+
+// CenterX returns the x coordinate of the block centre.
+func (b Block) CenterX() float64 { return b.X + b.W/2 }
+
+// CenterY returns the y coordinate of the block centre.
+func (b Block) CenterY() float64 { return b.Y + b.H/2 }
+
+// Floorplan is an ordered collection of named blocks.
+type Floorplan struct {
+	blocks []Block
+	index  map[string]int
+}
+
+// New builds a floorplan from blocks, validating names and geometry.
+// Blocks must have unique non-empty names, positive dimensions, and must
+// not overlap (touching edges are fine — that is what adjacency means).
+func New(blocks []Block) (*Floorplan, error) {
+	fp := &Floorplan{
+		blocks: make([]Block, len(blocks)),
+		index:  make(map[string]int, len(blocks)),
+	}
+	copy(fp.blocks, blocks)
+	for i, b := range fp.blocks {
+		if b.Name == "" {
+			return nil, fmt.Errorf("floorplan: block %d has empty name", i)
+		}
+		if strings.ContainsAny(b.Name, " \t\n") {
+			return nil, fmt.Errorf("floorplan: block name %q contains whitespace", b.Name)
+		}
+		if b.W <= 0 || b.H <= 0 {
+			return nil, fmt.Errorf("floorplan: block %q has non-positive size %gx%g", b.Name, b.W, b.H)
+		}
+		if math.IsNaN(b.X) || math.IsNaN(b.Y) || math.IsInf(b.X, 0) || math.IsInf(b.Y, 0) {
+			return nil, fmt.Errorf("floorplan: block %q has non-finite position", b.Name)
+		}
+		if _, dup := fp.index[b.Name]; dup {
+			return nil, fmt.Errorf("floorplan: duplicate block name %q", b.Name)
+		}
+		fp.index[b.Name] = i
+	}
+	for i := 0; i < len(fp.blocks); i++ {
+		for j := i + 1; j < len(fp.blocks); j++ {
+			if overlapArea(fp.blocks[i], fp.blocks[j]) > 0 {
+				return nil, fmt.Errorf("floorplan: blocks %q and %q overlap",
+					fp.blocks[i].Name, fp.blocks[j].Name)
+			}
+		}
+	}
+	return fp, nil
+}
+
+// MustNew is New that panics on error, for static floorplans.
+func MustNew(blocks []Block) *Floorplan {
+	fp, err := New(blocks)
+	if err != nil {
+		panic(err)
+	}
+	return fp
+}
+
+// NumBlocks returns the number of blocks.
+func (fp *Floorplan) NumBlocks() int { return len(fp.blocks) }
+
+// Block returns block i (0-based, in insertion order).
+func (fp *Floorplan) Block(i int) Block { return fp.blocks[i] }
+
+// Blocks returns a copy of the block list.
+func (fp *Floorplan) Blocks() []Block {
+	out := make([]Block, len(fp.blocks))
+	copy(out, fp.blocks)
+	return out
+}
+
+// IndexOf returns the index of the named block and whether it exists.
+func (fp *Floorplan) IndexOf(name string) (int, bool) {
+	i, ok := fp.index[name]
+	return i, ok
+}
+
+// CoreIndices returns the indices of KindCore blocks in order.
+func (fp *Floorplan) CoreIndices() []int {
+	var out []int
+	for i, b := range fp.blocks {
+		if b.Kind == KindCore {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TotalArea returns the summed block area in m².
+func (fp *Floorplan) TotalArea() float64 {
+	var a float64
+	for _, b := range fp.blocks {
+		a += b.Area()
+	}
+	return a
+}
+
+// BoundingBox returns the minimal axis-aligned rectangle covering all
+// blocks, as (x, y, w, h). A floorplan with no blocks returns zeros.
+func (fp *Floorplan) BoundingBox() (x, y, w, h float64) {
+	if len(fp.blocks) == 0 {
+		return 0, 0, 0, 0
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, b := range fp.blocks {
+		minX = math.Min(minX, b.X)
+		minY = math.Min(minY, b.Y)
+		maxX = math.Max(maxX, b.X+b.W)
+		maxY = math.Max(maxY, b.Y+b.H)
+	}
+	return minX, minY, maxX - minX, maxY - minY
+}
+
+// Adjacency describes one shared edge between two blocks.
+type Adjacency struct {
+	I, J int // block indices, I < J
+	// SharedLength is the length of the common edge in metres.
+	SharedLength float64
+}
+
+// geomTol is the relative tolerance used when deciding whether two block
+// edges touch; floorplans built from parsed decimal strings carry small
+// rounding errors.
+const geomTol = 1e-9
+
+// Adjacencies returns every pair of blocks that share an edge of positive
+// length, sorted by (I, J). Corner touching (zero-length contact) does
+// not count: no heat flows through a point.
+func (fp *Floorplan) Adjacencies() []Adjacency {
+	var out []Adjacency
+	for i := 0; i < len(fp.blocks); i++ {
+		for j := i + 1; j < len(fp.blocks); j++ {
+			if l := SharedEdge(fp.blocks[i], fp.blocks[j]); l > 0 {
+				out = append(out, Adjacency{I: i, J: j, SharedLength: l})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out
+}
+
+// Neighbors returns the indices of blocks adjacent to block i — the
+// paper's Adj_i set.
+func (fp *Floorplan) Neighbors(i int) []int {
+	var out []int
+	for j := range fp.blocks {
+		if j == i {
+			continue
+		}
+		if SharedEdge(fp.blocks[i], fp.blocks[j]) > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// SharedEdge returns the length of the edge shared by two blocks, or 0 if
+// they do not touch along an edge of positive length.
+func SharedEdge(a, b Block) float64 {
+	tol := geomTol * (1 + math.Max(a.W+a.H, b.W+b.H))
+	// Vertical contact: a's right edge meets b's left edge (either order).
+	if math.Abs((a.X+a.W)-b.X) <= tol || math.Abs((b.X+b.W)-a.X) <= tol {
+		if l := interval(a.Y, a.Y+a.H, b.Y, b.Y+b.H); l > tol {
+			return l
+		}
+	}
+	// Horizontal contact: a's top edge meets b's bottom edge (either order).
+	if math.Abs((a.Y+a.H)-b.Y) <= tol || math.Abs((b.Y+b.H)-a.Y) <= tol {
+		if l := interval(a.X, a.X+a.W, b.X, b.X+b.W); l > tol {
+			return l
+		}
+	}
+	return 0
+}
+
+// interval returns the overlap length of [a0,a1] and [b0,b1].
+func interval(a0, a1, b0, b1 float64) float64 {
+	lo := math.Max(a0, b0)
+	hi := math.Min(a1, b1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+func overlapArea(a, b Block) float64 {
+	tol := geomTol * (1 + math.Max(a.W+a.H, b.W+b.H))
+	w := interval(a.X, a.X+a.W, b.X, b.X+b.W)
+	h := interval(a.Y, a.Y+a.H, b.Y, b.Y+b.H)
+	if w <= tol || h <= tol {
+		return 0
+	}
+	return w * h
+}
+
+// ErrNotFound is returned when a named block does not exist.
+var ErrNotFound = errors.New("floorplan: block not found")
+
+// BlockByName returns the named block.
+func (fp *Floorplan) BlockByName(name string) (Block, error) {
+	i, ok := fp.index[name]
+	if !ok {
+		return Block{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return fp.blocks[i], nil
+}

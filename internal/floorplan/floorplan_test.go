@@ -1,0 +1,186 @@
+package floorplan
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func simplePair() []Block {
+	return []Block{
+		{Name: "A", Kind: KindCore, X: 0, Y: 0, W: 1, H: 1},
+		{Name: "B", Kind: KindCore, X: 1, Y: 0, W: 1, H: 1},
+	}
+}
+
+func TestNewValid(t *testing.T) {
+	fp, err := New(simplePair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.NumBlocks() != 2 {
+		t.Fatalf("NumBlocks = %d", fp.NumBlocks())
+	}
+	if i, ok := fp.IndexOf("B"); !ok || i != 1 {
+		t.Fatalf("IndexOf(B) = %d, %v", i, ok)
+	}
+}
+
+func TestNewRejections(t *testing.T) {
+	cases := map[string][]Block{
+		"empty name":    {{Name: "", W: 1, H: 1}},
+		"whitespace":    {{Name: "a b", W: 1, H: 1}},
+		"zero width":    {{Name: "A", W: 0, H: 1}},
+		"negative size": {{Name: "A", W: 1, H: -1}},
+		"nan position":  {{Name: "A", W: 1, H: 1, X: math.NaN()}},
+		"duplicate": {
+			{Name: "A", W: 1, H: 1},
+			{Name: "A", X: 2, W: 1, H: 1},
+		},
+		"overlap": {
+			{Name: "A", W: 2, H: 2},
+			{Name: "B", X: 1, Y: 1, W: 2, H: 2},
+		},
+	}
+	for name, blocks := range cases {
+		if _, err := New(blocks); err == nil {
+			t.Errorf("%s: New accepted invalid input", name)
+		}
+	}
+}
+
+func TestTouchingIsNotOverlap(t *testing.T) {
+	if _, err := New(simplePair()); err != nil {
+		t.Fatalf("edge-touching blocks rejected: %v", err)
+	}
+}
+
+func TestSharedEdge(t *testing.T) {
+	a := Block{Name: "a", W: 2, H: 2}
+	cases := []struct {
+		name string
+		b    Block
+		want float64
+	}{
+		{"right full", Block{X: 2, Y: 0, W: 1, H: 2}, 2},
+		{"right partial", Block{X: 2, Y: 1, W: 1, H: 3}, 1},
+		{"top full", Block{X: 0, Y: 2, W: 2, H: 1}, 2},
+		{"corner only", Block{X: 2, Y: 2, W: 1, H: 1}, 0},
+		{"detached", Block{X: 5, Y: 0, W: 1, H: 1}, 0},
+		{"left", Block{X: -1, Y: 0.5, W: 1, H: 1}, 1},
+		{"below", Block{X: 0.5, Y: -1, W: 1, H: 1}, 1},
+	}
+	for _, c := range cases {
+		if got := SharedEdge(a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: SharedEdge = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSharedEdgeSymmetry(t *testing.T) {
+	fp := Niagara()
+	for i := 0; i < fp.NumBlocks(); i++ {
+		for j := 0; j < fp.NumBlocks(); j++ {
+			ij := SharedEdge(fp.Block(i), fp.Block(j))
+			ji := SharedEdge(fp.Block(j), fp.Block(i))
+			if math.Abs(ij-ji) > 1e-12 {
+				t.Fatalf("asymmetric shared edge between %s and %s: %v vs %v",
+					fp.Block(i).Name, fp.Block(j).Name, ij, ji)
+			}
+		}
+	}
+}
+
+func TestAdjacenciesSimple(t *testing.T) {
+	fp := MustNew(simplePair())
+	adj := fp.Adjacencies()
+	if len(adj) != 1 {
+		t.Fatalf("got %d adjacencies, want 1", len(adj))
+	}
+	if adj[0].I != 0 || adj[0].J != 1 || math.Abs(adj[0].SharedLength-1) > 1e-12 {
+		t.Fatalf("adjacency = %+v", adj[0])
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	fp := MustNew([]Block{
+		{Name: "L", Kind: KindCache, X: 0, Y: 0, W: 1, H: 1},
+		{Name: "M", Kind: KindCore, X: 1, Y: 0, W: 1, H: 1},
+		{Name: "R", Kind: KindCache, X: 2, Y: 0, W: 1, H: 1},
+	})
+	nb := fp.Neighbors(1)
+	if len(nb) != 2 || nb[0] != 0 || nb[1] != 2 {
+		t.Fatalf("Neighbors(M) = %v", nb)
+	}
+	if len(fp.Neighbors(0)) != 1 {
+		t.Fatalf("Neighbors(L) = %v", fp.Neighbors(0))
+	}
+}
+
+func TestBoundingBoxAndArea(t *testing.T) {
+	fp := MustNew(simplePair())
+	x, y, w, h := fp.BoundingBox()
+	if x != 0 || y != 0 || w != 2 || h != 1 {
+		t.Fatalf("BoundingBox = %v %v %v %v", x, y, w, h)
+	}
+	if a := fp.TotalArea(); math.Abs(a-2) > 1e-12 {
+		t.Fatalf("TotalArea = %v", a)
+	}
+	empty := &Floorplan{}
+	if x, y, w, h := empty.BoundingBox(); x != 0 || y != 0 || w != 0 || h != 0 {
+		t.Fatal("empty bounding box not zero")
+	}
+}
+
+func TestBlockAccessors(t *testing.T) {
+	b := Block{Name: "A", X: 1, Y: 2, W: 3, H: 4}
+	if b.Area() != 12 {
+		t.Errorf("Area = %v", b.Area())
+	}
+	if b.CenterX() != 2.5 || b.CenterY() != 4 {
+		t.Errorf("Center = (%v, %v)", b.CenterX(), b.CenterY())
+	}
+}
+
+func TestBlockByName(t *testing.T) {
+	fp := MustNew(simplePair())
+	b, err := fp.BlockByName("A")
+	if err != nil || b.Name != "A" {
+		t.Fatalf("BlockByName(A) = %+v, %v", b, err)
+	}
+	if _, err := fp.BlockByName("missing"); err == nil {
+		t.Fatal("missing block found")
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []BlockKind{KindCore, KindCache, KindUncore} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind accepted bogus kind")
+	}
+	if s := BlockKind(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown kind String = %q", s)
+	}
+}
+
+func TestBlocksReturnsCopy(t *testing.T) {
+	fp := MustNew(simplePair())
+	fp.Blocks()[0].Name = "mutated"
+	if fp.Block(0).Name != "A" {
+		t.Fatal("Blocks() leaked internal storage")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew on invalid plan did not panic")
+		}
+	}()
+	MustNew([]Block{{Name: "", W: 1, H: 1}})
+}

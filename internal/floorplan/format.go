@@ -1,0 +1,75 @@
+package floorplan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is a line-oriented flavour of HotSpot's .flp files,
+// extended with a block-kind column:
+//
+//	# comment
+//	<name> <kind> <width_m> <height_m> <left_x_m> <bottom_y_m>
+//
+// Fields are whitespace-separated; blank lines and #-comments are
+// ignored.
+
+// Write serializes the floorplan in the text format.
+func Write(w io.Writer, fp *Floorplan) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# floorplan: %d blocks\n", fp.NumBlocks())
+	fmt.Fprintf(bw, "# name kind width_m height_m left_x_m bottom_y_m\n")
+	for _, b := range fp.Blocks() {
+		fmt.Fprintf(bw, "%s %s %.9g %.9g %.9g %.9g\n", b.Name, b.Kind, b.W, b.H, b.X, b.Y)
+	}
+	return bw.Flush()
+}
+
+// Parse reads a floorplan in the text format and validates it with New.
+func Parse(r io.Reader) (*Floorplan, error) {
+	var blocks []Block
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 6 {
+			return nil, fmt.Errorf("floorplan: line %d: want 6 fields, got %d", lineNo, len(fields))
+		}
+		kind, err := ParseKind(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("floorplan: line %d: %v", lineNo, err)
+		}
+		nums := make([]float64, 4)
+		for i, f := range fields[2:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("floorplan: line %d: bad number %q: %v", lineNo, f, err)
+			}
+			nums[i] = v
+		}
+		blocks = append(blocks, Block{
+			Name: fields[0], Kind: kind,
+			W: nums[0], H: nums[1], X: nums[2], Y: nums[3],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("floorplan: read: %w", err)
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("floorplan: no blocks in input")
+	}
+	return New(blocks)
+}
+
+// ParseString is Parse over an in-memory string.
+func ParseString(s string) (*Floorplan, error) {
+	return Parse(strings.NewReader(s))
+}

@@ -1,0 +1,80 @@
+package floorplan
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFormatRoundTrip(t *testing.T) {
+	orig := Niagara()
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumBlocks() != orig.NumBlocks() {
+		t.Fatalf("round trip lost blocks: %d -> %d", orig.NumBlocks(), back.NumBlocks())
+	}
+	for i := 0; i < orig.NumBlocks(); i++ {
+		a, b := orig.Block(i), back.Block(i)
+		if a.Name != b.Name || a.Kind != b.Kind {
+			t.Fatalf("block %d: %+v != %+v", i, a, b)
+		}
+		for _, d := range []struct{ x, y float64 }{{a.X, b.X}, {a.Y, b.Y}, {a.W, b.W}, {a.H, b.H}} {
+			if math.Abs(d.x-d.y) > 1e-12 {
+				t.Fatalf("block %d geometry drifted: %+v != %+v", i, a, b)
+			}
+		}
+	}
+	// Adjacency is preserved through the round trip.
+	if got, want := len(back.Adjacencies()), len(orig.Adjacencies()); got != want {
+		t.Fatalf("adjacency count %d != %d", got, want)
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	fp, err := ParseString(`
+# a comment
+
+A core 1 1 0 0
+B cache 1 1 1 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.NumBlocks() != 2 {
+		t.Fatalf("NumBlocks = %d", fp.NumBlocks())
+	}
+	if fp.Block(1).Kind != KindCache {
+		t.Fatalf("kind = %v", fp.Block(1).Kind)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"wrong field count": "A core 1 1 0\n",
+		"bad kind":          "A gpu 1 1 0 0\n",
+		"bad number":        "A core one 1 0 0\n",
+		"empty input":       "# nothing here\n",
+		"invalid geometry":  "A core 0 1 0 0\n",
+		"overlapping": "A core 2 2 0 0\n" +
+			"B core 2 2 1 1\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseString(input); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, input)
+		}
+	}
+}
+
+func TestParseErrorMentionsLine(t *testing.T) {
+	_, err := ParseString("A core 1 1 0 0\nB core x 1 0 0\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %v does not cite line 2", err)
+	}
+}

@@ -1,0 +1,52 @@
+package floorplan
+
+import "fmt"
+
+// GridSpec parameterizes a synthetic mesh floorplan: rows x cols cores
+// flanked by cache strips above and below, the usual layout of tiled
+// many-core parts (e.g. Tilera's 64-core mesh cited in the paper's
+// introduction).
+type GridSpec struct {
+	Rows, Cols int
+	// CoreW, CoreH are per-core dimensions in metres.
+	CoreW, CoreH float64
+	// CacheH is the height of the top and bottom cache strips in metres;
+	// zero omits the strips.
+	CacheH float64
+}
+
+// Grid builds a synthetic floorplan per the spec. Core (r, c) is named
+// "C<r>_<c>"; cache strips are "L2TOP" and "L2BOT".
+func Grid(spec GridSpec) (*Floorplan, error) {
+	if spec.Rows <= 0 || spec.Cols <= 0 {
+		return nil, fmt.Errorf("floorplan: grid needs positive dimensions, got %dx%d", spec.Rows, spec.Cols)
+	}
+	if spec.CoreW <= 0 || spec.CoreH <= 0 {
+		return nil, fmt.Errorf("floorplan: grid needs positive core size, got %gx%g", spec.CoreW, spec.CoreH)
+	}
+	if spec.CacheH < 0 {
+		return nil, fmt.Errorf("floorplan: negative cache height %g", spec.CacheH)
+	}
+	var blocks []Block
+	width := float64(spec.Cols) * spec.CoreW
+	y0 := spec.CacheH
+	if spec.CacheH > 0 {
+		blocks = append(blocks,
+			Block{Name: "L2BOT", Kind: KindCache, X: 0, Y: 0, W: width, H: spec.CacheH},
+			Block{Name: "L2TOP", Kind: KindCache, X: 0, Y: y0 + float64(spec.Rows)*spec.CoreH, W: width, H: spec.CacheH},
+		)
+	}
+	for r := 0; r < spec.Rows; r++ {
+		for c := 0; c < spec.Cols; c++ {
+			blocks = append(blocks, Block{
+				Name: fmt.Sprintf("C%d_%d", r, c),
+				Kind: KindCore,
+				X:    float64(c) * spec.CoreW,
+				Y:    y0 + float64(r)*spec.CoreH,
+				W:    spec.CoreW,
+				H:    spec.CoreH,
+			})
+		}
+	}
+	return New(blocks)
+}

@@ -1,0 +1,56 @@
+package floorplan
+
+import "fmt"
+
+// Block names used by the Niagara floorplan. Experiments refer to cores
+// by these names (the paper plots P1 and P2 specifically).
+const (
+	NiagaraCore1 = "P1"
+	NiagaraCore2 = "P2"
+	NiagaraXbar  = "XBAR"
+)
+
+// Niagara returns the 8-core Sun Niagara floorplan used in the paper's
+// evaluation (their Fig. 5), proportioned on a 14 mm x 10 mm die:
+//
+//	y=10 ┌───────────────────────────────────┐
+//	     │     XBAR / DRAM ctl / bridges     │
+//	y=8  ├────┬──┬────┬────┬────┬────┬──┬────┤
+//	     │L2B │bf│ P5 │ P6 │ P7 │ P8 │bf│L2D │
+//	y=4  │────│L │────┼────┼────┼────│R │────│
+//	     │L2A │  │ P1 │ P2 │ P3 │ P4 │  │L2C │
+//	y=0  └────┴──┴────┴────┴────┴────┴──┴────┘
+//	     x=0  2.5 3   5    7    9    11 11.5 14  (mm)
+//
+// The geometry reproduces the property the paper's Section 5.3 analysis
+// rests on: P1, P4, P5 and P8 sit next to the cool L2 arrays, while
+// P2, P3, P6 and P7 are sandwiched between hot cores.
+func Niagara() *Floorplan {
+	const mm = 1e-3
+	blocks := []Block{
+		// L2 cache banks, left and right columns.
+		{Name: "L2A", Kind: KindCache, X: 0, Y: 0, W: 2.5 * mm, H: 4 * mm},
+		{Name: "L2B", Kind: KindCache, X: 0, Y: 4 * mm, W: 2.5 * mm, H: 4 * mm},
+		{Name: "L2C", Kind: KindCache, X: 11.5 * mm, Y: 0, W: 2.5 * mm, H: 4 * mm},
+		{Name: "L2D", Kind: KindCache, X: 11.5 * mm, Y: 4 * mm, W: 2.5 * mm, H: 4 * mm},
+		// L2 buffers: thin strips between the cache columns and the cores.
+		{Name: "BUFL", Kind: KindCache, X: 2.5 * mm, Y: 0, W: 0.5 * mm, H: 8 * mm},
+		{Name: "BUFR", Kind: KindCache, X: 11 * mm, Y: 0, W: 0.5 * mm, H: 8 * mm},
+		// Crossbar, DRAM controllers and bridges: full-width top strip.
+		{Name: NiagaraXbar, Kind: KindUncore, X: 0, Y: 8 * mm, W: 14 * mm, H: 2 * mm},
+	}
+	// Two rows of four cores, 2 mm x 4 mm each.
+	for i := 0; i < 8; i++ {
+		row := i / 4 // 0: P1-P4 (bottom), 1: P5-P8 (top)
+		col := i % 4
+		blocks = append(blocks, Block{
+			Name: fmt.Sprintf("P%d", i+1),
+			Kind: KindCore,
+			X:    (3 + 2*float64(col)) * mm,
+			Y:    4 * float64(row) * mm,
+			W:    2 * mm,
+			H:    4 * mm,
+		})
+	}
+	return MustNew(blocks)
+}

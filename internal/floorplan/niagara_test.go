@@ -1,0 +1,140 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNiagaraStructure(t *testing.T) {
+	fp := Niagara()
+	if fp.NumBlocks() != 15 {
+		t.Fatalf("NumBlocks = %d, want 15 (8 cores + 4 L2 + 2 buffers + xbar)", fp.NumBlocks())
+	}
+	cores := fp.CoreIndices()
+	if len(cores) != 8 {
+		t.Fatalf("core count = %d, want 8", len(cores))
+	}
+	for i, ci := range cores {
+		want := "P" + string(rune('1'+i))
+		if fp.Block(ci).Name != want {
+			t.Errorf("core %d = %q, want %q", i, fp.Block(ci).Name, want)
+		}
+	}
+}
+
+func TestNiagaraNoGapsInCoreRows(t *testing.T) {
+	fp := Niagara()
+	// Die must be fully covered: total block area equals bounding box area.
+	x, y, w, h := fp.BoundingBox()
+	if x != 0 || y != 0 {
+		t.Fatalf("bounding box origin (%v, %v)", x, y)
+	}
+	if math.Abs(fp.TotalArea()-w*h) > 1e-12 {
+		t.Fatalf("coverage gap: blocks %v m², box %v m²", fp.TotalArea(), w*h)
+	}
+}
+
+// The paper's Section 5.3 relies on this geometry: P1, P4, P5, P8 touch
+// the cache/buffer column; P2, P3, P6, P7 touch cores on both sides.
+func TestNiagaraPeripheryVsMiddle(t *testing.T) {
+	fp := Niagara()
+	touchesCache := func(name string) bool {
+		i, ok := fp.IndexOf(name)
+		if !ok {
+			t.Fatalf("missing block %s", name)
+		}
+		for _, j := range fp.Neighbors(i) {
+			if fp.Block(j).Kind == KindCache {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range []string{"P1", "P4", "P5", "P8"} {
+		if !touchesCache(p) {
+			t.Errorf("periphery core %s does not touch a cache", p)
+		}
+	}
+	for _, p := range []string{"P2", "P3", "P6", "P7"} {
+		if touchesCache(p) {
+			t.Errorf("middle core %s unexpectedly touches a cache", p)
+		}
+	}
+}
+
+func TestNiagaraMiddleCoresFlankedByCores(t *testing.T) {
+	fp := Niagara()
+	for _, p := range []string{"P2", "P3", "P6", "P7"} {
+		i, _ := fp.IndexOf(p)
+		var coreNeighbors int
+		for _, j := range fp.Neighbors(i) {
+			if fp.Block(j).Kind == KindCore {
+				coreNeighbors++
+			}
+		}
+		if coreNeighbors < 3 {
+			t.Errorf("%s has %d core neighbours, want >= 3 (left, right, above/below)", p, coreNeighbors)
+		}
+	}
+}
+
+func TestNiagaraXbarSpansTop(t *testing.T) {
+	fp := Niagara()
+	xb, err := fp.BlockByName(NiagaraXbar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, w, _ := fp.BoundingBox()
+	if math.Abs(xb.W-w) > 1e-12 {
+		t.Errorf("xbar width %v != die width %v", xb.W, w)
+	}
+	if xb.Kind != KindUncore {
+		t.Errorf("xbar kind = %v", xb.Kind)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	fp, err := Grid(GridSpec{Rows: 2, Cols: 3, CoreW: 1e-3, CoreH: 1e-3, CacheH: 0.5e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.NumBlocks() != 8 { // 6 cores + 2 cache strips
+		t.Fatalf("NumBlocks = %d, want 8", fp.NumBlocks())
+	}
+	if len(fp.CoreIndices()) != 6 {
+		t.Fatalf("cores = %d, want 6", len(fp.CoreIndices()))
+	}
+	// Interior adjacency: core (0,1) must touch 4 neighbours: two cores in
+	// its row, the core above, and the bottom cache strip.
+	i, ok := fp.IndexOf("C0_1")
+	if !ok {
+		t.Fatal("C0_1 missing")
+	}
+	if nb := fp.Neighbors(i); len(nb) != 4 {
+		t.Fatalf("C0_1 neighbours = %d, want 4", len(nb))
+	}
+}
+
+func TestGridNoCache(t *testing.T) {
+	fp, err := Grid(GridSpec{Rows: 2, Cols: 2, CoreW: 1, CoreH: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.NumBlocks() != 4 {
+		t.Fatalf("NumBlocks = %d, want 4", fp.NumBlocks())
+	}
+}
+
+func TestGridRejections(t *testing.T) {
+	bad := []GridSpec{
+		{Rows: 0, Cols: 1, CoreW: 1, CoreH: 1},
+		{Rows: 1, Cols: -1, CoreW: 1, CoreH: 1},
+		{Rows: 1, Cols: 1, CoreW: 0, CoreH: 1},
+		{Rows: 1, Cols: 1, CoreW: 1, CoreH: 1, CacheH: -1},
+	}
+	for i, spec := range bad {
+		if _, err := Grid(spec); err == nil {
+			t.Errorf("case %d: Grid accepted %+v", i, spec)
+		}
+	}
+}

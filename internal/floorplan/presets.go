@@ -1,0 +1,61 @@
+package floorplan
+
+import "fmt"
+
+// The paper's introduction motivates Pro-Temp with the commercial
+// multi-core parts of the day: IBM's Cell ([1]), Sun's Niagara ([2],
+// the evaluation platform) and Tilera's 64-core mesh ([4]). Cell and
+// Tilera-style plans are provided alongside Niagara so the controller
+// can be exercised across heterogeneous and many-core topologies.
+
+// Cell returns a floorplan proportioned after IBM's Cell processor
+// ([1]): one large PPE core plus eight SPE cores in two rows, with the
+// element-interconnect-bus strip between them and the memory/IO
+// controllers on the flanks, on a ~12.5 x 10 mm die:
+//
+//	y=10 ┌──────┬──────┬──────┬──────┬─────┐
+//	     │ SPE5 │ SPE6 │ SPE7 │ SPE8 │ MIC │
+//	y=6  ├──────┴──────┴──────┴──────┴─────┤
+//	     │              EIB                │
+//	y=4  ├──────┬──────┬──────┬──────┬─────┤
+//	     │ SPE1 │ SPE2 │ SPE3 │ SPE4 │ PPE │
+//	y=0  └──────┴──────┴──────┴──────┴─────┘
+//	     x=0    2.5    5     7.5    10   12.5 (mm)
+//
+// The PPE is a full-width core block; the SPEs are the small vector
+// cores. All nine are KindCore and DVFS-controlled.
+func Cell() *Floorplan {
+	const mm = 1e-3
+	blocks := []Block{
+		{Name: "EIB", Kind: KindUncore, X: 0, Y: 4 * mm, W: 12.5 * mm, H: 2 * mm},
+		{Name: "PPE", Kind: KindCore, X: 10 * mm, Y: 0, W: 2.5 * mm, H: 4 * mm},
+		{Name: "MIC", Kind: KindUncore, X: 10 * mm, Y: 6 * mm, W: 2.5 * mm, H: 4 * mm},
+	}
+	for i := 0; i < 4; i++ {
+		blocks = append(blocks, Block{
+			Name: fmt.Sprintf("SPE%d", i+1), Kind: KindCore,
+			X: float64(i) * 2.5 * mm, Y: 0, W: 2.5 * mm, H: 4 * mm,
+		})
+		blocks = append(blocks, Block{
+			Name: fmt.Sprintf("SPE%d", i+5), Kind: KindCore,
+			X: float64(i) * 2.5 * mm, Y: 6 * mm, W: 2.5 * mm, H: 4 * mm,
+		})
+	}
+	return MustNew(blocks)
+}
+
+// Tilera64 returns an 8x8 tiled mesh in the style of Tilera's 64-core
+// part ([4]): 1.4 mm tiles with cache strips above and below the core
+// array. Tiles are named C<r>_<c> by the Grid constructor.
+func Tilera64() *Floorplan {
+	fp, err := Grid(GridSpec{
+		Rows: 8, Cols: 8,
+		CoreW: 1.4e-3, CoreH: 1.4e-3,
+		CacheH: 1e-3,
+	})
+	if err != nil {
+		// The spec is a fixed literal; failure is a programming error.
+		panic(err)
+	}
+	return fp
+}

@@ -1,0 +1,56 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCellStructure(t *testing.T) {
+	fp := Cell()
+	if got := len(fp.CoreIndices()); got != 9 {
+		t.Fatalf("Cell has %d cores, want 9 (PPE + 8 SPEs)", got)
+	}
+	// Full die coverage.
+	_, _, w, h := fp.BoundingBox()
+	if math.Abs(fp.TotalArea()-w*h) > 1e-12 {
+		t.Fatalf("coverage gap: %v vs %v", fp.TotalArea(), w*h)
+	}
+	// The EIB strip touches every SPE and the PPE/MIC flank.
+	eib, ok := fp.IndexOf("EIB")
+	if !ok {
+		t.Fatal("EIB missing")
+	}
+	if nb := fp.Neighbors(eib); len(nb) != 10 {
+		t.Fatalf("EIB has %d neighbours, want 10", len(nb))
+	}
+	// The PPE is bigger than any SPE.
+	ppe, _ := fp.BlockByName("PPE")
+	spe, _ := fp.BlockByName("SPE1")
+	if ppe.Area() <= spe.Area()*0.99 {
+		t.Fatalf("PPE area %v not larger than SPE %v", ppe.Area(), spe.Area())
+	}
+}
+
+func TestTilera64Structure(t *testing.T) {
+	fp := Tilera64()
+	if got := len(fp.CoreIndices()); got != 64 {
+		t.Fatalf("Tilera64 has %d cores, want 64", got)
+	}
+	if fp.NumBlocks() != 66 {
+		t.Fatalf("NumBlocks = %d, want 66 (64 tiles + 2 cache strips)", fp.NumBlocks())
+	}
+	// Interior tile has 4 core neighbours.
+	i, ok := fp.IndexOf("C3_3")
+	if !ok {
+		t.Fatal("C3_3 missing")
+	}
+	coreN := 0
+	for _, j := range fp.Neighbors(i) {
+		if fp.Block(j).Kind == KindCore {
+			coreN++
+		}
+	}
+	if coreN != 4 {
+		t.Fatalf("interior tile has %d core neighbours, want 4", coreN)
+	}
+}

@@ -1,0 +1,129 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSymEigDiagonal(t *testing.T) {
+	a := Diag(VectorOf(3, 1, 2))
+	vals, _, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals.Equal(VectorOf(1, 2, 3), 1e-12) {
+		t.Fatalf("eigenvalues = %v, want [1 2 3]", vals)
+	}
+}
+
+func TestSymEigKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := MatrixFromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals.Equal(VectorOf(1, 3), 1e-12) {
+		t.Fatalf("eigenvalues = %v", vals)
+	}
+	// Check A v = λ v for each column.
+	for j := 0; j < 2; j++ {
+		v := VectorOf(vecs.At(0, j), vecs.At(1, j))
+		av := a.MulVec(NewVector(2), v)
+		lv := NewVector(2).Scale(vals[j], v)
+		if !av.Equal(lv, 1e-12) {
+			t.Errorf("column %d: Av = %v, λv = %v", j, av, lv)
+		}
+	}
+}
+
+func TestSymEigRejectsAsymmetric(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {0, 1}})
+	if _, _, err := SymEig(a); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+}
+
+func TestSymEigRejectsNonSquare(t *testing.T) {
+	if _, _, err := SymEig(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+}
+
+// Property: for random symmetric matrices, eigenpairs satisfy Av = λv,
+// eigenvectors are orthonormal, and trace equals eigenvalue sum.
+func TestSymEigInvariantsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				x := rng.NormFloat64()
+				a.Set(i, j, x)
+				a.Set(j, i, x)
+			}
+		}
+		vals, vecs, err := SymEig(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Av = λv.
+		for j := 0; j < n; j++ {
+			v := NewVector(n)
+			for i := 0; i < n; i++ {
+				v[i] = vecs.At(i, j)
+			}
+			av := a.MulVec(NewVector(n), v)
+			lv := NewVector(n).Scale(vals[j], v)
+			if !av.Equal(lv, 1e-8*(1+math.Abs(vals[j]))) {
+				t.Fatalf("trial %d col %d: residual too large", trial, j)
+			}
+		}
+		// Orthonormality: VᵀV = I.
+		vtv := NewMatrix(n, n).Mul(vecs.T(), vecs)
+		if !vtv.Equal(Identity(n), 1e-10) {
+			t.Fatalf("trial %d: eigenvectors not orthonormal", trial)
+		}
+		// Trace check.
+		var trace float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		if math.Abs(trace-vals.Sum()) > 1e-9*(1+math.Abs(trace)) {
+			t.Fatalf("trial %d: trace %v != Σλ %v", trial, trace, vals.Sum())
+		}
+		// Ascending order.
+		for j := 1; j < n; j++ {
+			if vals[j] < vals[j-1]-1e-12 {
+				t.Fatalf("trial %d: eigenvalues not ascending: %v", trial, vals)
+			}
+		}
+	}
+}
+
+func TestPowerIteration(t *testing.T) {
+	a := Diag(VectorOf(0.5, 0.9, 0.2))
+	got := PowerIteration(a, 200)
+	if math.Abs(got-0.9) > 1e-6 {
+		t.Fatalf("PowerIteration = %v, want 0.9", got)
+	}
+	if PowerIteration(NewMatrix(0, 0), 10) != 0 {
+		t.Fatal("empty matrix should give 0")
+	}
+	if PowerIteration(NewMatrix(3, 3), 10) != 0 {
+		t.Fatal("zero matrix should give 0")
+	}
+}
+
+func TestSpectralRadiusUpperBound(t *testing.T) {
+	a := MatrixFromRows([][]float64{{0.5, 0.1}, {0, 0.5}})
+	ub := SpectralRadiusUpperBound(a)
+	if ub < 0.5 {
+		t.Fatalf("upper bound %v below actual spectral radius 0.5", ub)
+	}
+	if ub > 0.61 {
+		t.Fatalf("upper bound %v too loose for this matrix", ub)
+	}
+}

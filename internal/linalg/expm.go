@@ -1,0 +1,147 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Expm computes the matrix exponential e^A using scaling-and-squaring with
+// a degree-13 Padé approximant (Higham's method, without the norm-based
+// degree selection: our matrices are small and well scaled, so the highest
+// degree is always used).
+//
+// The thermal package uses Expm for the exact zero-order-hold
+// discretization of the continuous RC dynamics, against which the paper's
+// explicit-Euler step (Eq. 1) is validated.
+func Expm(a *Matrix) (*Matrix, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("%w: Expm of %dx%d matrix", ErrDimension, a.Rows(), a.Cols())
+	}
+	if !a.AllFinite() {
+		return nil, fmt.Errorf("linalg: Expm of non-finite matrix")
+	}
+	if n == 0 {
+		return NewMatrix(0, 0), nil
+	}
+
+	// Scale A by 2^-s so that ||A/2^s||_inf <= theta13 ~ 5.37.
+	const theta13 = 5.371920351148152
+	norm := a.NormInf()
+	s := 0
+	if norm > theta13 {
+		s = int(math.Ceil(math.Log2(norm / theta13)))
+	}
+	scaled := a.Clone()
+	if s > 0 {
+		scaled.Scale(math.Ldexp(1, -s), a)
+	}
+
+	// Degree-13 Padé: r(A) = q(A)^{-1} p(A) with
+	// p = U + V, q = -U + V where U = A*(even polynomial), V = even polynomial.
+	b := [...]float64{
+		64764752532480000, 32382376266240000, 7771770303897600,
+		1187353796428800, 129060195264000, 10559470521600,
+		670442572800, 33522128640, 1323241920,
+		40840800, 960960, 16380, 182, 1,
+	}
+
+	a2 := NewMatrix(n, n).Mul(scaled, scaled)
+	a4 := NewMatrix(n, n).Mul(a2, a2)
+	a6 := NewMatrix(n, n).Mul(a4, a2)
+
+	// W1 = b13*A6 + b11*A4 + b9*A2
+	w1 := NewMatrix(n, n)
+	accumulate3(w1, b[13], a6, b[11], a4, b[9], a2)
+	// W2 = b7*A6 + b5*A4 + b3*A2 + b1*I
+	w2 := NewMatrix(n, n)
+	accumulate3(w2, b[7], a6, b[5], a4, b[3], a2)
+	addDiag(w2, b[1])
+	// U = A * (A6*W1 + W2)
+	tmp := NewMatrix(n, n).Mul(a6, w1)
+	tmp.Add(tmp, w2)
+	u := NewMatrix(n, n).Mul(scaled, tmp)
+
+	// Z1 = b12*A6 + b10*A4 + b8*A2
+	z1 := NewMatrix(n, n)
+	accumulate3(z1, b[12], a6, b[10], a4, b[8], a2)
+	// V = A6*Z1 + b6*A6 + b4*A4 + b2*A2 + b0*I
+	v := NewMatrix(n, n).Mul(a6, z1)
+	w3 := NewMatrix(n, n)
+	accumulate3(w3, b[6], a6, b[4], a4, b[2], a2)
+	v.Add(v, w3)
+	addDiag(v, b[0])
+
+	// Solve (V - U) R = (V + U).
+	p := NewMatrix(n, n).Add(v, u)
+	q := NewMatrix(n, n).Sub(v, u)
+	f, err := LU(q)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: Expm Padé solve: %w", err)
+	}
+	r, err := f.SolveMatrix(p)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: Expm Padé solve: %w", err)
+	}
+
+	// Undo scaling: square s times.
+	for i := 0; i < s; i++ {
+		r = NewMatrix(n, n).Mul(r, r)
+	}
+	return r, nil
+}
+
+// accumulate3 stores c1*m1 + c2*m2 + c3*m3 into dst.
+func accumulate3(dst *Matrix, c1 float64, m1 *Matrix, c2 float64, m2 *Matrix, c3 float64, m3 *Matrix) {
+	for i := range dst.data {
+		dst.data[i] = c1*m1.data[i] + c2*m2.data[i] + c3*m3.data[i]
+	}
+}
+
+func addDiag(m *Matrix, c float64) {
+	for i := 0; i < m.rows; i++ {
+		m.AddAt(i, i, c)
+	}
+}
+
+// IntegralExpm computes Φ = e^{A h} and Γ = ∫₀ʰ e^{A τ} dτ · B using the
+// Van Loan block-matrix trick:
+//
+//	exp( [A B; 0 0] h ) = [Φ Γ; 0 I].
+//
+// This yields the exact zero-order-hold discretization x⁺ = Φx + Γu of
+// ẋ = Ax + Bu without requiring A to be invertible.
+func IntegralExpm(a, b *Matrix, h float64) (phi, gamma *Matrix, err error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, nil, fmt.Errorf("%w: IntegralExpm A is %dx%d", ErrDimension, a.Rows(), a.Cols())
+	}
+	if b.Rows() != n {
+		return nil, nil, fmt.Errorf("%w: IntegralExpm B has %d rows, want %d", ErrDimension, b.Rows(), n)
+	}
+	m := b.Cols()
+	blk := NewMatrix(n+m, n+m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			blk.Set(i, j, a.At(i, j)*h)
+		}
+		for j := 0; j < m; j++ {
+			blk.Set(i, n+j, b.At(i, j)*h)
+		}
+	}
+	e, err := Expm(blk)
+	if err != nil {
+		return nil, nil, err
+	}
+	phi = NewMatrix(n, n)
+	gamma = NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			phi.Set(i, j, e.At(i, j))
+		}
+		for j := 0; j < m; j++ {
+			gamma.Set(i, j, e.At(i, n+j))
+		}
+	}
+	return phi, gamma, nil
+}

@@ -1,0 +1,180 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExpmZero(t *testing.T) {
+	e, err := Expm(NewMatrix(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Equal(Identity(3), 1e-14) {
+		t.Fatalf("e^0 =\n%v, want I", e)
+	}
+}
+
+func TestExpmDiagonal(t *testing.T) {
+	a := Diag(VectorOf(1, -2, 0.5))
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, lam := range []float64{1, -2, 0.5} {
+		if got, want := e.At(i, i), math.Exp(lam); math.Abs(got-want) > 1e-12*want {
+			t.Errorf("e^A[%d,%d] = %v, want %v", i, i, got, want)
+		}
+	}
+	// Off-diagonals stay zero.
+	if math.Abs(e.At(0, 1)) > 1e-13 {
+		t.Errorf("off-diagonal = %v", e.At(0, 1))
+	}
+}
+
+func TestExpmNilpotent(t *testing.T) {
+	// A = [[0,1],[0,0]] => e^A = [[1,1],[0,1]] exactly.
+	a := MatrixFromRows([][]float64{{0, 1}, {0, 0}})
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MatrixFromRows([][]float64{{1, 1}, {0, 1}})
+	if !e.Equal(want, 1e-14) {
+		t.Fatalf("e^A =\n%v\nwant\n%v", e, want)
+	}
+}
+
+func TestExpmRotation(t *testing.T) {
+	// A = [[0,-θ],[θ,0]] => e^A is rotation by θ.
+	theta := 0.7
+	a := MatrixFromRows([][]float64{{0, -theta}, {theta, 0}})
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MatrixFromRows([][]float64{
+		{math.Cos(theta), -math.Sin(theta)},
+		{math.Sin(theta), math.Cos(theta)},
+	})
+	if !e.Equal(want, 1e-13) {
+		t.Fatalf("e^A =\n%v\nwant\n%v", e, want)
+	}
+}
+
+func TestExpmLargeNormScaling(t *testing.T) {
+	// Force the scaling-and-squaring path with a large-norm matrix.
+	a := Diag(VectorOf(-50, -100))
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.At(0, 0), math.Exp(-50); math.Abs(got-want) > 1e-10*want {
+		t.Errorf("e^-50 = %v, want %v", got, want)
+	}
+}
+
+func TestExpmNonFinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, math.NaN())
+	if _, err := Expm(a); err == nil {
+		t.Fatal("Expm of NaN matrix succeeded")
+	}
+}
+
+func TestExpmNonSquare(t *testing.T) {
+	if _, err := Expm(NewMatrix(2, 3)); err == nil {
+		t.Fatal("Expm of non-square matrix succeeded")
+	}
+}
+
+// Property: e^(A)·e^(-A) = I for random stable matrices.
+func TestExpmInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		a := randomMatrix(rng, n)
+		neg := NewMatrix(n, n).Scale(-1, a)
+		ea, err := Expm(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ena, err := Expm(neg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod := NewMatrix(n, n).Mul(ea, ena)
+		if !prod.Equal(Identity(n), 1e-9*(1+ea.MaxAbs())) {
+			t.Fatalf("trial %d: e^A e^-A != I", trial)
+		}
+	}
+}
+
+// Property: semigroup e^(2A) = (e^A)² for random matrices.
+func TestExpmSemigroupProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(5)
+		a := randomMatrix(rng, n)
+		two := NewMatrix(n, n).Scale(2, a)
+		e2a, err := Expm(two)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ea, err := Expm(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sq := NewMatrix(n, n).Mul(ea, ea)
+		if !sq.Equal(e2a, 1e-8*(1+e2a.MaxAbs())) {
+			t.Fatalf("trial %d: (e^A)² != e^2A", trial)
+		}
+	}
+}
+
+func TestIntegralExpmAgainstAnalytic(t *testing.T) {
+	// Scalar system: ẋ = -a x + b u. Φ = e^{-a h}, Γ = (1-e^{-a h}) b / a.
+	a := MatrixFromRows([][]float64{{-2}})
+	b := MatrixFromRows([][]float64{{3}})
+	h := 0.25
+	phi, gamma, err := IntegralExpm(a, b, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPhi := math.Exp(-2 * h)
+	wantGamma := (1 - math.Exp(-2*h)) * 3 / 2
+	if math.Abs(phi.At(0, 0)-wantPhi) > 1e-12 {
+		t.Errorf("Φ = %v, want %v", phi.At(0, 0), wantPhi)
+	}
+	if math.Abs(gamma.At(0, 0)-wantGamma) > 1e-12 {
+		t.Errorf("Γ = %v, want %v", gamma.At(0, 0), wantGamma)
+	}
+}
+
+func TestIntegralExpmSingularA(t *testing.T) {
+	// A = 0 (pure integrator): Φ = I, Γ = B·h. The Van Loan construction
+	// must handle singular A, which the A⁻¹(Φ-I)B formula cannot.
+	a := NewMatrix(2, 2)
+	b := MatrixFromRows([][]float64{{1, 0}, {0, 2}})
+	phi, gamma, err := IntegralExpm(a, b, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !phi.Equal(Identity(2), 1e-13) {
+		t.Errorf("Φ =\n%v, want I", phi)
+	}
+	want := NewMatrix(2, 2).Scale(0.5, b)
+	if !gamma.Equal(want, 1e-13) {
+		t.Errorf("Γ =\n%v, want\n%v", gamma, want)
+	}
+}
+
+func TestIntegralExpmShapeErrors(t *testing.T) {
+	if _, _, err := IntegralExpm(NewMatrix(2, 3), NewMatrix(2, 1), 1); err == nil {
+		t.Error("non-square A accepted")
+	}
+	if _, _, err := IntegralExpm(NewMatrix(2, 2), NewMatrix(3, 1), 1); err == nil {
+		t.Error("mismatched B accepted")
+	}
+}

@@ -1,0 +1,230 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization meets a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// ErrNotPositiveDefinite is returned by Cholesky on matrices that are not
+// symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// LUFactor holds an LU factorization with partial pivoting: PA = LU.
+type LUFactor struct {
+	lu   *Matrix
+	piv  []int
+	sign int
+}
+
+// LU computes the LU factorization of a square matrix with partial
+// pivoting. The input is not modified.
+func LU(a *Matrix) (*LUFactor, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("%w: LU of %dx%d matrix", ErrDimension, a.Rows(), a.Cols())
+	}
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Partial pivoting: find the largest magnitude in column k.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max = v
+				p = i
+			}
+		}
+		if max == 0 || math.IsNaN(max) {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			swapRows(lu, p, k)
+			piv[p], piv[k] = piv[k], piv[p]
+			sign = -sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivot
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.AddAt(i, j, -m*lu.At(k, j))
+			}
+		}
+	}
+	return &LUFactor{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve solves Ax = b for a single right-hand side.
+func (f *LUFactor) Solve(b Vector) (Vector, error) {
+	n := f.lu.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrDimension, len(b), n)
+	}
+	x := make(Vector, n)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += f.lu.At(i, j) * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += f.lu.At(i, j) * x[j]
+		}
+		x[i] = (x[i] - s) / f.lu.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveMatrix solves AX = B column by column.
+func (f *LUFactor) SolveMatrix(b *Matrix) (*Matrix, error) {
+	n := f.lu.Rows()
+	if b.Rows() != n {
+		return nil, fmt.Errorf("%w: rhs has %d rows, want %d", ErrDimension, b.Rows(), n)
+	}
+	x := NewMatrix(n, b.Cols())
+	col := make(Vector, n)
+	for j := 0; j < b.Cols(); j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, j)
+		}
+		sol, err := f.Solve(col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			x.Set(i, j, sol[i])
+		}
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LUFactor) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.Rows(); i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveLU is a convenience wrapper: factor a and solve ax = b.
+func SolveLU(a *Matrix, b Vector) (Vector, error) {
+	f, err := LU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns a⁻¹ computed via LU. Intended for small matrices and
+// diagnostics; prefer Solve for linear systems.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := LU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMatrix(Identity(a.Rows()))
+}
+
+// CholFactor holds a Cholesky factorization A = LLᵀ.
+type CholFactor struct {
+	l *Matrix
+}
+
+// Cholesky factors a symmetric positive definite matrix. Only the lower
+// triangle of a is read; the input is not modified.
+func Cholesky(a *Matrix) (*CholFactor, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("%w: Cholesky of %dx%d matrix", ErrDimension, a.Rows(), a.Cols())
+	}
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w: leading minor %d", ErrNotPositiveDefinite, j+1)
+		}
+		dj := math.Sqrt(d)
+		l.Set(j, j, dj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/dj)
+		}
+	}
+	return &CholFactor{l: l}, nil
+}
+
+// Solve solves Ax = b using the factorization.
+func (c *CholFactor) Solve(b Vector) (Vector, error) {
+	n := c.l.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrDimension, len(b), n)
+	}
+	x := b.Clone()
+	// Ly = b.
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += c.l.At(i, j) * x[j]
+		}
+		x[i] = (x[i] - s) / c.l.At(i, i)
+	}
+	// Lᵀx = y.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += c.l.At(j, i) * x[j]
+		}
+		x[i] = (x[i] - s) / c.l.At(i, i)
+	}
+	return x, nil
+}
+
+// L returns the lower-triangular factor (aliasing internal storage).
+func (c *CholFactor) L() *Matrix { return c.l }
+
+// SolveSPD factors a symmetric positive definite matrix and solves ax = b.
+func SolveSPD(a *Matrix, b Vector) (Vector, error) {
+	f, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}

@@ -1,0 +1,206 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLUSolveKnown(t *testing.T) {
+	a := MatrixFromRows([][]float64{
+		{2, 1, 1},
+		{4, -6, 0},
+		{-2, 7, 2},
+	})
+	b := VectorOf(5, -2, 9)
+	x, err := SolveLU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := VectorOf(1, 1, 2)
+	if !x.Equal(want, 1e-12) {
+		t.Fatalf("x = %v, want %v", x, want)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	_, err := LU(a)
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	_, err := LU(NewMatrix(2, 3))
+	if !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestLUDeterminant(t *testing.T) {
+	a := MatrixFromRows([][]float64{{3, 0}, {0, 2}})
+	f, err := LU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-6) > 1e-12 {
+		t.Fatalf("Det = %v, want 6", d)
+	}
+	// Permutation sign: swapping rows flips determinant sign.
+	b := MatrixFromRows([][]float64{{0, 2}, {3, 0}})
+	fb, err := LU(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fb.Det(); math.Abs(d+6) > 1e-12 {
+		t.Fatalf("Det = %v, want -6", d)
+	}
+}
+
+func TestLUSolveRhsLengthMismatch(t *testing.T) {
+	f, err := LU(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve(VectorOf(1, 2)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := MatrixFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := NewMatrix(2, 2).Mul(a, inv)
+	if !prod.Equal(Identity(2), 1e-12) {
+		t.Fatalf("A·A⁻¹ =\n%v", prod)
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a := MatrixFromRows([][]float64{
+		{4, 12, -16},
+		{12, 37, -43},
+		{-16, -43, 98},
+	})
+	f, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantL := MatrixFromRows([][]float64{
+		{2, 0, 0},
+		{6, 1, 0},
+		{-8, 5, 3},
+	})
+	if !f.L().Equal(wantL, 1e-12) {
+		t.Fatalf("L =\n%v\nwant\n%v", f.L(), wantL)
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	_, err := Cholesky(a)
+	if !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	a := MatrixFromRows([][]float64{{2, 1}, {1, 2}})
+	x, err := SolveSPD(a, VectorOf(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(VectorOf(1, 1), 1e-12) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	g := randomMatrix(rng, n)
+	spd := NewMatrix(n, n).Mul(g, g.T())
+	for i := 0; i < n; i++ {
+		spd.AddAt(i, i, float64(n)) // ensure well-conditioned
+	}
+	return spd
+}
+
+// Property: LU solve residual is tiny for random well-conditioned systems.
+func TestLUSolveResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(9)
+		a := randomMatrix(rng, n)
+		for i := 0; i < n; i++ {
+			a.AddAt(i, i, 5) // diagonal dominance for conditioning
+		}
+		b := NewVector(n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLU(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		r := NewVector(n).Sub(a.MulVec(NewVector(n), x), b)
+		if r.NormInf() > 1e-9*(1+b.NormInf()) {
+			t.Fatalf("trial %d: residual %v", trial, r.NormInf())
+		}
+	}
+}
+
+// Property: Cholesky round-trips, L·Lᵀ = A, for random SPD matrices.
+func TestCholeskyRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(9)
+		a := randomSPD(rng, n)
+		f, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		l := f.L()
+		back := NewMatrix(n, n).Mul(l, l.T())
+		if !back.Equal(a, 1e-9*(1+a.MaxAbs())) {
+			t.Fatalf("trial %d: LLᵀ != A", trial)
+		}
+	}
+}
+
+// Property: Cholesky-based solve agrees with LU-based solve on SPD systems.
+func TestCholeskyLUAgreementProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		b := NewVector(n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x1, err := SolveSPD(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x2, err := SolveLU(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !x1.Equal(x2, 1e-8*(1+x2.NormInf())) {
+			t.Fatalf("trial %d: Cholesky %v vs LU %v", trial, x1, x2)
+		}
+	}
+}
+
+func TestSolveMatrixShapeMismatch(t *testing.T) {
+	f, err := LU(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SolveMatrix(NewMatrix(3, 1)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package linalg provides the dense linear-algebra substrate used by the
+// thermal model and the convex solver: vectors, matrices, LU and Cholesky
+// factorizations, a matrix exponential, and a symmetric eigensolver.
+//
+// Everything is implemented from scratch on float64 slices; sizes in this
+// project are small (tens of rows), so the implementations favour clarity
+// and numerical robustness over blocking or SIMD tricks.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimension is returned (or wrapped) when operand shapes do not match.
+var ErrDimension = errors.New("linalg: dimension mismatch")
+
+// Vector is a dense column vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// VectorOf returns a vector holding a copy of the given values.
+func VectorOf(vals ...float64) Vector {
+	v := make(Vector, len(vals))
+	copy(v, vals)
+	return v
+}
+
+// Constant returns a length-n vector with every entry set to c.
+func Constant(n int, c float64) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = c
+	}
+	return v
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Len returns the number of entries.
+func (v Vector) Len() int { return len(v) }
+
+// Fill sets every entry of v to c.
+func (v Vector) Fill(c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// Add stores a+b into v and returns v. All three must share length.
+func (v Vector) Add(a, b Vector) Vector {
+	mustLen(len(v), len(a))
+	mustLen(len(v), len(b))
+	for i := range v {
+		v[i] = a[i] + b[i]
+	}
+	return v
+}
+
+// Sub stores a-b into v and returns v.
+func (v Vector) Sub(a, b Vector) Vector {
+	mustLen(len(v), len(a))
+	mustLen(len(v), len(b))
+	for i := range v {
+		v[i] = a[i] - b[i]
+	}
+	return v
+}
+
+// AddScaled stores a + s*b into v and returns v.
+func (v Vector) AddScaled(a Vector, s float64, b Vector) Vector {
+	mustLen(len(v), len(a))
+	mustLen(len(v), len(b))
+	for i := range v {
+		v[i] = a[i] + s*b[i]
+	}
+	return v
+}
+
+// Scale stores s*a into v and returns v.
+func (v Vector) Scale(s float64, a Vector) Vector {
+	mustLen(len(v), len(a))
+	for i := range v {
+		v[i] = s * a[i]
+	}
+	return v
+}
+
+// Dot returns the inner product of v and w.
+func (v Vector) Dot(w Vector) float64 {
+	mustLen(len(v), len(w))
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm, guarding against overflow.
+func (v Vector) Norm2() float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the maximum absolute entry, or 0 for an empty vector.
+func (v Vector) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of the entries.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Max returns the largest entry. It panics on an empty vector.
+func (v Vector) Max() float64 {
+	if len(v) == 0 {
+		panic("linalg: Max of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the smallest entry. It panics on an empty vector.
+func (v Vector) Min() float64 {
+	if len(v) == 0 {
+		panic("linalg: Min of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the largest entry (first on ties).
+// It panics on an empty vector.
+func (v Vector) ArgMax() int {
+	if len(v) == 0 {
+		panic("linalg: ArgMax of empty vector")
+	}
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty vector.
+func (v Vector) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v.Sum() / float64(len(v))
+}
+
+// AllFinite reports whether every entry is finite (no NaN or Inf).
+func (v Vector) AllFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and w have the same length and entries within tol.
+func (v Vector) Equal(w Vector, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func (v Vector) String() string {
+	return fmt.Sprintf("%v", []float64(v))
+}
+
+func mustLen(got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("linalg: length mismatch: %d vs %d", got, want))
+	}
+}

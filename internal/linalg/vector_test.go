@@ -1,0 +1,180 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorOfCopies(t *testing.T) {
+	src := []float64{1, 2, 3}
+	v := VectorOf(src...)
+	src[0] = 99
+	if v[0] != 1 {
+		t.Fatalf("VectorOf aliases input: v[0] = %v", v[0])
+	}
+}
+
+func TestVectorConstantAndFill(t *testing.T) {
+	v := Constant(4, 2.5)
+	for i, x := range v {
+		if x != 2.5 {
+			t.Fatalf("Constant[%d] = %v, want 2.5", i, x)
+		}
+	}
+	v.Fill(-1)
+	if v.Sum() != -4 {
+		t.Fatalf("after Fill(-1), Sum = %v, want -4", v.Sum())
+	}
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	a := VectorOf(1, 2, 3)
+	b := VectorOf(4, 5, 6)
+	got := NewVector(3).Add(a, b)
+	if !got.Equal(VectorOf(5, 7, 9), 0) {
+		t.Errorf("Add = %v", got)
+	}
+	got = NewVector(3).Sub(b, a)
+	if !got.Equal(VectorOf(3, 3, 3), 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	got = NewVector(3).AddScaled(a, 2, b)
+	if !got.Equal(VectorOf(9, 12, 15), 0) {
+		t.Errorf("AddScaled = %v", got)
+	}
+	got = NewVector(3).Scale(-1, a)
+	if !got.Equal(VectorOf(-1, -2, -3), 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	if d := a.Dot(b); d != 32 {
+		t.Errorf("Dot = %v, want 32", d)
+	}
+}
+
+func TestVectorAddInPlace(t *testing.T) {
+	// Using the destination as an operand must be safe for entrywise ops.
+	a := VectorOf(1, 2, 3)
+	a.Add(a, a)
+	if !a.Equal(VectorOf(2, 4, 6), 0) {
+		t.Fatalf("in-place Add = %v", a)
+	}
+}
+
+func TestVectorNorms(t *testing.T) {
+	v := VectorOf(3, -4)
+	if n := v.Norm2(); math.Abs(n-5) > 1e-15 {
+		t.Errorf("Norm2 = %v, want 5", n)
+	}
+	if n := v.NormInf(); n != 4 {
+		t.Errorf("NormInf = %v, want 4", n)
+	}
+	if n := (Vector{}).Norm2(); n != 0 {
+		t.Errorf("empty Norm2 = %v, want 0", n)
+	}
+	// Norm2 must not overflow on huge entries.
+	huge := VectorOf(1e300, 1e300)
+	if n := huge.Norm2(); math.IsInf(n, 0) {
+		t.Errorf("Norm2 overflowed: %v", n)
+	}
+}
+
+func TestVectorStats(t *testing.T) {
+	v := VectorOf(2, -7, 5, 5)
+	if v.Max() != 5 {
+		t.Errorf("Max = %v", v.Max())
+	}
+	if v.Min() != -7 {
+		t.Errorf("Min = %v", v.Min())
+	}
+	if v.ArgMax() != 2 {
+		t.Errorf("ArgMax = %v, want 2 (first of ties)", v.ArgMax())
+	}
+	if v.Mean() != 1.25 {
+		t.Errorf("Mean = %v", v.Mean())
+	}
+	if (Vector{}).Mean() != 0 {
+		t.Errorf("empty Mean should be 0")
+	}
+}
+
+func TestVectorEmptyPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Max":    func() { (Vector{}).Max() },
+		"Min":    func() { (Vector{}).Min() },
+		"ArgMax": func() { (Vector{}).ArgMax() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty vector did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestVectorAllFinite(t *testing.T) {
+	if !VectorOf(1, 2).AllFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if VectorOf(1, math.NaN()).AllFinite() {
+		t.Error("NaN not detected")
+	}
+	if VectorOf(math.Inf(1)).AllFinite() {
+		t.Error("Inf not detected")
+	}
+}
+
+func TestVectorLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched lengths did not panic")
+		}
+	}()
+	NewVector(2).Add(VectorOf(1), VectorOf(1, 2))
+}
+
+func TestVectorCloneIndependence(t *testing.T) {
+	a := VectorOf(1, 2)
+	b := a.Clone()
+	b[0] = 9
+	if a[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+// Property: the triangle inequality holds for Norm2.
+func TestVectorNormTriangleProperty(t *testing.T) {
+	f := func(a, b [6]float64) bool {
+		va, vb := VectorOf(a[:]...), VectorOf(b[:]...)
+		if !va.AllFinite() || !vb.AllFinite() || va.NormInf() > 1e150 || vb.NormInf() > 1e150 {
+			return true // avoid float64 overflow; not the property under test
+		}
+		sum := NewVector(6).Add(va, vb)
+		return sum.Norm2() <= va.Norm2()+vb.Norm2()+1e-9*(1+va.Norm2()+vb.Norm2())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cauchy-Schwarz |a·b| <= ‖a‖‖b‖.
+func TestVectorCauchySchwarzProperty(t *testing.T) {
+	f := func(a, b [5]float64) bool {
+		va, vb := VectorOf(a[:]...), VectorOf(b[:]...)
+		if !va.AllFinite() || !vb.AllFinite() || va.NormInf() > 1e150 || vb.NormInf() > 1e150 {
+			return true // avoid float64 overflow; not the property under test
+		}
+		lhs := math.Abs(va.Dot(vb))
+		rhs := va.Norm2() * vb.Norm2()
+		if math.IsInf(lhs, 0) || math.IsInf(rhs, 0) {
+			return true
+		}
+		return lhs <= rhs*(1+1e-12)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,283 @@
+// Package metrics accumulates the quantities the paper's evaluation
+// reports: time spent in temperature bands (<80, 80-90, 90-100,
+// >100 °C — their Fig. 6), task waiting times (Fig. 7), temperature
+// time series (Figs. 1, 2, 8), spatial gradients (Fig. 8, §5.4) and
+// violation fractions (Fig. 11).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// DefaultBandEdges are the paper's Fig. 6 band boundaries in °C.
+var DefaultBandEdges = []float64{80, 90, 100}
+
+// Bands accumulates occupancy time per temperature band.
+type Bands struct {
+	Edges []float64 // ascending; len(Edges)+1 bands
+	Time  []float64 // seconds accumulated per band
+}
+
+// NewBands returns an accumulator over the given ascending edges
+// (DefaultBandEdges if nil).
+func NewBands(edges []float64) *Bands {
+	if edges == nil {
+		edges = DefaultBandEdges
+	}
+	cp := append([]float64(nil), edges...)
+	return &Bands{Edges: cp, Time: make([]float64, len(cp)+1)}
+}
+
+// Add records dt seconds at the given temperature.
+func (b *Bands) Add(temp, dt float64) {
+	b.Time[sort.SearchFloat64s(b.Edges, temp)] += dt
+}
+
+// Total returns the accumulated time.
+func (b *Bands) Total() float64 {
+	var s float64
+	for _, t := range b.Time {
+		s += t
+	}
+	return s
+}
+
+// Fractions returns per-band occupancy normalized to the total time
+// (all zeros if nothing was recorded).
+func (b *Bands) Fractions() []float64 {
+	out := make([]float64, len(b.Time))
+	total := b.Total()
+	if total == 0 {
+		return out
+	}
+	for i, t := range b.Time {
+		out[i] = t / total
+	}
+	return out
+}
+
+// FractionAbove returns the fraction of time spent strictly above the
+// given edge (which must be one of the accumulator's edges).
+func (b *Bands) FractionAbove(edge float64) float64 {
+	total := b.Total()
+	if total == 0 {
+		return 0
+	}
+	var s float64
+	for i, e := range b.Edges {
+		if e >= edge {
+			s += sum(b.Time[i+1:])
+			break
+		}
+	}
+	return s / total
+}
+
+// Merge adds another accumulator's time (edges must match).
+func (b *Bands) Merge(o *Bands) error {
+	if len(o.Edges) != len(b.Edges) {
+		return fmt.Errorf("metrics: merging bands with %d vs %d edges", len(o.Edges), len(b.Edges))
+	}
+	for i, e := range o.Edges {
+		if e != b.Edges[i] {
+			return fmt.Errorf("metrics: band edge mismatch at %d: %g vs %g", i, e, b.Edges[i])
+		}
+	}
+	for i, t := range o.Time {
+		b.Time[i] += t
+	}
+	return nil
+}
+
+// Labels names the bands, e.g. "<80", "80-90", "90-100", ">100".
+func (b *Bands) Labels() []string {
+	n := len(b.Edges)
+	out := make([]string, n+1)
+	for i := 0; i <= n; i++ {
+		switch {
+		case i == 0:
+			out[i] = fmt.Sprintf("<%g", b.Edges[0])
+		case i == n:
+			out[i] = fmt.Sprintf(">%g", b.Edges[n-1])
+		default:
+			out[i] = fmt.Sprintf("%g-%g", b.Edges[i-1], b.Edges[i])
+		}
+	}
+	return out
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// WaitStats accumulates task waiting times.
+type WaitStats struct {
+	n     int
+	total float64
+	max   float64
+	all   []float64
+}
+
+// Add records one waiting time (negative values are clamped to zero).
+func (w *WaitStats) Add(wait float64) {
+	if wait < 0 || math.IsNaN(wait) {
+		wait = 0
+	}
+	w.n++
+	w.total += wait
+	if wait > w.max {
+		w.max = wait
+	}
+	w.all = append(w.all, wait)
+}
+
+// Count returns the number of recorded waits.
+func (w *WaitStats) Count() int { return w.n }
+
+// Mean returns the average waiting time (0 when empty).
+func (w *WaitStats) Mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.total / float64(w.n)
+}
+
+// Max returns the largest waiting time.
+func (w *WaitStats) Max() float64 { return w.max }
+
+// Percentile returns the p-th percentile (p in [0, 100]).
+func (w *WaitStats) Percentile(p float64) float64 {
+	if w.n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), w.all...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	idx := p / 100 * float64(len(sorted)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// GradientStats accumulates the spatial temperature spread across cores.
+type GradientStats struct {
+	n            int
+	totalSpread  float64
+	maxSpread    float64
+	totalWeights float64
+}
+
+// Add records one sample of the core temperature spread (max − min)
+// observed for dt seconds.
+func (g *GradientStats) Add(spread, dt float64) {
+	if spread < 0 || math.IsNaN(spread) {
+		return
+	}
+	g.n++
+	g.totalSpread += spread * dt
+	g.totalWeights += dt
+	if spread > g.maxSpread {
+		g.maxSpread = spread
+	}
+}
+
+// Mean returns the time-weighted mean spread.
+func (g *GradientStats) Mean() float64 {
+	if g.totalWeights == 0 {
+		return 0
+	}
+	return g.totalSpread / g.totalWeights
+}
+
+// Max returns the largest observed spread.
+func (g *GradientStats) Max() float64 { return g.maxSpread }
+
+// Series is a sampled time series (for the temperature-trace figures).
+type Series struct {
+	Name   string
+	Times  []float64
+	Values []float64
+}
+
+// Append adds one sample.
+func (s *Series) Append(t, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.Times) }
+
+// Max returns the largest value (NaN-free assumed), or -Inf when empty.
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest value, or +Inf when empty.
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range s.Values {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// WriteCSV emits "time,value" rows for one or more aligned series.
+// All series must share their time base.
+func WriteCSV(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("metrics: no series")
+	}
+	n := series[0].Len()
+	for _, s := range series[1:] {
+		if s.Len() != n {
+			return fmt.Errorf("metrics: series %q has %d samples, want %d", s.Name, s.Len(), n)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("time_s")
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		b.Reset()
+		fmt.Fprintf(&b, "%.6f", series[0].Times[i])
+		for _, s := range series {
+			fmt.Fprintf(&b, ",%.4f", s.Values[i])
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

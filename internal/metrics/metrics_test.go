@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBandsBasic(t *testing.T) {
+	b := NewBands(nil)
+	b.Add(75, 1)   // <80
+	b.Add(85, 2)   // 80-90
+	b.Add(95, 3)   // 90-100
+	b.Add(105, 4)  // >100
+	b.Add(80, 0.5) // boundary: SearchFloat64s puts 80 into band ">=80"
+	if got := b.Total(); math.Abs(got-10.5) > 1e-12 {
+		t.Fatalf("Total = %v", got)
+	}
+	fr := b.Fractions()
+	if len(fr) != 4 {
+		t.Fatalf("bands = %d, want 4", len(fr))
+	}
+	if math.Abs(fr[3]-4/10.5) > 1e-12 {
+		t.Fatalf("hot fraction = %v", fr[3])
+	}
+	if math.Abs(b.FractionAbove(100)-4/10.5) > 1e-12 {
+		t.Fatalf("FractionAbove(100) = %v", b.FractionAbove(100))
+	}
+	if math.Abs(b.FractionAbove(90)-7/10.5) > 1e-12 {
+		t.Fatalf("FractionAbove(90) = %v", b.FractionAbove(90))
+	}
+}
+
+func TestBandsEmpty(t *testing.T) {
+	b := NewBands(nil)
+	for _, f := range b.Fractions() {
+		if f != 0 {
+			t.Fatal("empty fractions nonzero")
+		}
+	}
+	if b.FractionAbove(100) != 0 {
+		t.Fatal("empty FractionAbove nonzero")
+	}
+}
+
+func TestBandsLabels(t *testing.T) {
+	b := NewBands(nil)
+	got := b.Labels()
+	want := []string{"<80", "80-90", "90-100", ">100"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("labels = %v", got)
+		}
+	}
+}
+
+func TestBandsMerge(t *testing.T) {
+	a := NewBands(nil)
+	a.Add(75, 1)
+	b := NewBands(nil)
+	b.Add(105, 2)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 3 || a.Time[3] != 2 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+	odd := NewBands([]float64{50})
+	if err := a.Merge(odd); err == nil {
+		t.Fatal("mismatched edges merged")
+	}
+	shifted := NewBands([]float64{81, 90, 100})
+	if err := a.Merge(shifted); err == nil {
+		t.Fatal("different edge values merged")
+	}
+}
+
+func TestBandsCustomEdgesCopied(t *testing.T) {
+	edges := []float64{50, 60}
+	b := NewBands(edges)
+	edges[0] = 99
+	if b.Edges[0] != 50 {
+		t.Fatal("NewBands aliases caller slice")
+	}
+}
+
+func TestWaitStats(t *testing.T) {
+	var w WaitStats
+	if w.Mean() != 0 || w.Max() != 0 || w.Percentile(50) != 0 {
+		t.Fatal("empty stats nonzero")
+	}
+	for _, x := range []float64{1, 2, 3, 4} {
+		w.Add(x)
+	}
+	if w.Count() != 4 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if w.Mean() != 2.5 {
+		t.Fatalf("Mean = %v", w.Mean())
+	}
+	if w.Max() != 4 {
+		t.Fatalf("Max = %v", w.Max())
+	}
+	if got := w.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := w.Percentile(100); got != 4 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := w.Percentile(50); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("P50 = %v", got)
+	}
+	w.Add(-5) // clamps to 0
+	if w.Mean() != 2 {
+		t.Fatalf("after clamp Mean = %v", w.Mean())
+	}
+	w.Add(math.NaN())
+	if math.IsNaN(w.Mean()) {
+		t.Fatal("NaN leaked into stats")
+	}
+}
+
+func TestGradientStats(t *testing.T) {
+	var g GradientStats
+	if g.Mean() != 0 || g.Max() != 0 {
+		t.Fatal("empty gradient stats nonzero")
+	}
+	g.Add(2, 1)
+	g.Add(4, 3)
+	if math.Abs(g.Mean()-(2+12)/4.0) > 1e-12 {
+		t.Fatalf("Mean = %v", g.Mean())
+	}
+	if g.Max() != 4 {
+		t.Fatalf("Max = %v", g.Max())
+	}
+	g.Add(-1, 1) // ignored
+	g.Add(math.NaN(), 1)
+	if g.Max() != 4 {
+		t.Fatal("invalid samples not ignored")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if !math.IsInf(s.Max(), -1) || !math.IsInf(s.Min(), 1) {
+		t.Fatal("empty series extrema wrong")
+	}
+	s.Name = "P1"
+	s.Append(0, 45)
+	s.Append(0.1, 97)
+	s.Append(0.2, 63)
+	if s.Len() != 3 || s.Max() != 97 || s.Min() != 45 {
+		t.Fatalf("series stats wrong: %+v", s)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := &Series{Name: "P1"}
+	b := &Series{Name: "P2"}
+	a.Append(0, 45)
+	a.Append(0.1, 50)
+	b.Append(0, 46)
+	b.Append(0.1, 51)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	if lines[0] != "time_s,P1,P2" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0.000000,45.0000,46.0000") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf); err == nil {
+		t.Fatal("no series accepted")
+	}
+	a := &Series{Name: "a"}
+	a.Append(0, 1)
+	b := &Series{Name: "b"}
+	if err := WriteCSV(&buf, a, b); err == nil {
+		t.Fatal("misaligned series accepted")
+	}
+}

@@ -1,0 +1,202 @@
+// Package power models the chip's power consumption under DVFS.
+//
+// The paper assumes V² scales linearly with f (its ref. [23]), so
+// dynamic power P = C·V²·f scales quadratically with frequency
+// (their Eq. 2):
+//
+//	p_i = pmax_i · f_i² / fmax_i²
+//
+// Cores follow that law; non-core blocks (caches, buffers, crossbar,
+// DRAM controllers) draw a fixed aggregate equal to 30% of the cores'
+// maximum power, the figure the paper takes from the Niagara report
+// ([2]), distributed over the non-core blocks by area. An optional
+// linear idle/leakage floor is provided as an extension.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"protemp/internal/floorplan"
+	"protemp/internal/linalg"
+)
+
+// CoreModel is the per-core DVFS power law.
+type CoreModel struct {
+	// FMax is the maximum operating frequency in Hz.
+	FMax float64
+	// PMax is the power drawn at FMax, in watts.
+	PMax float64
+	// IdleFrac is the fraction of PMax drawn at f = 0 (clock-gated
+	// leakage floor). The paper's model has IdleFrac = 0; the extension
+	// interpolates p = PMax·(IdleFrac + (1−IdleFrac)·(f/FMax)²).
+	IdleFrac float64
+}
+
+// Validate checks the model constants.
+func (c CoreModel) Validate() error {
+	switch {
+	case c.FMax <= 0 || math.IsInf(c.FMax, 0) || math.IsNaN(c.FMax):
+		return fmt.Errorf("power: invalid FMax %v", c.FMax)
+	case c.PMax <= 0 || math.IsInf(c.PMax, 0) || math.IsNaN(c.PMax):
+		return fmt.Errorf("power: invalid PMax %v", c.PMax)
+	case c.IdleFrac < 0 || c.IdleFrac >= 1 || math.IsNaN(c.IdleFrac):
+		return fmt.Errorf("power: IdleFrac %v outside [0,1)", c.IdleFrac)
+	}
+	return nil
+}
+
+// AtFrequency returns the power drawn at frequency f (clamped to
+// [0, FMax]).
+func (c CoreModel) AtFrequency(f float64) float64 {
+	if f < 0 {
+		f = 0
+	}
+	if f > c.FMax {
+		f = c.FMax
+	}
+	r := f / c.FMax
+	return c.PMax * (c.IdleFrac + (1-c.IdleFrac)*r*r)
+}
+
+// FrequencyForPower inverts AtFrequency: the frequency sustainable at
+// power p. Powers below the idle floor return 0; powers above PMax
+// return FMax.
+func (c CoreModel) FrequencyForPower(p float64) float64 {
+	if p >= c.PMax {
+		return c.FMax
+	}
+	floor := c.PMax * c.IdleFrac
+	if p <= floor {
+		return 0
+	}
+	return c.FMax * math.Sqrt((p-floor)/(c.PMax-floor))
+}
+
+// QuadCoefficient returns the c in p = floor + c·f² (watts per Hz²).
+func (c CoreModel) QuadCoefficient() float64 {
+	return c.PMax * (1 - c.IdleFrac) / (c.FMax * c.FMax)
+}
+
+// NiagaraCore returns the paper's evaluation parameters: 1 GHz, 4 W.
+func NiagaraCore() CoreModel {
+	return CoreModel{FMax: 1e9, PMax: 4}
+}
+
+// Chip couples a floorplan with power models: one CoreModel per core
+// block, and a fixed power per non-core block.
+type Chip struct {
+	fp       *floorplan.Floorplan
+	cores    []int         // indices of core blocks
+	corePos  map[int]int   // block index -> position in cores
+	models   []CoreModel   // parallel to cores
+	fixed    linalg.Vector // per-block fixed power (non-core)
+	uncoreWa float64       // total uncore power, for reporting
+}
+
+// UncoreShare is the paper's non-core power budget as a fraction of the
+// cores' total maximum power.
+const UncoreShare = 0.30
+
+// NewChip builds a Chip where every core uses the same CoreModel and
+// the non-core blocks share uncoreShare·(Σ core PMax) proportionally to
+// area. Passing UncoreShare reproduces the paper's setup.
+func NewChip(fp *floorplan.Floorplan, core CoreModel, uncoreShare float64) (*Chip, error) {
+	if err := core.Validate(); err != nil {
+		return nil, err
+	}
+	if uncoreShare < 0 || math.IsNaN(uncoreShare) {
+		return nil, fmt.Errorf("power: negative uncore share %v", uncoreShare)
+	}
+	cores := fp.CoreIndices()
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("power: floorplan has no core blocks")
+	}
+	c := &Chip{
+		fp:      fp,
+		cores:   cores,
+		corePos: make(map[int]int, len(cores)),
+		models:  make([]CoreModel, len(cores)),
+		fixed:   linalg.NewVector(fp.NumBlocks()),
+	}
+	for pos, bi := range cores {
+		c.corePos[bi] = pos
+		c.models[pos] = core
+	}
+	var uncoreArea float64
+	for i := 0; i < fp.NumBlocks(); i++ {
+		if fp.Block(i).Kind != floorplan.KindCore {
+			uncoreArea += fp.Block(i).Area()
+		}
+	}
+	total := uncoreShare * core.PMax * float64(len(cores))
+	c.uncoreWa = total
+	if uncoreArea > 0 {
+		for i := 0; i < fp.NumBlocks(); i++ {
+			if b := fp.Block(i); b.Kind != floorplan.KindCore {
+				c.fixed[i] = total * b.Area() / uncoreArea
+			}
+		}
+	}
+	return c, nil
+}
+
+// Floorplan returns the underlying floorplan.
+func (c *Chip) Floorplan() *floorplan.Floorplan { return c.fp }
+
+// NumCores returns the number of DVFS-controlled cores.
+func (c *Chip) NumCores() int { return len(c.cores) }
+
+// CoreBlockIndex returns the floorplan block index of core k (0-based
+// in core order).
+func (c *Chip) CoreBlockIndex(k int) int { return c.cores[k] }
+
+// CoreModelOf returns the power model of core k.
+func (c *Chip) CoreModelOf(k int) CoreModel { return c.models[k] }
+
+// FMax returns the (common) maximum core frequency.
+func (c *Chip) FMax() float64 { return c.models[0].FMax }
+
+// TotalUncorePower returns the fixed non-core power in watts.
+func (c *Chip) TotalUncorePower() float64 { return c.uncoreWa }
+
+// FixedPower returns a copy of the per-block fixed power vector.
+func (c *Chip) FixedPower() linalg.Vector { return c.fixed.Clone() }
+
+// PowerVector assembles the full per-block power vector for the given
+// per-core frequencies (length NumCores, in Hz).
+func (c *Chip) PowerVector(freqs linalg.Vector) (linalg.Vector, error) {
+	if len(freqs) != len(c.cores) {
+		return nil, fmt.Errorf("power: %d frequencies for %d cores", len(freqs), len(c.cores))
+	}
+	p := c.fixed.Clone()
+	for k, bi := range c.cores {
+		p[bi] = c.models[k].AtFrequency(freqs[k])
+	}
+	return p, nil
+}
+
+// PowerVectorInto is PowerVector without allocation; dst must have
+// length NumBlocks.
+func (c *Chip) PowerVectorInto(dst, freqs linalg.Vector) error {
+	if len(freqs) != len(c.cores) {
+		return fmt.Errorf("power: %d frequencies for %d cores", len(freqs), len(c.cores))
+	}
+	if len(dst) != c.fp.NumBlocks() {
+		return fmt.Errorf("power: dst length %d, want %d", len(dst), c.fp.NumBlocks())
+	}
+	copy(dst, c.fixed)
+	for k, bi := range c.cores {
+		dst[bi] = c.models[k].AtFrequency(freqs[k])
+	}
+	return nil
+}
+
+// TotalPower returns the chip power at the given core frequencies.
+func (c *Chip) TotalPower(freqs linalg.Vector) (float64, error) {
+	p, err := c.PowerVector(freqs)
+	if err != nil {
+		return 0, err
+	}
+	return p.Sum(), nil
+}

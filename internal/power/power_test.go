@@ -1,0 +1,223 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"protemp/internal/floorplan"
+	"protemp/internal/linalg"
+)
+
+func TestCoreModelValidate(t *testing.T) {
+	if err := NiagaraCore().Validate(); err != nil {
+		t.Fatalf("NiagaraCore invalid: %v", err)
+	}
+	bad := []CoreModel{
+		{FMax: 0, PMax: 4},
+		{FMax: -1, PMax: 4},
+		{FMax: 1e9, PMax: 0},
+		{FMax: 1e9, PMax: math.NaN()},
+		{FMax: 1e9, PMax: 4, IdleFrac: -0.1},
+		{FMax: 1e9, PMax: 4, IdleFrac: 1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestQuadraticLaw(t *testing.T) {
+	m := NiagaraCore()
+	// Paper's Eq. 2: p = pmax f²/fmax².
+	cases := []struct{ f, want float64 }{
+		{1e9, 4},
+		{0.5e9, 1},
+		{0.25e9, 0.25},
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := m.AtFrequency(c.f); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("AtFrequency(%g) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestAtFrequencyClamps(t *testing.T) {
+	m := NiagaraCore()
+	if got := m.AtFrequency(2e9); got != 4 {
+		t.Errorf("above-FMax power %v, want 4", got)
+	}
+	if got := m.AtFrequency(-1); got != 0 {
+		t.Errorf("negative-frequency power %v, want 0", got)
+	}
+}
+
+func TestIdleFloor(t *testing.T) {
+	m := CoreModel{FMax: 1e9, PMax: 4, IdleFrac: 0.25}
+	if got := m.AtFrequency(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("idle power %v, want 1", got)
+	}
+	if got := m.AtFrequency(1e9); math.Abs(got-4) > 1e-12 {
+		t.Errorf("full power %v, want 4", got)
+	}
+}
+
+func TestFrequencyForPowerInverts(t *testing.T) {
+	for _, m := range []CoreModel{NiagaraCore(), {FMax: 2e9, PMax: 10, IdleFrac: 0.2}} {
+		for _, f := range []float64{0, 0.1e9, 0.5e9, 0.9e9, m.FMax} {
+			p := m.AtFrequency(f)
+			back := m.FrequencyForPower(p)
+			if math.Abs(back-f) > 1e-3*m.FMax {
+				t.Errorf("model %+v: round trip f=%g -> p=%g -> f=%g", m, f, p, back)
+			}
+		}
+		if m.FrequencyForPower(m.PMax+1) != m.FMax {
+			t.Errorf("above-PMax should clamp to FMax")
+		}
+		if m.FrequencyForPower(-1) != 0 {
+			t.Errorf("negative power should give 0")
+		}
+	}
+}
+
+func TestQuadCoefficient(t *testing.T) {
+	m := NiagaraCore()
+	c := m.QuadCoefficient()
+	for _, f := range []float64{0.3e9, 0.7e9, 1e9} {
+		want := m.AtFrequency(f)
+		if got := c * f * f; math.Abs(got-want) > 1e-9 {
+			t.Errorf("c·f² = %v, AtFrequency = %v", got, want)
+		}
+	}
+}
+
+// Property: power is monotone in frequency.
+func TestPowerMonotoneProperty(t *testing.T) {
+	m := NiagaraCore()
+	f := func(a, b float64) bool {
+		fa := math.Abs(math.Mod(a, 1)) * m.FMax
+		fb := math.Abs(math.Mod(b, 1)) * m.FMax
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		return m.AtFrequency(fa) <= m.AtFrequency(fb)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func newNiagaraChip(t *testing.T) *Chip {
+	t.Helper()
+	c, err := NewChip(floorplan.Niagara(), NiagaraCore(), UncoreShare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestChipStructure(t *testing.T) {
+	c := newNiagaraChip(t)
+	if c.NumCores() != 8 {
+		t.Fatalf("NumCores = %d", c.NumCores())
+	}
+	if c.FMax() != 1e9 {
+		t.Fatalf("FMax = %v", c.FMax())
+	}
+	// Paper: uncore = 30% of 8*4 W = 9.6 W.
+	if got := c.TotalUncorePower(); math.Abs(got-9.6) > 1e-9 {
+		t.Fatalf("uncore power %v, want 9.6", got)
+	}
+	for k := 0; k < c.NumCores(); k++ {
+		bi := c.CoreBlockIndex(k)
+		if c.Floorplan().Block(bi).Kind != floorplan.KindCore {
+			t.Fatalf("core %d maps to non-core block %s", k, c.Floorplan().Block(bi).Name)
+		}
+	}
+}
+
+func TestChipRejections(t *testing.T) {
+	if _, err := NewChip(floorplan.Niagara(), CoreModel{}, UncoreShare); err == nil {
+		t.Error("invalid core model accepted")
+	}
+	if _, err := NewChip(floorplan.Niagara(), NiagaraCore(), -1); err == nil {
+		t.Error("negative uncore share accepted")
+	}
+	noCores := floorplan.MustNew([]floorplan.Block{
+		{Name: "L2", Kind: floorplan.KindCache, W: 1, H: 1},
+	})
+	if _, err := NewChip(noCores, NiagaraCore(), UncoreShare); err == nil {
+		t.Error("core-less floorplan accepted")
+	}
+}
+
+func TestPowerVector(t *testing.T) {
+	c := newNiagaraChip(t)
+	full := linalg.Constant(8, 1e9)
+	p, err := c.PowerVector(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core blocks at 4 W, non-core blocks positive, total = 32 + 9.6.
+	for k := 0; k < c.NumCores(); k++ {
+		if got := p[c.CoreBlockIndex(k)]; math.Abs(got-4) > 1e-12 {
+			t.Fatalf("core %d power %v, want 4", k, got)
+		}
+	}
+	if math.Abs(p.Sum()-41.6) > 1e-9 {
+		t.Fatalf("total power %v, want 41.6", p.Sum())
+	}
+	tp, err := c.TotalPower(full)
+	if err != nil || math.Abs(tp-41.6) > 1e-9 {
+		t.Fatalf("TotalPower = %v, %v", tp, err)
+	}
+}
+
+func TestPowerVectorHalfFrequency(t *testing.T) {
+	c := newNiagaraChip(t)
+	p, err := c.PowerVector(linalg.Constant(8, 0.5e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cores at 1 W each (quadratic), uncore unchanged at 9.6 W.
+	if math.Abs(p.Sum()-(8+9.6)) > 1e-9 {
+		t.Fatalf("total power %v, want 17.6", p.Sum())
+	}
+}
+
+func TestPowerVectorLengthMismatch(t *testing.T) {
+	c := newNiagaraChip(t)
+	if _, err := c.PowerVector(linalg.NewVector(3)); err == nil {
+		t.Error("wrong frequency count accepted")
+	}
+	if err := c.PowerVectorInto(linalg.NewVector(2), linalg.NewVector(8)); err == nil {
+		t.Error("wrong dst length accepted")
+	}
+	if err := c.PowerVectorInto(linalg.NewVector(15), linalg.NewVector(2)); err == nil {
+		t.Error("wrong freqs length accepted in Into")
+	}
+}
+
+func TestPowerVectorIntoMatches(t *testing.T) {
+	c := newNiagaraChip(t)
+	freqs := linalg.VectorOf(1e9, 0.9e9, 0.8e9, 0.7e9, 0.6e9, 0.5e9, 0.4e9, 0.3e9)
+	want, err := c.PowerVector(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := linalg.NewVector(c.Floorplan().NumBlocks())
+	if err := c.PowerVectorInto(got, freqs); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 0) {
+		t.Fatalf("Into %v != alloc %v", got, want)
+	}
+	// FixedPower returns a copy.
+	c.FixedPower()[0] = -5
+	p2, _ := c.PowerVector(freqs)
+	if !p2.Equal(want, 0) {
+		t.Fatal("FixedPower leaked internal state")
+	}
+}

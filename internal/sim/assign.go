@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math"
+
+	"protemp/internal/floorplan"
+	"protemp/internal/linalg"
+)
+
+// Assigner picks which idle core receives the next queued task.
+type Assigner interface {
+	Name() string
+	// Pick returns the index (into cores) of the chosen idle core, or
+	// -1 to leave the task queued. idle lists candidate core indices.
+	Pick(idle []int, coreTemps linalg.Vector) int
+}
+
+// FirstIdle is the paper's simple control-unit rule: "when a task
+// arrives, the control unit assigns the task to any idle processor" —
+// deterministically, the lowest-numbered one.
+type FirstIdle struct{}
+
+// Name implements Assigner.
+func (FirstIdle) Name() string { return "first-idle" }
+
+// Pick implements Assigner.
+func (FirstIdle) Pick(idle []int, coreTemps linalg.Vector) int {
+	if len(idle) == 0 {
+		return -1
+	}
+	best := idle[0]
+	for _, c := range idle[1:] {
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// CoolestFirst is the temperature-aware assignment of the paper's
+// Section 5.4 (after Coskun et al., their ref. [26]): the task goes to
+// the idle core with the lowest effective temperature, where the
+// effective temperature mixes the core's own sensor with the average of
+// its core neighbours — placing work away from evolving hot spots. In
+// addition, idle cores already hotter than AvoidAbove are passed over
+// while any cooler candidate exists: feeding a near-threshold core is
+// what pushes it across, so the scheduler lets it drain heat instead.
+type CoolestFirst struct {
+	// NeighborWeight in [0, 1] scales the neighbour-average term;
+	// 0 degenerates to pure coolest-core. Default 0.5 via NewCoolestFirst.
+	NeighborWeight float64
+	// AvoidAbove is the placement-avoidance temperature in °C; zero
+	// disables avoidance.
+	AvoidAbove float64
+	neighbors  [][]int // per core, indices of neighbouring cores
+}
+
+// NewCoolestFirst precomputes core-to-core adjacency from the floorplan
+// and enables placement avoidance at 96 °C (between the 90 °C Basic-DFS
+// trigger and the 100 °C limit, so hot-but-running cores are avoided
+// without starving the queue). coreBlocks maps core index -> floorplan
+// block index.
+func NewCoolestFirst(fp *floorplan.Floorplan, coreBlocks []int, neighborWeight float64) *CoolestFirst {
+	blockToCore := make(map[int]int, len(coreBlocks))
+	for ci, bi := range coreBlocks {
+		blockToCore[bi] = ci
+	}
+	nb := make([][]int, len(coreBlocks))
+	for ci, bi := range coreBlocks {
+		for _, nbi := range fp.Neighbors(bi) {
+			if nci, ok := blockToCore[nbi]; ok {
+				nb[ci] = append(nb[ci], nci)
+			}
+		}
+	}
+	if neighborWeight < 0 {
+		neighborWeight = 0
+	}
+	if neighborWeight > 1 {
+		neighborWeight = 1
+	}
+	return &CoolestFirst{NeighborWeight: neighborWeight, AvoidAbove: 96, neighbors: nb}
+}
+
+// Name implements Assigner.
+func (c *CoolestFirst) Name() string { return "coolest-first" }
+
+// Pick implements Assigner.
+func (c *CoolestFirst) Pick(idle []int, coreTemps linalg.Vector) int {
+	if len(idle) == 0 {
+		return -1
+	}
+	candidates := idle
+	if c.AvoidAbove > 0 {
+		var cool []int
+		for _, ci := range idle {
+			if coreTemps[ci] < c.AvoidAbove {
+				cool = append(cool, ci)
+			}
+		}
+		if len(cool) > 0 {
+			candidates = cool
+		} else {
+			// Every idle core is hot: defer placement and let the chip
+			// drain heat; the task stays queued.
+			return -1
+		}
+	}
+	best, bestScore := -1, math.Inf(1)
+	for _, ci := range candidates {
+		score := coreTemps[ci]
+		if c.neighbors != nil && len(c.neighbors[ci]) > 0 {
+			var avg float64
+			for _, ni := range c.neighbors[ci] {
+				avg += coreTemps[ni]
+			}
+			avg /= float64(len(c.neighbors[ci]))
+			score += c.NeighborWeight * avg
+		}
+		if score < bestScore || (score == bestScore && ci < best) {
+			best, bestScore = ci, score
+		}
+	}
+	return best
+}

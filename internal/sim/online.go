@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"math"
+
+	"protemp/internal/core"
+	"protemp/internal/linalg"
+	"protemp/internal/power"
+	"protemp/internal/thermal"
+)
+
+// ProTempOnline is the model-predictive extension the paper's §3.2
+// simplification deliberately avoids: instead of a design-time table
+// keyed by the single maximum core temperature, it solves the convex
+// program at every DFS boundary on the **full per-block thermal map**
+// (the Spec.T0 extension in internal/core). It carries the same
+// guarantee — the solved trajectory respects tmax at every sub-step —
+// while recovering the headroom the conservative max-temperature
+// rounding gives away, at the cost of run-time compute (one
+// interior-point solve per 100 ms window; the paper's table lookup is
+// O(log n)).
+type ProTempOnline struct {
+	Chip   *power.Chip
+	Window *thermal.WindowResponse
+	TMax   float64
+
+	// Solves and Infeasible count run-time optimizer activity.
+	Solves     int
+	Infeasible int
+}
+
+// Name implements Policy.
+func (p *ProTempOnline) Name() string { return "Pro-Temp-Online" }
+
+// Decide implements Policy. On any solver failure it falls back to an
+// idle window, which is always thermally safe.
+func (p *ProTempOnline) Decide(st WindowState) linalg.Vector {
+	n := p.Chip.NumCores()
+	required := clampFreq(st.RequiredFreq, p.Chip.FMax())
+	// Floor nonzero demand at 10% of fmax: solving at exactly the
+	// required average lets the final tasks crawl (the pending-work
+	// metric decays geometrically as they shrink), whereas the paper's
+	// table policy inherently floors at its lowest stored column.
+	if required > 0 && required < 0.1*p.Chip.FMax() {
+		required = 0.1 * p.Chip.FMax()
+	}
+
+	spec := &core.Spec{
+		Chip:    p.Chip,
+		Window:  p.Window,
+		TMax:    p.TMax,
+		FTarget: required,
+		T0:      st.BlockTemps,
+	}
+	p.Solves++
+	a, err := core.Solve(spec)
+	if err == nil && a.Feasible {
+		return linalg.VectorOf(a.Freqs...)
+	}
+	p.Infeasible++
+
+	// The required target is unsupportable from this map: find the
+	// largest supportable uniform target cheaply, then re-solve the full
+	// program just inside it (the run-time analogue of the paper's
+	// "next lower frequency point" fallback).
+	maxF, _, err := core.SolveUniformBisect(spec)
+	if err != nil || maxF <= 0 {
+		return linalg.NewVector(n)
+	}
+	spec.FTarget = math.Min(required, 0.98*maxF)
+	a, err = core.Solve(spec)
+	if err != nil || !a.Feasible {
+		return linalg.NewVector(n)
+	}
+	return linalg.VectorOf(a.Freqs...)
+}

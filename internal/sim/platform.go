@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"protemp/internal/linalg"
+	"protemp/internal/metrics"
+	"protemp/internal/power"
+	"protemp/internal/thermal"
+	"protemp/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Chip *power.Chip
+	// Disc is the thermal stepper; its Dt is the co-simulation sub-step
+	// (the paper's 0.4 ms).
+	Disc   *thermal.Discrete
+	Policy Policy
+	// Assigner defaults to FirstIdle.
+	Assigner Assigner
+	Trace    *workload.Trace
+	// Window is the DFS period in seconds (default 0.1, the paper's
+	// 100 ms); it must be an integer multiple of Disc.Dt.
+	Window float64
+	// TMax is the limit used for violation accounting (default 100).
+	TMax float64
+	// T0 is the uniform initial temperature (default the model ambient).
+	T0 float64
+	// RecordBlocks lists floorplan block names whose temperatures are
+	// sampled once per window (for the trace figures).
+	RecordBlocks []string
+	// MaxTime caps the simulation; zero derives a generous cap from the
+	// trace duration.
+	MaxTime float64
+}
+
+// Result aggregates a run's metrics.
+type Result struct {
+	Policy     string
+	Assigner   string
+	SimTime    float64
+	Completed  int
+	Unfinished int
+	// CoreBands holds per-core temperature-band occupancy.
+	CoreBands []*metrics.Bands
+	// AvgBands merges all cores — the paper's "averaged across all the
+	// processors" Fig. 6 quantity.
+	AvgBands *metrics.Bands
+	Wait     *metrics.WaitStats
+	Gradient *metrics.GradientStats
+	// Series holds per-window temperature samples for RecordBlocks.
+	Series map[string]*metrics.Series
+	// MaxCoreTemp is the hottest core temperature ever reached.
+	MaxCoreTemp float64
+	// ViolationFrac is the fraction of core-time above TMax.
+	ViolationFrac float64
+	// EnergyJ is the integrated chip energy.
+	EnergyJ float64
+}
+
+type coreState struct {
+	busy      bool
+	remaining float64 // work left, seconds at fmax
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Chip == nil || cfg.Disc == nil || cfg.Policy == nil || cfg.Trace == nil {
+		return nil, fmt.Errorf("sim: Chip, Disc, Policy and Trace are required")
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 0.1
+	}
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("sim: non-positive window %g", cfg.Window)
+	}
+	dt := cfg.Disc.Dt
+	spw := int(math.Round(cfg.Window / dt))
+	if spw < 1 || math.Abs(float64(spw)*dt-cfg.Window) > 1e-9*cfg.Window {
+		return nil, fmt.Errorf("sim: window %g not an integer multiple of thermal step %g", cfg.Window, dt)
+	}
+	if cfg.TMax == 0 {
+		cfg.TMax = 100
+	}
+	if cfg.T0 == 0 {
+		cfg.T0 = cfg.Disc.Model().Ambient()
+	}
+	if cfg.Assigner == nil {
+		cfg.Assigner = FirstIdle{}
+	}
+	if cfg.MaxTime == 0 {
+		cfg.MaxTime = cfg.Trace.Duration()*10 + 30
+	}
+
+	chip := cfg.Chip
+	fp := chip.Floorplan()
+	n := chip.NumCores()
+	nb := fp.NumBlocks()
+	if cfg.Disc.NumNodes() != nb {
+		return nil, fmt.Errorf("sim: thermal model has %d nodes, floorplan %d blocks", cfg.Disc.NumNodes(), nb)
+	}
+	fmax := chip.FMax()
+
+	res := &Result{
+		Policy:    cfg.Policy.Name(),
+		Assigner:  cfg.Assigner.Name(),
+		CoreBands: make([]*metrics.Bands, n),
+		AvgBands:  metrics.NewBands(nil),
+		Wait:      &metrics.WaitStats{},
+		Gradient:  &metrics.GradientStats{},
+		Series:    make(map[string]*metrics.Series),
+	}
+	for i := range res.CoreBands {
+		res.CoreBands[i] = metrics.NewBands(nil)
+	}
+	recordIdx := make(map[string]int, len(cfg.RecordBlocks))
+	for _, name := range cfg.RecordBlocks {
+		bi, ok := fp.IndexOf(name)
+		if !ok {
+			return nil, fmt.Errorf("sim: unknown record block %q", name)
+		}
+		recordIdx[name] = bi
+		res.Series[name] = &metrics.Series{Name: name}
+	}
+
+	temps := linalg.Constant(nb, cfg.T0)
+	next := linalg.NewVector(nb)
+	pvec := linalg.NewVector(nb)
+	fixed := chip.FixedPower()
+	cores := make([]coreState, n)
+	coreTemps := linalg.NewVector(n)
+	freqs := linalg.NewVector(n)
+	busySteps := make([]int, n)
+	utilization := linalg.NewVector(n)
+
+	var queue []workload.Task
+	tasks := cfg.Trace.Tasks
+	nextArrival := 0
+	t := 0.0
+	var coreTime, violTime float64
+	res.MaxCoreTemp = cfg.T0
+
+	for {
+		// ----- DFS boundary: sense, account, decide -----
+		for i := 0; i < n; i++ {
+			coreTemps[i] = temps[chip.CoreBlockIndex(i)]
+		}
+		pending := 0.0
+		for _, c := range cores {
+			if c.busy {
+				pending += c.remaining
+			}
+		}
+		for _, task := range queue {
+			pending += task.Work
+		}
+		required := 0.0
+		if pending > 0 {
+			required = pending / (float64(n) * cfg.Window) * fmax
+		}
+		st := WindowState{
+			Time:         t,
+			CoreTemps:    coreTemps.Clone(),
+			BlockTemps:   temps.Clone(),
+			MaxCoreTemp:  coreTemps.Max(),
+			RequiredFreq: required,
+			Utilization:  utilization.Clone(),
+			QueueLen:     len(queue),
+		}
+		cmd, err := validatePolicyOutput(cfg.Policy.Decide(st), n, fmax)
+		if err != nil {
+			return nil, err
+		}
+		copy(freqs, cmd)
+
+		for name, bi := range recordIdx {
+			res.Series[name].Append(t, temps[bi])
+		}
+
+		// ----- simulate the window at thermal sub-steps -----
+		for s := 0; s < spw; s++ {
+			for nextArrival < len(tasks) && tasks[nextArrival].Arrival <= t {
+				queue = append(queue, tasks[nextArrival])
+				nextArrival++
+			}
+			// Assign queued tasks to idle cores that can actually run.
+			for len(queue) > 0 {
+				var idle []int
+				for i := range cores {
+					if !cores[i].busy && freqs[i] > 0 {
+						idle = append(idle, i)
+					}
+				}
+				for i := 0; i < n; i++ {
+					coreTemps[i] = temps[chip.CoreBlockIndex(i)]
+				}
+				pick := cfg.Assigner.Pick(idle, coreTemps)
+				if pick < 0 {
+					break
+				}
+				task := queue[0]
+				queue = queue[1:]
+				cores[pick].busy = true
+				cores[pick].remaining = task.Work
+				res.Wait.Add(t - task.Arrival)
+			}
+			// Execute.
+			for i := range cores {
+				if cores[i].busy {
+					busySteps[i]++
+					if freqs[i] > 0 {
+						cores[i].remaining -= freqs[i] / fmax * dt
+						if cores[i].remaining <= 1e-12 {
+							cores[i].busy = false
+							cores[i].remaining = 0
+							res.Completed++
+						}
+					}
+				}
+			}
+			// Power: busy cores draw at their commanded frequency, idle
+			// cores are clock-gated to zero; uncore power is constant.
+			copy(pvec, fixed)
+			for i := range cores {
+				bi := chip.CoreBlockIndex(i)
+				if cores[i].busy {
+					pvec[bi] = chip.CoreModelOf(i).AtFrequency(freqs[i])
+				} else {
+					pvec[bi] = 0
+				}
+			}
+			res.EnergyJ += pvec.Sum() * dt
+			// Thermal step.
+			cfg.Disc.Step(next, temps, pvec)
+			temps, next = next, temps
+			// Metrics.
+			minT, maxT := math.Inf(1), math.Inf(-1)
+			for i := 0; i < n; i++ {
+				ct := temps[chip.CoreBlockIndex(i)]
+				res.CoreBands[i].Add(ct, dt)
+				res.AvgBands.Add(ct, dt)
+				if ct < minT {
+					minT = ct
+				}
+				if ct > maxT {
+					maxT = ct
+				}
+			}
+			res.Gradient.Add(maxT-minT, dt)
+			if maxT > res.MaxCoreTemp {
+				res.MaxCoreTemp = maxT
+			}
+			for i := 0; i < n; i++ {
+				coreTime += dt
+				if temps[chip.CoreBlockIndex(i)] > cfg.TMax {
+					violTime += dt
+				}
+			}
+			t += dt
+		}
+
+		// Per-core utilization observed over the window just simulated.
+		for i := range busySteps {
+			utilization[i] = float64(busySteps[i]) / float64(spw)
+			busySteps[i] = 0
+		}
+
+		// ----- termination -----
+		done := nextArrival == len(tasks) && len(queue) == 0
+		if done {
+			for _, c := range cores {
+				if c.busy {
+					done = false
+					break
+				}
+			}
+		}
+		if done || t >= cfg.MaxTime {
+			res.Unfinished = len(queue) + (len(tasks) - nextArrival)
+			for _, c := range cores {
+				if c.busy {
+					res.Unfinished++
+				}
+			}
+			break
+		}
+	}
+
+	res.SimTime = t
+	if coreTime > 0 {
+		res.ViolationFrac = violTime / coreTime
+	}
+	return res, nil
+}

@@ -1,0 +1,150 @@
+// Package sim is the multi-core platform simulator the paper evaluates
+// with: tasks arrive, a control unit assigns them to idle cores, a
+// thermal/power management unit applies DFS every 100 ms window, and
+// the chip's RC thermal model is co-simulated at the paper's 0.4 ms
+// sub-step. The three policies compared in Section 5 are provided:
+//
+//   - No-TC: frequencies track the application requirement only.
+//   - Basic-DFS: No-TC plus the traditional reactive rule — a core at
+//     or above the threshold temperature at DFS time shuts down for the
+//     following window (the paper's Figure 1 baseline).
+//   - Pro-Temp: the table-driven controller from internal/core.
+//
+// Sensor sampling happens at window boundaries, which is exactly the
+// reactivity gap the paper's drawback (1) describes: a core can blow
+// through the limit mid-window before Basic-DFS reacts.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"protemp/internal/core"
+	"protemp/internal/linalg"
+)
+
+// WindowState is what the thermal/power management unit knows at a DFS
+// boundary.
+type WindowState struct {
+	// Time is the window start in seconds.
+	Time float64
+	// CoreTemps holds the per-core sensor readings in °C.
+	CoreTemps linalg.Vector
+	// BlockTemps holds the full per-block thermal map (length
+	// NumBlocks); table-driven policies ignore it, the online-solving
+	// extension consumes it.
+	BlockTemps linalg.Vector
+	// MaxCoreTemp is the hottest reading.
+	MaxCoreTemp float64
+	// RequiredFreq is the average frequency (Hz) needed to clear the
+	// currently pending work within one window.
+	RequiredFreq float64
+	// Utilization is each core's busy fraction over the previous window
+	// — what a per-core DVFS governor observes.
+	Utilization linalg.Vector
+	// QueueLen is the number of waiting tasks.
+	QueueLen int
+}
+
+// Policy chooses per-core frequency commands for the next window.
+type Policy interface {
+	Name() string
+	Decide(st WindowState) linalg.Vector
+}
+
+// NoTC scales frequencies only to match the application requirement —
+// the paper's no-temperature-control reference. Each core's governor
+// acts independently (the paper's drawback (2)): the frequency tracks
+// the core's own observed utilization plus its share of the global
+// backlog, so a core fed a steady task stream runs at full speed even
+// while the rest of the chip idles.
+type NoTC struct {
+	NumCores int
+	FMax     float64
+}
+
+// Name implements Policy.
+func (p *NoTC) Name() string { return "No-TC" }
+
+// Decide implements Policy.
+func (p *NoTC) Decide(st WindowState) linalg.Vector {
+	return perCoreDemand(st, p.NumCores, p.FMax)
+}
+
+// perCoreDemand implements the utilization-tracking governor shared by
+// the No-TC and Basic-DFS baselines: normalized demand is the core's
+// busy fraction plus the backlog share implied by the required average.
+func perCoreDemand(st WindowState, n int, fmax float64) linalg.Vector {
+	backlog := clampFreq(st.RequiredFreq, fmax) / fmax
+	out := linalg.NewVector(n)
+	for i := range out {
+		var busy float64
+		if st.Utilization != nil {
+			busy = st.Utilization[i]
+		}
+		out[i] = clampFreq((busy+backlog)*fmax, fmax)
+	}
+	return out
+}
+
+// BasicDFS is the traditional reactive scheme: per-core
+// utilization-tracking DVFS as in No-TC, but any core whose
+// boundary-sampled temperature has reached the threshold shuts down
+// until the next DFS point.
+type BasicDFS struct {
+	NumCores int
+	FMax     float64
+	// Threshold is the shutdown trigger in °C (the paper uses 90 °C
+	// against a 100 °C limit).
+	Threshold float64
+}
+
+// Name implements Policy.
+func (p *BasicDFS) Name() string { return "Basic-DFS" }
+
+// Decide implements Policy.
+func (p *BasicDFS) Decide(st WindowState) linalg.Vector {
+	out := perCoreDemand(st, p.NumCores, p.FMax)
+	for i := range out {
+		if st.CoreTemps[i] >= p.Threshold {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// ProTemp wraps the Phase-2 controller.
+type ProTemp struct {
+	Controller *core.Controller
+}
+
+// Name implements Policy.
+func (p *ProTemp) Name() string { return "Pro-Temp" }
+
+// Decide implements Policy.
+func (p *ProTemp) Decide(st WindowState) linalg.Vector {
+	d := p.Controller.Decide(st.MaxCoreTemp, st.RequiredFreq)
+	return linalg.VectorOf(d.Freqs...)
+}
+
+func clampFreq(f, fmax float64) float64 {
+	if math.IsNaN(f) || f < 0 {
+		return 0
+	}
+	if f > fmax {
+		return fmax
+	}
+	return f
+}
+
+// validatePolicyOutput normalizes a policy's command vector.
+func validatePolicyOutput(freqs linalg.Vector, n int, fmax float64) (linalg.Vector, error) {
+	if len(freqs) != n {
+		return nil, fmt.Errorf("sim: policy returned %d frequencies for %d cores", len(freqs), n)
+	}
+	out := freqs.Clone()
+	for i, f := range out {
+		out[i] = clampFreq(f, fmax)
+	}
+	return out, nil
+}

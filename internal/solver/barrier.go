@@ -1,0 +1,321 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"protemp/internal/linalg"
+)
+
+// Options tunes the barrier method. The zero value is replaced by
+// DefaultOptions.
+type Options struct {
+	// Mu is the barrier parameter multiplier per outer iteration.
+	Mu float64
+	// Tol is the target duality gap m/t.
+	Tol float64
+	// NewtonTol is the Newton decrement threshold (λ²/2) that ends a
+	// centering step.
+	NewtonTol float64
+	// MaxNewton bounds Newton iterations per centering step.
+	MaxNewton int
+	// MaxOuter bounds outer (barrier) iterations.
+	MaxOuter int
+	// Alpha and Beta are the backtracking line-search constants.
+	Alpha, Beta float64
+	// T0 is the initial barrier weight.
+	T0 float64
+	// StopEarly, if non-nil, aborts the solve successfully as soon as a
+	// centering iterate satisfies it. Phase I uses this to stop once a
+	// strictly feasible point is found.
+	StopEarly func(x linalg.Vector) bool
+}
+
+// DefaultOptions returns the tuning used throughout the project.
+func DefaultOptions() Options {
+	return Options{
+		Mu:        20,
+		Tol:       1e-8,
+		NewtonTol: 1e-10,
+		MaxNewton: 200,
+		MaxOuter:  100,
+		Alpha:     0.1,
+		Beta:      0.5,
+		T0:        1,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Mu <= 1 {
+		o.Mu = d.Mu
+	}
+	if o.Tol <= 0 {
+		o.Tol = d.Tol
+	}
+	if o.NewtonTol <= 0 {
+		o.NewtonTol = d.NewtonTol
+	}
+	if o.MaxNewton <= 0 {
+		o.MaxNewton = d.MaxNewton
+	}
+	if o.MaxOuter <= 0 {
+		o.MaxOuter = d.MaxOuter
+	}
+	if o.Alpha <= 0 || o.Alpha >= 0.5 {
+		o.Alpha = d.Alpha
+	}
+	if o.Beta <= 0 || o.Beta >= 1 {
+		o.Beta = d.Beta
+	}
+	if o.T0 <= 0 {
+		o.T0 = d.T0
+	}
+	return o
+}
+
+// Result reports a barrier solve.
+type Result struct {
+	// X is the final (approximately optimal) point.
+	X linalg.Vector
+	// Objective is f0(X).
+	Objective float64
+	// Gap is the final duality-gap bound m/t.
+	Gap float64
+	// Lambda holds the recovered dual variables λ_i = −1/(t·fi(X)).
+	Lambda linalg.Vector
+	// NewtonIters counts total Newton iterations across all centerings.
+	NewtonIters int
+	// OuterIters counts barrier (centering) stages.
+	OuterIters int
+	// StoppedEarly reports whether Options.StopEarly ended the solve.
+	StoppedEarly bool
+}
+
+// KKTResidual returns ‖∇f0(X) + Σ λ_i ∇fi(X)‖∞, the stationarity
+// residual of the recovered primal-dual pair.
+func (r *Result) KKTResidual(p *Problem) float64 {
+	n := p.Dim()
+	g := linalg.NewVector(n)
+	total := linalg.NewVector(n)
+	p.Objective.Gradient(total, r.X)
+	for i, c := range p.Constraints {
+		c.Gradient(g, r.X)
+		total.AddScaled(total, r.Lambda[i], g)
+	}
+	return total.NormInf()
+}
+
+// Barrier minimizes the problem from the strictly feasible start x0
+// using the log-barrier interior-point method (Boyd & Vandenberghe,
+// Algorithm 11.1). It returns ErrNumerical if centering stalls.
+func Barrier(p *Problem, x0 linalg.Vector, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	n := p.Dim()
+	if len(x0) != n {
+		return nil, fmt.Errorf("solver: start has dim %d, want %d", len(x0), n)
+	}
+	if !p.IsStrictlyFeasible(x0) {
+		return nil, fmt.Errorf("solver: start is not strictly feasible (max violation %v); run PhaseI first", p.MaxViolation(x0))
+	}
+
+	x := x0.Clone()
+	t := o.T0
+	m := float64(len(p.Constraints))
+	res := &Result{}
+
+	for outer := 0; outer < o.MaxOuter; outer++ {
+		res.OuterIters++
+		iters, stopped, err := center(p, x, t, o)
+		res.NewtonIters += iters
+		if err != nil {
+			return nil, err
+		}
+		if stopped {
+			res.StoppedEarly = true
+			break
+		}
+		if len(p.Constraints) == 0 || m/t < o.Tol {
+			break
+		}
+		t *= o.Mu
+	}
+
+	res.X = x
+	res.Objective = p.Objective.Value(x)
+	if len(p.Constraints) > 0 {
+		res.Gap = m / t
+	}
+	res.Lambda = linalg.NewVector(len(p.Constraints))
+	for i, c := range p.Constraints {
+		if v := c.Value(x); v < 0 {
+			res.Lambda[i] = -1 / (t * v)
+		}
+	}
+	return res, nil
+}
+
+// center minimizes t·f0(x) + φ(x) over the strictly feasible set by
+// damped Newton, updating x in place. It returns the iteration count
+// and whether StopEarly fired.
+func center(p *Problem, x linalg.Vector, t float64, o Options) (int, bool, error) {
+	n := p.Dim()
+	grad := linalg.NewVector(n)
+	gi := linalg.NewVector(n)
+	hess := linalg.NewMatrix(n, n)
+	dx := linalg.NewVector(n)
+	xTrial := linalg.NewVector(n)
+
+	for iter := 1; iter <= o.MaxNewton; iter++ {
+		if o.StopEarly != nil && o.StopEarly(x) {
+			return iter - 1, true, nil
+		}
+		// Assemble gradient and Hessian of t·f0 + φ.
+		val, ok := assemble(p, x, t, grad, gi, hess)
+		if !ok {
+			return iter, false, fmt.Errorf("%w: iterate left the domain", ErrNumerical)
+		}
+
+		// Newton direction: solve H dx = -grad, regularizing if needed.
+		if !newtonDirection(hess, grad, dx) {
+			return iter, false, fmt.Errorf("%w: KKT system unsolvable", ErrNumerical)
+		}
+
+		// Newton decrement: λ² = -gradᵀdx (dx solves H dx = -grad).
+		lambda2 := -grad.Dot(dx)
+		if lambda2 < 0 {
+			// Indefiniteness from regularization round-off; treat as done.
+			lambda2 = 0
+		}
+		if lambda2/2 <= o.NewtonTol {
+			return iter, false, nil
+		}
+
+		// Backtracking line search on t·f0 + φ, keeping strict feasibility.
+		step := 1.0
+		improved := false
+		for ls := 0; ls < 60; ls++ {
+			xTrial.AddScaled(x, step, dx)
+			if p.IsStrictlyFeasible(xTrial) {
+				if vt, okT := barrierValue(p, xTrial, t); okT && vt <= val-o.Alpha*step*lambda2 {
+					copy(x, xTrial)
+					improved = true
+					break
+				}
+			}
+			step *= o.Beta
+		}
+		if !improved {
+			// No descent at the smallest step: declare convergence if the
+			// decrement is already tiny, otherwise report failure.
+			if lambda2/2 <= math.Sqrt(o.NewtonTol) {
+				return iter, false, nil
+			}
+			return iter, false, fmt.Errorf("%w: line search failed (decrement %v)", ErrNumerical, lambda2/2)
+		}
+	}
+	return o.MaxNewton, false, nil
+}
+
+// assemble computes value, gradient and Hessian of t·f0 + φ at x.
+// It returns ok=false if x is outside the barrier domain.
+func assemble(p *Problem, x linalg.Vector, t float64, grad, gi linalg.Vector, hess *linalg.Matrix) (float64, bool) {
+	n := p.Dim()
+	val := t * p.Objective.Value(x)
+	p.Objective.Gradient(grad, x)
+	grad.Scale(t, grad)
+	for i := 0; i < n; i++ {
+		row := hess.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	p.Objective.AddHessian(hess, t, x)
+
+	for _, c := range p.Constraints {
+		fi := c.Value(x)
+		if fi >= 0 {
+			return 0, false
+		}
+		val -= math.Log(-fi)
+		inv := -1 / fi // positive
+		scale := 1 / (fi * fi)
+
+		// Sparse fast path: an Affine with a nonzero index list only
+		// contributes to those rows/columns.
+		if a, ok := c.(*Affine); ok && a.NZ != nil {
+			for _, r := range a.NZ {
+				grad[r] += inv * a.A[r]
+				gr := scale * a.A[r]
+				row := hess.Row(r)
+				for _, cc := range a.NZ {
+					row[cc] += gr * a.A[cc]
+				}
+			}
+			continue
+		}
+
+		c.Gradient(gi, x)
+		grad.AddScaled(grad, inv, gi)
+		// Hessian: (∇fi ∇fiᵀ)/fi² − ∇²fi/fi.
+		for r := 0; r < n; r++ {
+			gr := gi[r]
+			if gr == 0 {
+				continue
+			}
+			row := hess.Row(r)
+			for cIdx := 0; cIdx < n; cIdx++ {
+				row[cIdx] += scale * gr * gi[cIdx]
+			}
+		}
+		c.AddHessian(hess, inv, x)
+	}
+	return val, true
+}
+
+// barrierValue computes t·f0 + φ at x, with ok=false outside the domain.
+func barrierValue(p *Problem, x linalg.Vector, t float64) (float64, bool) {
+	val := t * p.Objective.Value(x)
+	for _, c := range p.Constraints {
+		fi := c.Value(x)
+		if fi >= 0 {
+			return 0, false
+		}
+		val -= math.Log(-fi)
+	}
+	return val, true
+}
+
+// newtonDirection solves H dx = -g by Cholesky, retrying with a growing
+// diagonal regularizer when H is numerically singular. Returns false
+// only if even heavy regularization fails.
+func newtonDirection(h *linalg.Matrix, g, dx linalg.Vector) bool {
+	n := len(g)
+	rhs := linalg.NewVector(n).Scale(-1, g)
+	reg := 0.0
+	scale := 1 + h.MaxAbs()
+	for attempt := 0; attempt < 8; attempt++ {
+		trial := h
+		if reg > 0 {
+			trial = h.Clone()
+			for i := 0; i < n; i++ {
+				trial.AddAt(i, i, reg)
+			}
+		}
+		if f, err := linalg.Cholesky(trial); err == nil {
+			if sol, err := f.Solve(rhs); err == nil && sol.AllFinite() {
+				copy(dx, sol)
+				return true
+			}
+		}
+		if reg == 0 {
+			reg = 1e-12 * scale
+		} else {
+			reg *= 1e3
+		}
+	}
+	return false
+}

@@ -1,0 +1,129 @@
+package solver
+
+import (
+	"fmt"
+
+	"protemp/internal/linalg"
+)
+
+// PhaseI finds a strictly feasible point of p's constraint set, or
+// returns ErrInfeasible. It solves the standard auxiliary program
+//
+//	minimize    s
+//	subject to  fi(x) − s <= 0
+//
+// over (x, s), starting from any x0 (the fi must be defined everywhere,
+// which holds for the affine/quadratic constraints used here), and
+// stops as soon as an iterate has s < −margin. The constraint set
+// should bound x for bounded s (Pro-Temp's frequency box constraints
+// do), otherwise the auxiliary problem may wander.
+func PhaseI(p *Problem, x0 linalg.Vector, opts Options) (linalg.Vector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.Dim()
+	if len(x0) != n {
+		return nil, fmt.Errorf("solver: start has dim %d, want %d", len(x0), n)
+	}
+	if len(p.Constraints) == 0 {
+		return x0.Clone(), nil
+	}
+	if p.IsStrictlyFeasible(x0) {
+		return x0.Clone(), nil
+	}
+
+	// Build the augmented problem over (x, s).
+	aug := &Problem{
+		Objective:   &Affine{A: unitVector(n+1, n)},
+		Constraints: make([]Func, len(p.Constraints)),
+	}
+	for i, c := range p.Constraints {
+		aug.Constraints[i] = &slackShifted{inner: c, scratch: linalg.NewMatrix(n, n)}
+	}
+
+	// Strictly feasible start for the augmented problem.
+	viol := p.MaxViolation(x0)
+	z0 := make(linalg.Vector, n+1)
+	copy(z0, x0)
+	z0[n] = viol + 1 + 0.1*abs(viol)
+
+	margin := opts.Tol
+	if margin <= 0 {
+		margin = 1e-9
+	}
+	o := opts
+	o.StopEarly = func(z linalg.Vector) bool { return z[len(z)-1] < -margin }
+
+	res, err := Barrier(aug, z0, o)
+	if err != nil {
+		return nil, fmt.Errorf("solver: phase I: %w", err)
+	}
+	x := res.X[:n].Clone()
+	if res.X[n] >= 0 || !p.IsStrictlyFeasible(x) {
+		return nil, fmt.Errorf("%w: phase I optimum s = %v", ErrInfeasible, res.X[n])
+	}
+	return x, nil
+}
+
+// Solve runs PhaseI if needed, then Barrier.
+func Solve(p *Problem, x0 linalg.Vector, opts Options) (*Result, error) {
+	start := x0
+	if !p.IsStrictlyFeasible(x0) {
+		feasible, err := PhaseI(p, x0, opts)
+		if err != nil {
+			return nil, err
+		}
+		start = feasible
+	}
+	return Barrier(p, start, opts)
+}
+
+// slackShifted wraps f(x) as g(x, s) = f(x) − s for Phase I.
+type slackShifted struct {
+	inner   Func
+	scratch *linalg.Matrix
+}
+
+func (f *slackShifted) Dim() int { return f.inner.Dim() + 1 }
+
+func (f *slackShifted) Value(z linalg.Vector) float64 {
+	n := f.inner.Dim()
+	return f.inner.Value(z[:n]) - z[n]
+}
+
+func (f *slackShifted) Gradient(g, z linalg.Vector) {
+	n := f.inner.Dim()
+	f.inner.Gradient(g[:n], z[:n])
+	g[n] = -1
+}
+
+func (f *slackShifted) AddHessian(h *linalg.Matrix, w float64, z linalg.Vector) {
+	n := f.inner.Dim()
+	for i := 0; i < n; i++ {
+		row := f.scratch.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	f.inner.AddHessian(f.scratch, w, z[:n])
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := f.scratch.At(i, j); v != 0 {
+				h.AddAt(i, j, v)
+			}
+		}
+	}
+}
+
+func unitVector(n, i int) linalg.Vector {
+	v := linalg.NewVector(n)
+	v[i] = 1
+	return v
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,133 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"protemp/internal/linalg"
+)
+
+func TestPhaseIFindsInterior(t *testing.T) {
+	// Feasible set: 1 <= x <= 3 per coordinate, start far outside.
+	n := 3
+	p := &Problem{Objective: &Affine{A: linalg.Constant(n, 1)}}
+	for j := 0; j < n; j++ {
+		lo := linalg.NewVector(n)
+		lo[j] = -1
+		hi := linalg.NewVector(n)
+		hi[j] = 1
+		p.Constraints = append(p.Constraints,
+			&Affine{A: lo, B: 1},
+			&Affine{A: hi, B: -3},
+		)
+	}
+	x, err := PhaseI(p, linalg.Constant(n, -10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsStrictlyFeasible(x) {
+		t.Fatalf("PhaseI point %v not strictly feasible", x)
+	}
+}
+
+func TestPhaseIReturnsStartIfFeasible(t *testing.T) {
+	p := boxProblem(t, linalg.VectorOf(0.5, 0.5))
+	start := linalg.VectorOf(0.25, 0.75)
+	x, err := PhaseI(p, start, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(start, 0) {
+		t.Fatalf("PhaseI moved an already-feasible start: %v", x)
+	}
+}
+
+func TestPhaseIQuadraticConstraints(t *testing.T) {
+	// Feasible set: x² + y² <= 1 (split into two diag quadratics is not
+	// needed — one works), plus x >= 0.3 making the naive origin start
+	// infeasible.
+	ball, err := NewDiagQuadratic(linalg.VectorOf(1, 1), linalg.NewVector(2), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Problem{
+		Objective: &Affine{A: linalg.VectorOf(0, 1)},
+		Constraints: []Func{
+			ball,
+			&Affine{A: linalg.VectorOf(-1, 0), B: 0.3},
+		},
+	}
+	x, err := PhaseI(p, linalg.VectorOf(-5, 5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsStrictlyFeasible(x) {
+		t.Fatalf("point %v infeasible", x)
+	}
+}
+
+func TestSolveEndToEndFromInfeasibleStart(t *testing.T) {
+	c := linalg.VectorOf(0.2, 0.9)
+	p := boxProblem(t, c)
+	res, err := Solve(p, linalg.VectorOf(-7, 12), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.X.Equal(c, 1e-5) {
+		t.Fatalf("X = %v, want %v", res.X, c)
+	}
+}
+
+func TestSolveNoConstraints(t *testing.T) {
+	obj, _ := NewDiagQuadratic(linalg.VectorOf(1), linalg.VectorOf(-4), 0)
+	p := &Problem{Objective: obj}
+	res, err := Solve(p, linalg.VectorOf(100), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-6 {
+		t.Fatalf("X = %v, want 2", res.X)
+	}
+}
+
+func TestPhaseIDimensionMismatch(t *testing.T) {
+	p := boxProblem(t, linalg.VectorOf(0.5))
+	if _, err := PhaseI(p, linalg.VectorOf(1, 2), Options{}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestPhaseINoConstraints(t *testing.T) {
+	p := &Problem{Objective: &Affine{A: linalg.VectorOf(1)}}
+	x, err := PhaseI(p, linalg.VectorOf(42), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 42 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+// Near-infeasible: the box [0.499, 0.501] is tiny but nonempty; Phase I
+// must still find it from far away.
+func TestPhaseITightBox(t *testing.T) {
+	n := 2
+	p := &Problem{Objective: &Affine{A: linalg.Constant(n, 1)}}
+	for j := 0; j < n; j++ {
+		lo := linalg.NewVector(n)
+		lo[j] = -1
+		hi := linalg.NewVector(n)
+		hi[j] = 1
+		p.Constraints = append(p.Constraints,
+			&Affine{A: lo, B: 0.499},
+			&Affine{A: hi, B: -0.501},
+		)
+	}
+	x, err := PhaseI(p, linalg.Constant(n, 50), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsStrictlyFeasible(x) {
+		t.Fatalf("point %v infeasible", x)
+	}
+}

@@ -1,0 +1,176 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"protemp/internal/floorplan"
+	"protemp/internal/linalg"
+)
+
+// GridModel is a HotSpot-style fine-grained thermal model: the die is
+// tiled into a regular Rows x Cols grid of cells, each cell is an RC
+// node coupled to its 4-neighbours laterally and to ambient vertically,
+// and block power is spread uniformly over the cells a block covers.
+// The paper validates its block-level simulator against exactly this
+// kind of model ("we also verified our simulator using the thermal
+// models from the Hotspot simulator [17]"); the GridValidation test
+// suite reproduces that cross-check.
+type GridModel struct {
+	fp         *floorplan.Floorplan
+	params     Params
+	rows, cols int
+	cellW      float64
+	cellH      float64
+	x0, y0     float64
+
+	rc *RCModel // cell-level network reusing the block-level machinery
+
+	// cellsOf[b] lists the cell indices covered by block b;
+	// blockOf[c] is the covering block (-1 for uncovered cells).
+	cellsOf [][]int
+	blockOf []int
+}
+
+// NewGrid builds a grid model with the given resolution. Cells outside
+// every block (floorplans are fully covering in this project, but
+// uncovered cells are tolerated) get silicon properties and no power.
+func NewGrid(fp *floorplan.Floorplan, params Params, rows, cols int) (*GridModel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("thermal: grid resolution %dx%d", rows, cols)
+	}
+	if fp.NumBlocks() == 0 {
+		return nil, fmt.Errorf("thermal: empty floorplan")
+	}
+	x0, y0, w, h := fp.BoundingBox()
+	g := &GridModel{
+		fp: fp, params: params, rows: rows, cols: cols,
+		cellW: w / float64(cols), cellH: h / float64(rows),
+		x0: x0, y0: y0,
+		cellsOf: make([][]int, fp.NumBlocks()),
+		blockOf: make([]int, rows*cols),
+	}
+
+	// Build a synthetic floorplan of cells and reuse NewRC: the cell
+	// network is exactly a block network over uniform rectangles.
+	cells := make([]floorplan.Block, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			cells = append(cells, floorplan.Block{
+				Name: fmt.Sprintf("g%d_%d", r, c),
+				Kind: floorplan.KindUncore,
+				X:    x0 + float64(c)*g.cellW,
+				Y:    y0 + float64(r)*g.cellH,
+				W:    g.cellW,
+				H:    g.cellH,
+			})
+		}
+	}
+	cellPlan, err := floorplan.New(cells)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: grid cells: %w", err)
+	}
+	rc, err := NewRC(cellPlan, params)
+	if err != nil {
+		return nil, err
+	}
+	g.rc = rc
+
+	// Map cells to blocks by cell-centre containment.
+	for ci := 0; ci < rows*cols; ci++ {
+		g.blockOf[ci] = -1
+	}
+	for bi := 0; bi < fp.NumBlocks(); bi++ {
+		b := fp.Block(bi)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				cx := x0 + (float64(c)+0.5)*g.cellW
+				cy := y0 + (float64(r)+0.5)*g.cellH
+				if cx >= b.X && cx < b.X+b.W && cy >= b.Y && cy < b.Y+b.H {
+					ci := r*cols + c
+					g.cellsOf[bi] = append(g.cellsOf[bi], ci)
+					g.blockOf[ci] = bi
+				}
+			}
+		}
+		if len(g.cellsOf[bi]) == 0 {
+			return nil, fmt.Errorf("thermal: grid %dx%d too coarse: block %q covers no cell centre",
+				rows, cols, b.Name)
+		}
+	}
+	return g, nil
+}
+
+// NumCells returns rows*cols.
+func (g *GridModel) NumCells() int { return g.rows * g.cols }
+
+// Resolution returns (rows, cols).
+func (g *GridModel) Resolution() (int, int) { return g.rows, g.cols }
+
+// CellModel exposes the underlying cell-level RC network.
+func (g *GridModel) CellModel() *RCModel { return g.rc }
+
+// SpreadPower converts a per-block power vector into a per-cell power
+// vector, spreading each block's power uniformly over its cells.
+func (g *GridModel) SpreadPower(blockPower linalg.Vector) (linalg.Vector, error) {
+	if len(blockPower) != g.fp.NumBlocks() {
+		return nil, fmt.Errorf("thermal: power length %d, want %d blocks", len(blockPower), g.fp.NumBlocks())
+	}
+	p := linalg.NewVector(g.NumCells())
+	for bi, cells := range g.cellsOf {
+		if len(cells) == 0 {
+			continue
+		}
+		per := blockPower[bi] / float64(len(cells))
+		for _, ci := range cells {
+			p[ci] += per
+		}
+	}
+	return p, nil
+}
+
+// BlockTemps aggregates cell temperatures back to blocks, returning
+// both the area mean and the maximum per block.
+func (g *GridModel) BlockTemps(cellTemps linalg.Vector) (mean, max linalg.Vector, err error) {
+	if len(cellTemps) != g.NumCells() {
+		return nil, nil, fmt.Errorf("thermal: temps length %d, want %d cells", len(cellTemps), g.NumCells())
+	}
+	nb := g.fp.NumBlocks()
+	mean = linalg.NewVector(nb)
+	max = linalg.Constant(nb, math.Inf(-1))
+	for bi, cells := range g.cellsOf {
+		var sum float64
+		for _, ci := range cells {
+			sum += cellTemps[ci]
+			if cellTemps[ci] > max[bi] {
+				max[bi] = cellTemps[ci]
+			}
+		}
+		mean[bi] = sum / float64(len(cells))
+	}
+	return mean, max, nil
+}
+
+// SteadyStateBlocks solves the cell-level steady state under the given
+// per-block power and returns the per-block mean temperatures — the
+// quantity compared against the block-level model in validation.
+func (g *GridModel) SteadyStateBlocks(blockPower linalg.Vector) (linalg.Vector, error) {
+	p, err := g.SpreadPower(blockPower)
+	if err != nil {
+		return nil, err
+	}
+	cellT, err := g.rc.SteadyState(p)
+	if err != nil {
+		return nil, err
+	}
+	mean, _, err := g.BlockTemps(cellT)
+	return mean, err
+}
+
+// Discretize returns the cell-level Euler discretization.
+func (g *GridModel) Discretize(dt float64) (*Discrete, error) {
+	return g.rc.Discretize(dt)
+}

@@ -1,0 +1,248 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"protemp/internal/floorplan"
+	"protemp/internal/linalg"
+)
+
+func niagaraGrid(t *testing.T, rows, cols int) *GridModel {
+	t.Helper()
+	g, err := NewGrid(floorplan.Niagara(), DefaultParams(), rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGridValidation(t *testing.T) {
+	fp := floorplan.Niagara()
+	if _, err := NewGrid(fp, DefaultParams(), 0, 10); err == nil {
+		t.Error("zero rows accepted")
+	}
+	bad := DefaultParams()
+	bad.Conductivity = -1
+	if _, err := NewGrid(fp, bad, 10, 10); err == nil {
+		t.Error("invalid params accepted")
+	}
+	// Too coarse: a 1x1 grid cannot give every block a cell centre.
+	if _, err := NewGrid(fp, DefaultParams(), 1, 1); err == nil {
+		t.Error("too-coarse grid accepted")
+	}
+	if _, err := NewGrid(&floorplan.Floorplan{}, DefaultParams(), 4, 4); err == nil {
+		t.Error("empty floorplan accepted")
+	}
+}
+
+func TestGridCellAccounting(t *testing.T) {
+	g := niagaraGrid(t, 20, 28) // 0.5 mm cells on the 14x10 mm die
+	if g.NumCells() != 560 {
+		t.Fatalf("NumCells = %d", g.NumCells())
+	}
+	r, c := g.Resolution()
+	if r != 20 || c != 28 {
+		t.Fatalf("Resolution = %dx%d", r, c)
+	}
+	// Every cell belongs to exactly one block (the Niagara plan covers
+	// the die), and cell counts sum to the total.
+	total := 0
+	for bi := 0; bi < g.fp.NumBlocks(); bi++ {
+		total += len(g.cellsOf[bi])
+	}
+	if total != g.NumCells() {
+		t.Fatalf("cells assigned %d of %d", total, g.NumCells())
+	}
+}
+
+func TestGridSpreadPowerConserves(t *testing.T) {
+	g := niagaraGrid(t, 20, 28)
+	bp := linalg.NewVector(g.fp.NumBlocks())
+	for i := range bp {
+		bp[i] = float64(i) * 0.3
+	}
+	cp, err := g.SpreadPower(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cp.Sum()-bp.Sum()) > 1e-9 {
+		t.Fatalf("power not conserved: %v vs %v", cp.Sum(), bp.Sum())
+	}
+	if _, err := g.SpreadPower(linalg.NewVector(3)); err == nil {
+		t.Error("wrong-length power accepted")
+	}
+}
+
+func TestGridBlockTempsAggregation(t *testing.T) {
+	g := niagaraGrid(t, 20, 28)
+	cellT := linalg.Constant(g.NumCells(), 55)
+	mean, max, err := g.BlockTemps(cellT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi := range mean {
+		if math.Abs(mean[bi]-55) > 1e-12 || math.Abs(max[bi]-55) > 1e-12 {
+			t.Fatalf("uniform field not preserved: block %d mean %v max %v", bi, mean[bi], max[bi])
+		}
+	}
+	if _, _, err := g.BlockTemps(linalg.NewVector(1)); err == nil {
+		t.Error("wrong-length temps accepted")
+	}
+}
+
+// The HotSpot-style cross-validation the paper describes: block-level
+// and fine-grid models must agree on steady-state block temperatures.
+func TestGridValidatesBlockModel(t *testing.T) {
+	fp := floorplan.Niagara()
+	block, err := NewRC(fp, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := niagaraGrid(t, 20, 28)
+
+	// Full power: 4 W per core, area-shared uncore.
+	bp := linalg.NewVector(fp.NumBlocks())
+	var uncoreArea float64
+	for i := 0; i < fp.NumBlocks(); i++ {
+		if fp.Block(i).Kind != floorplan.KindCore {
+			uncoreArea += fp.Block(i).Area()
+		}
+	}
+	for i := 0; i < fp.NumBlocks(); i++ {
+		if fp.Block(i).Kind == floorplan.KindCore {
+			bp[i] = 4
+		} else {
+			bp[i] = 9.6 * fp.Block(i).Area() / uncoreArea
+		}
+	}
+	coarse, err := block.SteadyState(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := grid.SteadyStateBlocks(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coarse {
+		rise := coarse[i] - DefaultParams().Ambient
+		diff := math.Abs(fine[i] - coarse[i])
+		// Agreement within 15% of the rise: the models differ in
+		// lateral discretization, not in physics.
+		if diff > 0.15*rise+0.5 {
+			t.Fatalf("block %s: block-level %.2f vs grid %.2f (rise %.2f)",
+				fp.Block(i).Name, coarse[i], fine[i], rise)
+		}
+	}
+}
+
+// Grid refinement converges: on a floorplan whose block boundaries
+// align with every tested cell size (so no boundary-straddling error
+// pollutes the comparison), successively halving the cells moves the
+// block steady states monotonically toward the finest solution.
+func TestGridRefinementConverges(t *testing.T) {
+	fp, err := floorplan.Grid(floorplan.GridSpec{
+		Rows: 2, Cols: 2, CoreW: 2e-3, CoreH: 2e-3, CacheH: 1e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := linalg.NewVector(fp.NumBlocks())
+	for _, ci := range fp.CoreIndices() {
+		bp[ci] = 3
+	}
+	// Die is 4 mm x 6 mm; cell sizes 0.5, 0.25, 0.125 mm all align.
+	res := [][2]int{{12, 8}, {24, 16}, {48, 32}}
+	var temps []linalg.Vector
+	for _, r := range res {
+		g, err := NewGrid(fp, DefaultParams(), r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := g.SteadyStateBlocks(bp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		temps = append(temps, ts)
+	}
+	d0 := maxAbsDiff(temps[0], temps[2])
+	d1 := maxAbsDiff(temps[1], temps[2])
+	if d1 > d0 {
+		t.Fatalf("refinement diverging: coarse-to-fine %.3f, mid-to-fine %.3f", d0, d1)
+	}
+}
+
+func maxAbsDiff(a, b linalg.Vector) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Transient cross-check: simulate one DFS window at full power on both
+// models; block temperatures track within a tight band.
+func TestGridTransientTracksBlockModel(t *testing.T) {
+	fp := floorplan.Niagara()
+	block, err := NewRC(fp, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := niagaraGrid(t, 20, 28)
+
+	bp := linalg.NewVector(fp.NumBlocks())
+	for _, ci := range fp.CoreIndices() {
+		bp[ci] = 4
+	}
+	cellPower, err := grid.SpreadPower(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 0.5 mm cells need a finer Euler step than the paper's 0.4 ms;
+	// integrate both models at 0.1 ms over the same 100 ms window.
+	db, err := block.Discretize(1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := grid.Discretize(1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := NewSimulator(db, block.UniformStart(45))
+	sg, _ := NewSimulator(dg, grid.CellModel().UniformStart(45))
+	sb.Run(bp, 1000)
+	sg.Run(cellPower, 1000)
+
+	mean, _, err := grid.BlockTemps(sg.Temps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := sb.Temps()
+	for _, ci := range fp.CoreIndices() {
+		rise := coarse[ci] - 45
+		if rise < 5 {
+			continue
+		}
+		if math.Abs(mean[ci]-coarse[ci]) > 0.2*rise+0.5 {
+			t.Fatalf("core %s transient: block %.2f vs grid %.2f",
+				fp.Block(ci).Name, coarse[ci], mean[ci])
+		}
+	}
+}
+
+// The paper's 0.4 ms step is unstable on the fine 0.5 mm grid — the
+// stability check must reject it rather than integrate garbage. (This
+// is a regression test for the power-iteration start vector: a uniform
+// start is orthogonal to the grid's unstable checkerboard mode.)
+func TestGridRejectsUnstableStep(t *testing.T) {
+	g := niagaraGrid(t, 20, 28)
+	if _, err := g.Discretize(0.4e-3); err == nil {
+		t.Fatal("unstable 0.4 ms step on 0.5 mm cells accepted")
+	}
+	if _, err := g.Discretize(1e-4); err != nil {
+		t.Fatalf("stable 0.1 ms step rejected: %v", err)
+	}
+}

@@ -1,0 +1,63 @@
+package thermal
+
+import (
+	"fmt"
+
+	"protemp/internal/linalg"
+)
+
+// WithLinearLeakage returns a copy of the model augmented with
+// temperature-dependent leakage power, linearized around the ambient:
+//
+//	p_leak,i(T) = leak_i · (T_i − T_amb),   leak_i in W/K
+//
+// Leakage growing with temperature is the positive feedback the
+// paper's reliability citations ([6], [18]) describe; because the
+// dependence is linear it folds into the conductance matrix
+// (G' = G − diag(leak)) and every downstream consumer — steady state,
+// discretization, window responses, the convex program — works
+// unchanged, with temperatures still affine in the controllable power.
+//
+// If the leakage feedback overwhelms the network's ability to remove
+// heat (G' loses positive definiteness), the chip has no stable
+// operating point at any power: thermal runaway. That condition is
+// detected and reported as an error.
+func (m *RCModel) WithLinearLeakage(leak linalg.Vector) (*RCModel, error) {
+	if len(leak) != m.n {
+		return nil, fmt.Errorf("thermal: leakage vector length %d, want %d", len(leak), m.n)
+	}
+	for i, l := range leak {
+		if l < 0 {
+			return nil, fmt.Errorf("thermal: negative leakage coefficient %v at node %d", l, i)
+		}
+	}
+	out := &RCModel{
+		fp:      m.fp,
+		params:  m.params,
+		n:       m.n,
+		cap:     m.cap.Clone(),
+		g:       m.g.Clone(),
+		gAmb:    m.gAmb.Clone(),
+		ambient: m.ambient,
+	}
+	for i, l := range leak {
+		out.g.AddAt(i, i, -l)
+	}
+	// Stability: the effective conductance matrix must stay positive
+	// definite, otherwise some temperature mode grows without bound.
+	if _, err := linalg.Cholesky(out.g); err != nil {
+		return nil, fmt.Errorf("thermal: leakage causes thermal runaway (effective conductance not positive definite): %w", err)
+	}
+	return out, nil
+}
+
+// UniformLeakagePerArea builds an area-proportional leakage vector:
+// every node leaks coeffPerM2 · area watts per kelvin of rise above
+// ambient.
+func (m *RCModel) UniformLeakagePerArea(coeffPerM2 float64) linalg.Vector {
+	leak := linalg.NewVector(m.n)
+	for i := 0; i < m.n; i++ {
+		leak[i] = coeffPerM2 * m.fp.Block(i).Area()
+	}
+	return leak
+}

@@ -1,0 +1,209 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"protemp/internal/floorplan"
+	"protemp/internal/linalg"
+)
+
+func niagaraRC(t *testing.T) *RCModel {
+	t.Helper()
+	m, err := NewRC(floorplan.Niagara(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// fullPower returns the power vector with all cores at pc watts and
+// non-core blocks at the paper's 30% aggregate share (area-weighted).
+func fullPower(m *RCModel, pc float64) linalg.Vector {
+	fp := m.Floorplan()
+	p := linalg.NewVector(m.NumNodes())
+	cores := fp.CoreIndices()
+	var otherArea float64
+	for i := 0; i < fp.NumBlocks(); i++ {
+		if fp.Block(i).Kind != floorplan.KindCore {
+			otherArea += fp.Block(i).Area()
+		}
+	}
+	otherTotal := 0.3 * pc * float64(len(cores))
+	for i := 0; i < fp.NumBlocks(); i++ {
+		if fp.Block(i).Kind == floorplan.KindCore {
+			p[i] = pc
+		} else {
+			p[i] = otherTotal * fp.Block(i).Area() / otherArea
+		}
+	}
+	return p
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		{Ambient: math.NaN(), DieThickness: 1, Conductivity: 1, VerticalRPerArea: 1, CapacitancePerArea: 1},
+		{DieThickness: 0, Conductivity: 1, VerticalRPerArea: 1, CapacitancePerArea: 1},
+		{DieThickness: 1, Conductivity: -1, VerticalRPerArea: 1, CapacitancePerArea: 1},
+		{DieThickness: 1, Conductivity: 1, VerticalRPerArea: 0, CapacitancePerArea: 1},
+		{DieThickness: 1, Conductivity: 1, VerticalRPerArea: 1, CapacitancePerArea: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+	if _, err := NewRC(floorplan.Niagara(), bad[1]); err == nil {
+		t.Error("NewRC accepted invalid params")
+	}
+}
+
+func TestConductanceStructure(t *testing.T) {
+	m := niagaraRC(t)
+	g := m.Conductance()
+	if !g.IsSymmetric(1e-12 * g.MaxAbs()) {
+		t.Fatal("G is not symmetric")
+	}
+	// Row i: diagonal equals vertical conductance plus the negated sum of
+	// off-diagonals (Laplacian + diag structure).
+	for i := 0; i < m.NumNodes(); i++ {
+		var off float64
+		for j := 0; j < m.NumNodes(); j++ {
+			if j == i {
+				continue
+			}
+			if g.At(i, j) > 0 {
+				t.Fatalf("positive off-diagonal G[%d,%d] = %v", i, j, g.At(i, j))
+			}
+			off += g.At(i, j)
+		}
+		wantDiag := -off + m.cap[i]/m.cap[i]*m.gAmb[i] // -off + gAmb
+		if math.Abs(g.At(i, i)-wantDiag) > 1e-9*g.MaxAbs() {
+			t.Fatalf("diag[%d] = %v, want %v", i, g.At(i, i), wantDiag)
+		}
+	}
+}
+
+func TestAdjacencyMatchesFloorplan(t *testing.T) {
+	m := niagaraRC(t)
+	fp := m.Floorplan()
+	g := m.Conductance()
+	for i := 0; i < fp.NumBlocks(); i++ {
+		for j := 0; j < fp.NumBlocks(); j++ {
+			if i == j {
+				continue
+			}
+			touching := floorplan.SharedEdge(fp.Block(i), fp.Block(j)) > 0
+			coupled := g.At(i, j) != 0
+			if touching != coupled {
+				t.Fatalf("blocks %s-%s: touching=%v coupled=%v",
+					fp.Block(i).Name, fp.Block(j).Name, touching, coupled)
+			}
+		}
+	}
+}
+
+func TestSteadyStateZeroPowerIsAmbient(t *testing.T) {
+	m := niagaraRC(t)
+	ts, err := m.SteadyState(linalg.NewVector(m.NumNodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, temp := range ts {
+		if math.Abs(temp-m.Ambient()) > 1e-9 {
+			t.Fatalf("node %d steady state %v, want ambient %v", i, temp, m.Ambient())
+		}
+	}
+}
+
+func TestSteadyStateMonotoneInPower(t *testing.T) {
+	m := niagaraRC(t)
+	low, err := m.SteadyState(fullPower(m, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := m.SteadyState(fullPower(m, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range low {
+		if high[i] <= low[i] {
+			t.Fatalf("node %d: more power not hotter: %v vs %v", i, low[i], high[i])
+		}
+		if low[i] < m.Ambient() {
+			t.Fatalf("node %d below ambient with positive power: %v", i, low[i])
+		}
+	}
+}
+
+// Calibration contract for the paper's regime: at full power (4 W/core,
+// 30% uncore) the hottest core must exceed the 100 °C limit by a clear
+// margin (No-TC violates, Fig. 6) but stay in a physically plausible
+// range; at ~35% power the chip must be able to run below 100 °C
+// (Pro-Temp has feasible operating points).
+func TestNiagaraCalibration(t *testing.T) {
+	m := niagaraRC(t)
+	full, err := m.SteadyState(fullPower(m, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := m.Floorplan().CoreIndices()
+	var hottest float64
+	for _, ci := range cores {
+		if full[ci] > hottest {
+			hottest = full[ci]
+		}
+	}
+	if hottest < 110 || hottest > 180 {
+		t.Fatalf("full-power hottest core %.1f °C, want in [110, 180]", hottest)
+	}
+	part, err := m.SteadyState(fullPower(m, 4*0.35*0.35)) // ~35% frequency => ~12% power
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ci := range cores {
+		if part[ci] >= 100 {
+			t.Fatalf("low-power core at %.1f °C, chip has no feasible cool point", part[ci])
+		}
+	}
+}
+
+// The middle cores (P2) must run hotter than periphery cores (P1) at
+// equal power — the asymmetry behind the paper's Fig. 9/10.
+func TestNiagaraMiddleHotterThanPeriphery(t *testing.T) {
+	m := niagaraRC(t)
+	ts, err := m.SteadyState(fullPower(m, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := m.Floorplan()
+	p1, _ := fp.IndexOf("P1")
+	p2, _ := fp.IndexOf("P2")
+	if ts[p2] <= ts[p1] {
+		t.Fatalf("P2 (%.2f °C) should be hotter than P1 (%.2f °C)", ts[p2], ts[p1])
+	}
+}
+
+func TestSteadyStateLengthMismatch(t *testing.T) {
+	m := niagaraRC(t)
+	if _, err := m.SteadyState(linalg.NewVector(3)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestEmptyFloorplanRejected(t *testing.T) {
+	if _, err := NewRC(&floorplan.Floorplan{}, DefaultParams()); err == nil {
+		t.Fatal("empty floorplan accepted")
+	}
+}
+
+func TestUniformStart(t *testing.T) {
+	m := niagaraRC(t)
+	v := m.UniformStart(27)
+	if len(v) != m.NumNodes() || v[0] != 27 || v[len(v)-1] != 27 {
+		t.Fatalf("UniformStart = %v", v)
+	}
+}

@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeneratorValidate(t *testing.T) {
+	good := Mixed(1, 8, 10)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("standard generator invalid: %v", err)
+	}
+	mutations := []func(*Generator){
+		func(g *Generator) { g.Duration = 0 },
+		func(g *Generator) { g.NumCores = 0 },
+		func(g *Generator) { g.Utilization = 0 },
+		func(g *Generator) { g.Utilization = 2 },
+		func(g *Generator) { g.Mix = nil },
+		func(g *Generator) { g.BurstFactor = 0.5 },
+		func(g *Generator) { g.HighFrac = 0 },
+		func(g *Generator) { g.HighFrac = 1.2 },
+		func(g *Generator) { g.BurstFactor = 3; g.HighFrac = 0.5 },
+		func(g *Generator) { g.MeanBurst = 0 },
+		func(g *Generator) { g.Mix = []Class{{Name: "x", MinWork: 0, MaxWork: 1, Weight: 1}} },
+		func(g *Generator) { g.Mix = []Class{{Name: "x", MinWork: 2, MaxWork: 1, Weight: 1}} },
+		func(g *Generator) { g.Mix = []Class{{Name: "x", MinWork: 1e-3, MaxWork: 2e-3, Weight: 0}} },
+		func(g *Generator) { g.Mix = []Class{{Name: "x", MinWork: 1e-3, MaxWork: 2e-3, Weight: -1}} },
+	}
+	for i, mutate := range mutations {
+		g := Mixed(1, 8, 10)
+		mutate(g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+		if _, err := g.Generate(); err == nil {
+			t.Errorf("mutation %d generated", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Mixed(42, 8, 20).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mixed(42, 8, 20).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tasks) != len(b.Tasks) {
+		t.Fatalf("same seed, different counts: %d vs %d", len(a.Tasks), len(b.Tasks))
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("task %d differs: %+v vs %+v", i, a.Tasks[i], b.Tasks[i])
+		}
+	}
+	c, err := Mixed(43, 8, 20).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Tasks) == len(a.Tasks) && len(a.Tasks) > 0 && c.Tasks[0] == a.Tasks[0] {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateMeetsPaperProperties(t *testing.T) {
+	tr, err := Mixed(7, 8, 60).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(tr, 8)
+	// Task lengths within the paper's 1-10 ms.
+	if st.MinWork < 1e-3-1e-12 || st.MaxWork > 10e-3+1e-12 {
+		t.Fatalf("work range [%g, %g] outside paper's 1-10 ms", st.MinWork, st.MaxWork)
+	}
+	// Offered load near the 0.55 target.
+	if st.OfferedLoad < 0.4 || st.OfferedLoad > 0.7 {
+		t.Fatalf("offered load %.3f far from 0.55 target", st.OfferedLoad)
+	}
+	// Bursty: index of dispersion clearly above Poisson.
+	if st.Burstiness < 1.2 {
+		t.Fatalf("burstiness %.2f too low for the bursty generator", st.Burstiness)
+	}
+}
+
+func TestComputeIntensiveHeavier(t *testing.T) {
+	mixed, err := Mixed(7, 8, 60).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := ComputeIntensive(7, 8, 60).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := Summarize(mixed, 8)
+	lh := Summarize(heavy, 8)
+	if lh.OfferedLoad <= lm.OfferedLoad {
+		t.Fatalf("compute-intensive load %.3f not above mixed %.3f", lh.OfferedLoad, lm.OfferedLoad)
+	}
+	if lh.MeanWork <= lm.MeanWork {
+		t.Fatalf("compute-intensive mean work %.4f not above mixed %.4f", lh.MeanWork, lm.MeanWork)
+	}
+	if lh.MinWork < 5e-3-1e-12 {
+		t.Fatalf("compute-intensive has short task %.4f", lh.MinWork)
+	}
+}
+
+// The paper's headline trace scale: around 60,000 tasks.
+func TestSixtyThousandTaskScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large trace in -short mode")
+	}
+	tr, err := PaperScale(1, 8).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(tr.Tasks)
+	if n < 45000 || n > 80000 {
+		t.Fatalf("paper-scale trace has %d tasks, want ≈60k", n)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr, err := Mixed(3, 8, 5).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tasks) != len(tr.Tasks) {
+		t.Fatalf("round trip count %d != %d", len(back.Tasks), len(tr.Tasks))
+	}
+	for i := range tr.Tasks {
+		a, b := tr.Tasks[i], back.Tasks[i]
+		if a.ID != b.ID || a.Class != b.Class ||
+			math.Abs(a.Arrival-b.Arrival) > 1e-9 || math.Abs(a.Work-b.Work) > 1e-9 {
+			t.Fatalf("task %d drifted: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing fields": "id,arrival_s,work_s,class\n0,0.5,0.001\n",
+		"bad id":         "id,arrival_s,work_s,class\nx,0.5,0.001,web\n",
+		"bad arrival":    "id,arrival_s,work_s,class\n0,x,0.001,web\n",
+		"bad work":       "id,arrival_s,work_s,class\n0,0.5,x,web\n",
+		"unsorted":       "id,arrival_s,work_s,class\n0,1.0,0.001,web\n1,0.5,0.001,web\n",
+		"zero work":      "id,arrival_s,work_s,class\n0,0.5,0,web\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadCSV(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestTraceAccessorsEmpty(t *testing.T) {
+	tr := &Trace{}
+	if tr.Duration() != 0 || tr.TotalWork() != 0 || tr.OfferedLoad(8) != 0 {
+		t.Fatal("empty trace accessors nonzero")
+	}
+	st := Summarize(tr, 8)
+	if st.Tasks != 0 || st.MinWork != 0 {
+		t.Fatalf("empty summary: %+v", st)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+}
+
+func TestTraceValidateCatchesCorruption(t *testing.T) {
+	bad := []*Trace{
+		{Tasks: []Task{{Arrival: 1, Work: 1e-3}, {Arrival: 0.5, Work: 1e-3}}},
+		{Tasks: []Task{{Arrival: -1, Work: 1e-3}}},
+		{Tasks: []Task{{Arrival: 0, Work: 0}}},
+		{Tasks: []Task{{Arrival: 0, Work: math.NaN()}}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPlainPoissonDegenerate(t *testing.T) {
+	// HighFrac = 1 with BurstFactor = 1 is plain Poisson; dispersion ~ 1.
+	g := &Generator{
+		Seed: 5, Duration: 120, NumCores: 8, Utilization: 0.5,
+		Mix: StandardMix(), BurstFactor: 1, HighFrac: 1, MeanBurst: 1,
+	}
+	tr, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(tr, 8)
+	if st.Burstiness > 1.35 || st.Burstiness < 0.7 {
+		t.Fatalf("Poisson trace dispersion %.3f not near 1", st.Burstiness)
+	}
+}

@@ -1,0 +1,179 @@
+// Package protemp is the public facade of the Pro-Temp reproduction —
+// the convex-optimization-based pro-active temperature controller for
+// multi-core chips from Murali et al., "Temperature Control of
+// High-Performance Multi-core Platforms Using Convex Optimization"
+// (DATE 2008).
+//
+// The heavy lifting lives in the internal packages (floorplan, thermal,
+// power, solver, core, workload, sim, experiments); this package wires
+// them together for the common case: build a modeled chip, generate the
+// Phase-1 frequency table, and run closed-loop simulations. See the
+// examples/ directory for end-to-end programs and DESIGN.md for the
+// architecture.
+package protemp
+
+import (
+	"fmt"
+
+	"protemp/internal/core"
+	"protemp/internal/floorplan"
+	"protemp/internal/power"
+	"protemp/internal/sim"
+	"protemp/internal/thermal"
+	"protemp/internal/workload"
+)
+
+// SystemConfig describes a modeled platform.
+type SystemConfig struct {
+	// Floorplan defaults to the Niagara-8 plan.
+	Floorplan *floorplan.Floorplan
+	// CoreModel defaults to the paper's 1 GHz / 4 W cores.
+	CoreModel power.CoreModel
+	// UncoreShare defaults to the paper's 30%.
+	UncoreShare float64
+	// ThermalParams defaults to thermal.DefaultParams().
+	ThermalParams thermal.Params
+	// Dt is the thermal step (default the paper's 0.4 ms).
+	Dt float64
+	// WindowSteps is the DFS horizon in steps (default 250 = 100 ms).
+	WindowSteps int
+	// TMax is the temperature limit (default 100 °C).
+	TMax float64
+}
+
+func (c SystemConfig) withDefaults() SystemConfig {
+	if c.Floorplan == nil {
+		c.Floorplan = floorplan.Niagara()
+	}
+	if c.CoreModel == (power.CoreModel{}) {
+		c.CoreModel = power.NiagaraCore()
+	}
+	if c.UncoreShare == 0 {
+		c.UncoreShare = power.UncoreShare
+	}
+	if c.ThermalParams == (thermal.Params{}) {
+		c.ThermalParams = thermal.DefaultParams()
+	}
+	if c.Dt == 0 {
+		c.Dt = 0.4e-3
+	}
+	if c.WindowSteps == 0 {
+		c.WindowSteps = 250
+	}
+	if c.TMax == 0 {
+		c.TMax = 100
+	}
+	return c
+}
+
+// System bundles a modeled chip: floorplan, power models, thermal model
+// and the precomputed window response the optimizer consumes.
+type System struct {
+	Config SystemConfig
+	Chip   *power.Chip
+	Model  *thermal.RCModel
+	Disc   *thermal.Discrete
+	Window *thermal.WindowResponse
+}
+
+// NewSystem builds a System; zero-valued config fields take the paper's
+// defaults.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	cfg = cfg.withDefaults()
+	chip, err := power.NewChip(cfg.Floorplan, cfg.CoreModel, cfg.UncoreShare)
+	if err != nil {
+		return nil, err
+	}
+	model, err := thermal.NewRC(cfg.Floorplan, cfg.ThermalParams)
+	if err != nil {
+		return nil, err
+	}
+	disc, err := model.Discretize(cfg.Dt)
+	if err != nil {
+		return nil, err
+	}
+	window, err := disc.Window(cfg.WindowSteps)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Config: cfg, Chip: chip, Model: model, Disc: disc, Window: window}, nil
+}
+
+// NewNiagaraSystem builds the paper's evaluation platform with all
+// defaults.
+func NewNiagaraSystem() (*System, error) {
+	return NewSystem(SystemConfig{})
+}
+
+// Optimize solves one design point (Phase-1 style) at the given
+// starting temperature and required average frequency.
+func (s *System) Optimize(tstart, ftarget float64, variant core.Variant) (*core.Assignment, error) {
+	return core.Solve(&core.Spec{
+		Chip:    s.Chip,
+		Window:  s.Window,
+		TStart:  tstart,
+		TMax:    s.Config.TMax,
+		FTarget: ftarget,
+		Variant: variant,
+	})
+}
+
+// GenerateTable runs Phase 1 over the default grids (or the provided
+// ones if non-nil).
+func (s *System) GenerateTable(tstarts, ftargets []float64, variant core.Variant) (*core.Table, error) {
+	if tstarts == nil {
+		tstarts = core.DefaultTStarts()
+	}
+	if ftargets == nil {
+		ftargets = core.DefaultFTargets(s.Chip.FMax())
+	}
+	return core.GenerateTable(core.TableSpec{
+		Chip:     s.Chip,
+		Window:   s.Window,
+		TMax:     s.Config.TMax,
+		TStarts:  tstarts,
+		FTargets: ftargets,
+		Variant:  variant,
+	})
+}
+
+// Controller wraps a Phase-1 table into the run-time controller.
+func (s *System) Controller(table *core.Table) (*core.Controller, error) {
+	return core.NewController(table)
+}
+
+// Simulate runs a closed-loop simulation of the given policy over the
+// trace, recording the named blocks.
+func (s *System) Simulate(policy sim.Policy, trace *workload.Trace, record ...string) (*sim.Result, error) {
+	return sim.Run(sim.Config{
+		Chip:         s.Chip,
+		Disc:         s.Disc,
+		Policy:       policy,
+		Trace:        trace,
+		Window:       s.Config.Dt * float64(s.Config.WindowSteps),
+		TMax:         s.Config.TMax,
+		RecordBlocks: record,
+	})
+}
+
+// ProTempPolicy builds the Pro-Temp policy from a table.
+func (s *System) ProTempPolicy(table *core.Table) (sim.Policy, error) {
+	ctrl, err := core.NewController(table)
+	if err != nil {
+		return nil, err
+	}
+	return &sim.ProTemp{Controller: ctrl}, nil
+}
+
+// BasicDFSPolicy builds the reactive baseline at the given threshold.
+func (s *System) BasicDFSPolicy(threshold float64) (sim.Policy, error) {
+	if threshold <= 0 || threshold > s.Config.TMax {
+		return nil, fmt.Errorf("protemp: threshold %g outside (0, %g]", threshold, s.Config.TMax)
+	}
+	return &sim.BasicDFS{NumCores: s.Chip.NumCores(), FMax: s.Chip.FMax(), Threshold: threshold}, nil
+}
+
+// NoTCPolicy builds the no-temperature-control reference.
+func (s *System) NoTCPolicy() sim.Policy {
+	return &sim.NoTC{NumCores: s.Chip.NumCores(), FMax: s.Chip.FMax()}
+}

@@ -1,0 +1,116 @@
+package protemp
+
+import (
+	"math"
+	"testing"
+
+	"protemp/internal/core"
+	"protemp/internal/workload"
+)
+
+// fastSystem uses a coarser step so facade tests stay quick.
+func fastSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem(SystemConfig{Dt: 1e-3, WindowSteps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewNiagaraSystemDefaults(t *testing.T) {
+	s, err := NewNiagaraSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Chip.NumCores() != 8 {
+		t.Fatalf("cores = %d", s.Chip.NumCores())
+	}
+	if s.Config.TMax != 100 || s.Config.Dt != 0.4e-3 || s.Config.WindowSteps != 250 {
+		t.Fatalf("defaults wrong: %+v", s.Config)
+	}
+	if s.Window.Steps() != 250 {
+		t.Fatalf("window steps = %d", s.Window.Steps())
+	}
+}
+
+func TestOptimizeEndToEnd(t *testing.T) {
+	s := fastSystem(t)
+	a, err := s.Optimize(60, 500e6, core.VariantVariable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Feasible {
+		t.Fatal("expected feasible point")
+	}
+	if a.PeakTemp > 100.01 {
+		t.Fatalf("peak %.2f", a.PeakTemp)
+	}
+	if math.Abs(a.AvgFreq-500e6) > 15e6 {
+		t.Fatalf("avg freq %.0f MHz, want ≈500", a.AvgFreq/1e6)
+	}
+}
+
+func TestTableControllerSimulatePipeline(t *testing.T) {
+	s := fastSystem(t)
+	table, err := s.GenerateTable(
+		[]float64{47, 67, 87, 100},
+		[]float64{250e6, 500e6, 750e6, 1000e6},
+		core.VariantVariable,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pro, err := s.ProTempPolicy(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := workload.Mixed(5, s.Chip.NumCores(), 3).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Simulate(pro, trace, "P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxCoreTemp > 100.01 {
+		t.Fatalf("guarantee broken through the facade: %.2f", res.MaxCoreTemp)
+	}
+	if res.Series["P1"].Len() == 0 {
+		t.Fatal("series not recorded")
+	}
+	ctrl, err := s.Controller(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ctrl.Decide(60, 400e6); d.Idle {
+		t.Fatal("controller idled unexpectedly")
+	}
+}
+
+func TestPolicyConstructors(t *testing.T) {
+	s := fastSystem(t)
+	if _, err := s.BasicDFSPolicy(0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := s.BasicDFSPolicy(150); err == nil {
+		t.Error("threshold above tmax accepted")
+	}
+	b, err := s.BasicDFSPolicy(90)
+	if err != nil || b.Name() != "Basic-DFS" {
+		t.Fatalf("BasicDFSPolicy: %v, %v", b, err)
+	}
+	if s.NoTCPolicy().Name() != "No-TC" {
+		t.Fatal("NoTCPolicy name")
+	}
+	if _, err := s.ProTempPolicy(&core.Table{}); err == nil {
+		t.Error("invalid table accepted")
+	}
+}
+
+func TestNewSystemPropagatesErrors(t *testing.T) {
+	bad := SystemConfig{Dt: 10} // unstable Euler step
+	if _, err := NewSystem(bad); err == nil {
+		t.Fatal("unstable step accepted")
+	}
+}
