@@ -10,6 +10,7 @@ package protemp
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -33,7 +34,7 @@ var (
 func setupBench(b *testing.B) *experiments.Setup {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchSetup, benchErr = experiments.NewSetup(experiments.Quick())
+		benchSetup, benchErr = experiments.NewSetup(context.Background(), experiments.Quick())
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
@@ -55,7 +56,7 @@ func renderOnce(b *testing.B, i int, render func(io.Writer)) {
 func BenchmarkFig1BasicDFSTrace(b *testing.B) {
 	s := setupBench(b)
 	for i := 0; i < b.N; i++ {
-		r, err := s.Fig1()
+		r, err := s.Fig1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,7 +68,7 @@ func BenchmarkFig1BasicDFSTrace(b *testing.B) {
 func BenchmarkFig2ProTempTrace(b *testing.B) {
 	s := setupBench(b)
 	for i := 0; i < b.N; i++ {
-		r, err := s.Fig2()
+		r, err := s.Fig2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -80,7 +81,7 @@ func BenchmarkFig2ProTempTrace(b *testing.B) {
 func BenchmarkFig6aTimeInBandsMixed(b *testing.B) {
 	s := setupBench(b)
 	for i := 0; i < b.N; i++ {
-		r, err := s.Fig6a()
+		r, err := s.Fig6a(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func BenchmarkFig6aTimeInBandsMixed(b *testing.B) {
 func BenchmarkFig6bTimeInBandsCompute(b *testing.B) {
 	s := setupBench(b)
 	for i := 0; i < b.N; i++ {
-		r, err := s.Fig6b()
+		r, err := s.Fig6b(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func BenchmarkFig6bTimeInBandsCompute(b *testing.B) {
 func BenchmarkFig7WaitingTime(b *testing.B) {
 	s := setupBench(b)
 	for i := 0; i < b.N; i++ {
-		r, err := s.Fig7()
+		r, err := s.Fig7(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,7 +120,7 @@ func BenchmarkFig7WaitingTime(b *testing.B) {
 func BenchmarkFig8GradientTrace(b *testing.B) {
 	s := setupBench(b)
 	for i := 0; i < b.N; i++ {
-		r, err := s.Fig8()
+		r, err := s.Fig8(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -132,7 +133,7 @@ func BenchmarkFig8GradientTrace(b *testing.B) {
 func BenchmarkFig9UniformVsVariable(b *testing.B) {
 	s := setupBench(b)
 	for i := 0; i < b.N; i++ {
-		r, err := s.Fig9()
+		r, err := s.Fig9(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func BenchmarkFig9UniformVsVariable(b *testing.B) {
 func BenchmarkFig10PerCoreFrequency(b *testing.B) {
 	s := setupBench(b)
 	for i := 0; i < b.N; i++ {
-		r, err := s.Fig10()
+		r, err := s.Fig10(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -158,7 +159,7 @@ func BenchmarkFig10PerCoreFrequency(b *testing.B) {
 func BenchmarkFig11TaskAssignment(b *testing.B) {
 	s := setupBench(b)
 	for i := 0; i < b.N; i++ {
-		r, err := s.Fig11()
+		r, err := s.Fig11(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,7 +189,7 @@ func BenchmarkGenerateTable(b *testing.B) {
 	s := setupBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tbl, err := core.GenerateTable(core.TableSpec{
+		tbl, err := core.GenerateTable(context.Background(), core.TableSpec{
 			Chip:     s.Chip,
 			Window:   s.Window,
 			TMax:     experiments.TMax,
@@ -312,7 +313,7 @@ func BenchmarkAblationTableResolution(b *testing.B) {
 				targets[i] = float64(i+1) / float64(cols) * 1e9
 			}
 			for i := 0; i < b.N; i++ {
-				tbl, err := core.GenerateTable(core.TableSpec{
+				tbl, err := core.GenerateTable(context.Background(), core.TableSpec{
 					Chip:     s.Chip,
 					Window:   s.Window,
 					TMax:     experiments.TMax,
@@ -326,7 +327,7 @@ func BenchmarkAblationTableResolution(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				res, err := sim.Run(sim.Config{
+				res, err := sim.Run(context.Background(), sim.Config{
 					Chip:   s.Chip,
 					Disc:   s.Disc,
 					Policy: &sim.ProTemp{Controller: ctrl},

@@ -1,0 +1,176 @@
+package protemp
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"protemp/internal/core"
+)
+
+// CacheStats reports engine-level table-cache activity. Generations is
+// the number of Phase-1 sweeps actually executed — the observable that
+// concurrent sessions on one configuration share a single generation.
+type CacheStats struct {
+	// Hits counts lookups served from a completed cached table.
+	Hits uint64
+	// Shared counts lookups that attached to an in-flight generation
+	// started by another caller.
+	Shared uint64
+	// Misses counts lookups that had to start a generation.
+	Misses uint64
+	// Generations counts Phase-1 sweeps executed (equals Misses).
+	Generations uint64
+	// Evictions counts tables dropped by the LRU policy.
+	Evictions uint64
+	// Size is the current number of cached (or in-flight) tables.
+	Size int
+}
+
+// cacheEntry is one table slot; done is closed when generation
+// finishes, after table/err are set (the close is the happens-before
+// edge that lets waiters read them without the lock).
+type cacheEntry struct {
+	key   string
+	done  chan struct{}
+	table *core.Table
+	err   error
+	elem  *list.Element
+}
+
+// tableCache is an LRU of generated Phase-1 tables with singleflight
+// semantics: concurrent callers for one key share a single generation.
+type tableCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cacheEntry
+	order   *list.List // front = most recently used
+	stats   CacheStats
+}
+
+func newTableCache(capacity int) *tableCache {
+	return &tableCache{
+		cap:     capacity,
+		entries: make(map[string]*cacheEntry),
+		order:   list.New(),
+	}
+}
+
+// get returns the table for key, running gen at most once across all
+// concurrent callers of the same key. Waiters blocked on another
+// caller's generation honor their own ctx. A failed generation is
+// dropped so a later call can retry.
+func (c *tableCache) get(ctx context.Context, key string, gen func() (*core.Table, error)) (*core.Table, error) {
+	if c.cap == 0 { // caching disabled
+		c.mu.Lock()
+		c.stats.Misses++
+		c.stats.Generations++
+		c.mu.Unlock()
+		return gen()
+	}
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if ok {
+			select {
+			case <-e.done:
+				if e.err == nil {
+					c.stats.Hits++
+					c.order.MoveToFront(e.elem)
+					t := e.table
+					c.mu.Unlock()
+					return t, nil
+				}
+				// A failed entry lingering only because its generator
+				// hasn't removed it yet: drop it and regenerate.
+				c.removeLocked(e)
+				ok = false
+			default:
+				// In flight elsewhere: wait outside the lock.
+				c.stats.Shared++
+				c.mu.Unlock()
+				select {
+				case <-e.done:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				if e.err == nil {
+					return e.table, nil
+				}
+				// The generating caller failed (possibly its own
+				// cancellation); retry under our ctx.
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		if !ok {
+			e = &cacheEntry{key: key, done: make(chan struct{})}
+			e.elem = c.order.PushFront(e)
+			c.entries[key] = e
+			c.stats.Misses++
+			c.stats.Generations++
+			c.mu.Unlock()
+
+			tbl, err := gen()
+
+			c.mu.Lock()
+			e.table, e.err = tbl, err
+			close(e.done)
+			if err != nil {
+				c.removeLocked(e)
+			} else {
+				c.evictLocked()
+			}
+			c.mu.Unlock()
+			return tbl, err
+		}
+	}
+}
+
+// removeLocked drops e from the map and recency list; idempotent.
+func (c *tableCache) removeLocked(e *cacheEntry) {
+	if cur, ok := c.entries[e.key]; ok && cur == e {
+		delete(c.entries, e.key)
+	}
+	if e.elem != nil {
+		c.order.Remove(e.elem)
+		e.elem = nil
+	}
+}
+
+// evictLocked enforces the capacity bound, least-recently-used first,
+// never evicting an in-flight generation (waiters hold its channel).
+func (c *tableCache) evictLocked() {
+	for len(c.entries) > c.cap {
+		el := c.order.Back()
+		for el != nil {
+			e := el.Value.(*cacheEntry)
+			finished := false
+			select {
+			case <-e.done:
+				finished = true
+			default:
+			}
+			if finished {
+				c.removeLocked(e)
+				c.stats.Evictions++
+				break
+			}
+			el = el.Prev()
+		}
+		if el == nil {
+			return // everything in flight; transiently over capacity
+		}
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *tableCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Size = len(c.entries)
+	return s
+}

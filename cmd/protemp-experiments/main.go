@@ -8,10 +8,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"protemp/internal/experiments"
@@ -28,6 +32,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C cancels the run; the cancellation reaches down into the
+	// per-grid-point solver workers.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var fid experiments.Fidelity
 	switch *fidelity {
 	case "paper":
@@ -40,21 +49,24 @@ func main() {
 
 	start := time.Now()
 	log.Printf("building setup (%s fidelity; includes Phase-1 table generation) ...", *fidelity)
-	setup, err := experiments.NewSetup(fid)
+	setup, err := experiments.NewSetup(ctx, fid)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted")
+		}
 		log.Fatal(err)
 	}
 	log.Printf("setup ready in %v (table: %d solves, %d feasible)",
 		time.Since(start).Round(time.Millisecond), setup.Table.Stats.Solves, setup.Table.Stats.Feasible)
 
 	if *only != "" {
-		if err := runOne(setup, *only); err != nil {
+		if err := runOne(ctx, setup, *only); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
-	report, err := setup.RunAll()
+	report, err := setup.RunAll(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,66 +80,66 @@ func main() {
 	log.Printf("total %v", time.Since(start).Round(time.Millisecond))
 }
 
-func runOne(setup *experiments.Setup, name string) error {
+func runOne(ctx context.Context, setup *experiments.Setup, name string) error {
 	type renderer interface{ Render(w *os.File) }
 	_ = renderer(nil)
 	switch name {
 	case "fig1":
-		r, err := setup.Fig1()
+		r, err := setup.Fig1(ctx)
 		if err != nil {
 			return err
 		}
 		r.Render(os.Stdout)
 	case "fig2":
-		r, err := setup.Fig2()
+		r, err := setup.Fig2(ctx)
 		if err != nil {
 			return err
 		}
 		r.Render(os.Stdout)
 	case "fig6a":
-		r, err := setup.Fig6a()
+		r, err := setup.Fig6a(ctx)
 		if err != nil {
 			return err
 		}
 		r.Render(os.Stdout)
 	case "fig6b":
-		r, err := setup.Fig6b()
+		r, err := setup.Fig6b(ctx)
 		if err != nil {
 			return err
 		}
 		r.Render(os.Stdout)
 	case "fig7":
-		r, err := setup.Fig7()
+		r, err := setup.Fig7(ctx)
 		if err != nil {
 			return err
 		}
 		r.Render(os.Stdout)
 	case "fig8":
-		r, err := setup.Fig8()
+		r, err := setup.Fig8(ctx)
 		if err != nil {
 			return err
 		}
 		r.Render(os.Stdout)
 	case "fig9":
-		r, err := setup.Fig9()
+		r, err := setup.Fig9(ctx)
 		if err != nil {
 			return err
 		}
 		r.Render(os.Stdout)
 	case "fig10":
-		r, err := setup.Fig10()
+		r, err := setup.Fig10(ctx)
 		if err != nil {
 			return err
 		}
 		r.Render(os.Stdout)
 	case "fig11":
-		r, err := setup.Fig11()
+		r, err := setup.Fig11(ctx)
 		if err != nil {
 			return err
 		}
 		r.Render(os.Stdout)
 	case "cost":
-		r, err := setup.Section51()
+		r, err := setup.Section51(ctx)
 		if err != nil {
 			return err
 		}

@@ -2,7 +2,7 @@
 // Niagara-8 model: No-TC, Basic-DFS and Pro-Temp over a synthetic
 // benchmark trace (or a trace loaded from CSV), printing the paper's
 // headline metrics — time in temperature bands, violations, waiting
-// times and spatial gradients.
+// times and spatial gradients. Ctrl-C cancels mid-run.
 //
 // Usage:
 //
@@ -12,17 +12,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"protemp"
 	"protemp/internal/core"
-	"protemp/internal/floorplan"
-	"protemp/internal/power"
 	"protemp/internal/sim"
-	"protemp/internal/thermal"
 	"protemp/internal/workload"
 )
 
@@ -45,19 +46,17 @@ func main() {
 	)
 	flag.Parse()
 
-	fp := floorplan.Niagara()
-	chip, err := power.NewChip(fp, power.NiagaraCore(), power.UncoreShare)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	engine, err := protemp.New(
+		protemp.WithWindow(*dt, *steps),
+		protemp.WithTMax(*tmax),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	model, err := thermal.NewRC(fp, thermal.DefaultParams())
-	if err != nil {
-		log.Fatal(err)
-	}
-	disc, err := model.Discretize(*dt)
-	if err != nil {
-		log.Fatal(err)
-	}
+	chip := engine.Chip()
 
 	// Trace.
 	var trace *workload.Trace
@@ -90,16 +89,16 @@ func main() {
 		st.Tasks, st.Duration, st.OfferedLoad, st.Burstiness)
 
 	// Assignment policy.
-	var assigner sim.Assigner
+	var simOpts []protemp.SimOption
 	switch *assign {
 	case "first-idle":
-		assigner = sim.FirstIdle{}
+		// The simulator's default.
 	case "coolest":
 		blocks := make([]int, chip.NumCores())
 		for i := range blocks {
 			blocks[i] = chip.CoreBlockIndex(i)
 		}
-		assigner = sim.NewCoolestFirst(fp, blocks, 0.5)
+		simOpts = append(simOpts, protemp.WithAssigner(sim.NewCoolestFirst(engine.Floorplan(), blocks, 0.5)))
 	default:
 		log.Fatalf("unknown assignment %q", *assign)
 	}
@@ -110,9 +109,13 @@ func main() {
 	for _, p := range strings.Split(*policies, ",") {
 		switch strings.TrimSpace(p) {
 		case "notc":
-			runs = append(runs, &sim.NoTC{NumCores: chip.NumCores(), FMax: chip.FMax()})
+			runs = append(runs, engine.NoTCPolicy())
 		case "basic":
-			runs = append(runs, &sim.BasicDFS{NumCores: chip.NumCores(), FMax: chip.FMax(), Threshold: *threshold})
+			basic, err := engine.BasicDFSPolicy(*threshold)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runs = append(runs, basic)
 		case "protemp":
 			needTable = true
 			runs = append(runs, nil) // placeholder, filled below
@@ -121,63 +124,47 @@ func main() {
 		}
 	}
 	if needTable {
-		var table *core.Table
+		var pro sim.Policy
 		if *tablePath != "" {
 			f, err := os.Open(*tablePath)
 			if err != nil {
 				log.Fatal(err)
 			}
-			table, err = core.ReadTableJSON(f)
+			table, err := core.ReadTableJSON(f)
 			f.Close()
 			if err != nil {
 				log.Fatal(err)
 			}
+			session, err := engine.NewSessionFromTable(table)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pro = session.Policy(ctx)
 		} else {
 			log.Printf("generating Phase-1 table (pass -table to reuse one) ...")
-			window, err := disc.Window(*steps)
+			session, err := engine.NewSession(ctx)
 			if err != nil {
 				log.Fatal(err)
 			}
-			table, err = core.GenerateTable(core.TableSpec{
-				Chip:     chip,
-				Window:   window,
-				TMax:     *tmax,
-				TStarts:  core.DefaultTStarts(),
-				FTargets: core.DefaultFTargets(chip.FMax()),
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-		}
-		ctrl, err := core.NewController(table)
-		if err != nil {
-			log.Fatal(err)
+			pro = session.Policy(ctx)
 		}
 		for i, p := range runs {
 			if p == nil {
-				runs[i] = &sim.ProTemp{Controller: ctrl}
+				runs[i] = pro
 			}
 		}
 	}
 
 	// Run and report.
-	fmt.Printf("%-10s %8s %8s %8s %8s %9s %9s %8s %8s\n",
+	fmt.Printf("%-18s %8s %8s %8s %8s %9s %9s %8s %8s\n",
 		"policy", "<80", "80-90", "90-100", ">100", "maxT(°C)", "wait(s)", "grad(°C)", "done")
 	for _, p := range runs {
-		res, err := sim.Run(sim.Config{
-			Chip:     chip,
-			Disc:     disc,
-			Policy:   p,
-			Assigner: assigner,
-			Trace:    trace,
-			Window:   *dt * float64(*steps),
-			TMax:     *tmax,
-		})
+		res, err := engine.Simulate(ctx, p, trace, simOpts...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fr := res.AvgBands.Fractions()
-		fmt.Printf("%-10s %8.3f %8.3f %8.3f %8.3f %9.1f %9.4f %8.2f %8d\n",
+		fmt.Printf("%-18s %8.3f %8.3f %8.3f %8.3f %9.1f %9.4f %8.2f %8d\n",
 			res.Policy, fr[0], fr[1], fr[2], fr[3],
 			res.MaxCoreTemp, res.Wait.Mean(), res.Gradient.Mean(), res.Completed)
 	}

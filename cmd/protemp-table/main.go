@@ -1,7 +1,7 @@
 // Command protemp-table runs Phase 1 of the Pro-Temp method: it sweeps
 // starting temperatures and target frequencies, solves the convex
 // program at every grid point, and writes the resulting frequency table
-// as JSON for the run-time controller.
+// as JSON for the run-time controller. Ctrl-C cancels the sweep.
 //
 // Usage:
 //
@@ -11,18 +11,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"protemp"
 	"protemp/internal/core"
 	"protemp/internal/floorplan"
-	"protemp/internal/power"
-	"protemp/internal/thermal"
 )
 
 func main() {
@@ -35,76 +38,68 @@ func main() {
 		dt       = flag.Float64("dt", 0.4e-3, "thermal step in seconds")
 		steps    = flag.Int("steps", 250, "DFS window horizon in steps")
 		tstarts  = flag.String("tstarts", "", "comma-separated starting temperatures in °C (default paper grid)")
-		ftargets = flag.String("ftargets-mhz", "", "comma-separated target frequencies in MHz (default 50 MHz grid)")
+		ftargets = flag.String("ftargets-mhz", "", "comma-separated target frequencies in MHz (default 5% grid)")
 		variant  = flag.String("variant", "variable", "model variant: variable, uniform or gradient")
 		fpPath   = flag.String("floorplan", "", "floorplan file (default built-in Niagara-8)")
 		workers  = flag.Int("workers", 0, "parallel solves (default GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	fp := floorplan.Niagara()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := []protemp.Option{
+		protemp.WithTMax(*tmax),
+		protemp.WithWindow(*dt, *steps),
+		protemp.WithWorkers(*workers),
+	}
 	if *fpPath != "" {
 		f, err := os.Open(*fpPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fp2, err := floorplan.Parse(f)
+		fp, err := floorplan.Parse(f)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
-		fp = fp2
-	}
-
-	chip, err := power.NewChip(fp, power.NiagaraCore(), power.UncoreShare)
-	if err != nil {
-		log.Fatal(err)
-	}
-	model, err := thermal.NewRC(fp, thermal.DefaultParams())
-	if err != nil {
-		log.Fatal(err)
-	}
-	disc, err := model.Discretize(*dt)
-	if err != nil {
-		log.Fatal(err)
-	}
-	window, err := disc.Window(*steps)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	spec := core.TableSpec{
-		Chip:    chip,
-		Window:  window,
-		TMax:    *tmax,
-		Workers: *workers,
+		opts = append(opts, protemp.WithFloorplan(fp))
 	}
 	switch *variant {
 	case "variable":
-		spec.Variant = core.VariantVariable
+		opts = append(opts, protemp.WithVariant(core.VariantVariable))
 	case "uniform":
-		spec.Variant = core.VariantUniform
+		opts = append(opts, protemp.WithVariant(core.VariantUniform))
 	case "gradient":
-		spec.Variant = core.VariantGradient
+		opts = append(opts, protemp.WithVariant(core.VariantGradient))
 	default:
 		log.Fatalf("unknown variant %q", *variant)
 	}
-	spec.TStarts = core.DefaultTStarts()
+
+	engine, err := protemp.New(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ts := core.DefaultTStarts()
 	if *tstarts != "" {
-		if spec.TStarts, err = parseFloats(*tstarts, 1); err != nil {
+		if ts, err = parseFloats(*tstarts, 1); err != nil {
 			log.Fatalf("-tstarts: %v", err)
 		}
 	}
-	spec.FTargets = core.DefaultFTargets(chip.FMax())
+	fs := core.DefaultFTargets(engine.Chip().FMax())
 	if *ftargets != "" {
-		if spec.FTargets, err = parseFloats(*ftargets, 1e6); err != nil {
+		if fs, err = parseFloats(*ftargets, 1e6); err != nil {
 			log.Fatalf("-ftargets-mhz: %v", err)
 		}
 	}
 
 	start := time.Now()
-	table, err := core.GenerateTable(spec)
+	table, err := engine.GenerateTableGrid(ctx, ts, fs, engine.Variant())
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted before the sweep completed")
+		}
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)

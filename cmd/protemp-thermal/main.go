@@ -15,9 +15,9 @@ import (
 	"os"
 	"sort"
 
+	"protemp"
 	"protemp/internal/floorplan"
 	"protemp/internal/linalg"
-	"protemp/internal/power"
 	"protemp/internal/thermal"
 )
 
@@ -35,7 +35,9 @@ func main() {
 	)
 	flag.Parse()
 
-	fp := floorplan.Niagara()
+	// The window horizon is irrelevant for model inspection; one step
+	// keeps the engine build cheap.
+	opts := []protemp.Option{protemp.WithWindow(*dt, 1)}
 	if *fpPath != "" {
 		f, err := os.Open(*fpPath)
 		if err != nil {
@@ -46,16 +48,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fp = fp2
+		opts = append(opts, protemp.WithFloorplan(fp2))
 	}
-	chip, err := power.NewChip(fp, power.NiagaraCore(), power.UncoreShare)
+	engine, err := protemp.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	model, err := thermal.NewRC(fp, thermal.DefaultParams())
-	if err != nil {
-		log.Fatal(err)
-	}
+	fp := engine.Floorplan()
+	chip := engine.Chip()
+	model := engine.Model()
 
 	fmt.Printf("floorplan: %d blocks, %d cores, die %.1f x %.1f mm\n",
 		fp.NumBlocks(), len(fp.CoreIndices()), dieMM(fp, true), dieMM(fp, false))
@@ -77,10 +78,7 @@ func main() {
 	fmt.Printf("\nsteady state at %.0f MHz on all cores (%.1f W total):\n", *freqMHz, p.Sum())
 	printTemps(fp, ss)
 
-	disc, err := model.Discretize(*dt)
-	if err != nil {
-		log.Fatal(err)
-	}
+	disc := engine.Disc()
 	fmt.Printf("\ndiscretization: dt = %.4g s, spectral radius ≈ %.5f\n", *dt, disc.SpectralRadiusEstimate())
 
 	if *coeffs {

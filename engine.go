@@ -1,0 +1,241 @@
+package protemp
+
+import (
+	"context"
+	"fmt"
+
+	"protemp/internal/core"
+	"protemp/internal/floorplan"
+	"protemp/internal/power"
+	"protemp/internal/sim"
+	"protemp/internal/thermal"
+	"protemp/internal/workload"
+)
+
+// Engine is the concurrency-safe entry point of the Pro-Temp
+// reproduction: one modeled chip (floorplan, power law, RC thermal
+// model, precomputed window response) serving any number of concurrent
+// optimizations, Phase-1 table generations, closed-loop simulations
+// and control sessions. Long-running methods take a context.Context
+// and honor cancellation down to the interior-point solver's Newton
+// iterations. Generated tables are cached in an engine-level LRU keyed
+// by (chip, grid, variant), so concurrent callers on one configuration
+// share a single Phase-1 sweep.
+//
+// An Engine is immutable after New and safe for use from multiple
+// goroutines.
+type Engine struct {
+	cfg    engineConfig
+	chip   *power.Chip
+	model  *thermal.RCModel
+	disc   *thermal.Discrete
+	window *thermal.WindowResponse
+	cache  *tableCache
+}
+
+// New builds an Engine; options override the paper's defaults.
+func New(opts ...Option) (*Engine, error) {
+	cfg := defaultEngineConfig()
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	chip, err := power.NewChip(cfg.fp, cfg.coreModel, cfg.uncoreShare)
+	if err != nil {
+		return nil, err
+	}
+	model, err := thermal.NewRC(cfg.fp, cfg.thermalParams)
+	if err != nil {
+		return nil, err
+	}
+	disc, err := model.Discretize(cfg.dt)
+	if err != nil {
+		return nil, err
+	}
+	window, err := disc.Window(cfg.windowSteps)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:    cfg,
+		chip:   chip,
+		model:  model,
+		disc:   disc,
+		window: window,
+		cache:  newTableCache(cfg.cacheSize),
+	}, nil
+}
+
+// Chip returns the modeled chip (floorplan plus power models).
+func (e *Engine) Chip() *power.Chip { return e.chip }
+
+// Floorplan returns the chip floorplan.
+func (e *Engine) Floorplan() *floorplan.Floorplan { return e.cfg.fp }
+
+// Model returns the continuous RC thermal model.
+func (e *Engine) Model() *thermal.RCModel { return e.model }
+
+// Disc returns the discretized thermal stepper at the engine's dt.
+func (e *Engine) Disc() *thermal.Discrete { return e.disc }
+
+// Window returns the precomputed thermal window response the optimizer
+// consumes.
+func (e *Engine) Window() *thermal.WindowResponse { return e.window }
+
+// TMax returns the temperature limit in °C.
+func (e *Engine) TMax() float64 { return e.cfg.tmax }
+
+// Dt returns the thermal co-simulation step in seconds.
+func (e *Engine) Dt() float64 { return e.cfg.dt }
+
+// WindowSteps returns the DFS horizon in thermal steps.
+func (e *Engine) WindowSteps() int { return e.cfg.windowSteps }
+
+// WindowSeconds returns the DFS control period dt·steps.
+func (e *Engine) WindowSeconds() float64 { return e.cfg.dt * float64(e.cfg.windowSteps) }
+
+// Variant returns the engine's default optimization model variant.
+func (e *Engine) Variant() core.Variant { return e.cfg.variant }
+
+// CacheStats returns a snapshot of the table-cache counters.
+func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }
+
+// ftargets returns the configured frequency grid, defaulting to the 5%
+// grid of the chip's fmax.
+func (e *Engine) ftargets() []float64 {
+	if e.cfg.ftargets != nil {
+		return e.cfg.ftargets
+	}
+	return core.DefaultFTargets(e.chip.FMax())
+}
+
+// spec assembles a single-point solve spec against this engine.
+func (e *Engine) spec(tstart, ftarget float64, v core.Variant) *core.Spec {
+	return &core.Spec{
+		Chip:    e.chip,
+		Window:  e.window,
+		TStart:  tstart,
+		TMax:    e.cfg.tmax,
+		FTarget: ftarget,
+		Variant: v,
+	}
+}
+
+// Optimize solves one design point with the engine's default variant:
+// the optimal per-core frequency assignment for cores starting at
+// tstart °C under a required average frequency of ftarget Hz.
+// Cancelling ctx aborts the solve at its next Newton iteration.
+func (e *Engine) Optimize(ctx context.Context, tstart, ftarget float64) (*core.Assignment, error) {
+	return e.OptimizeVariant(ctx, tstart, ftarget, e.cfg.variant)
+}
+
+// OptimizeVariant is Optimize with an explicit model variant.
+func (e *Engine) OptimizeVariant(ctx context.Context, tstart, ftarget float64, v core.Variant) (*core.Assignment, error) {
+	return core.SolveContext(ctx, e.spec(tstart, ftarget, v))
+}
+
+// GenerateTable runs (or retrieves from cache) the Phase-1 sweep over
+// the engine's configured grids and default variant. Concurrent
+// callers with an equal configuration share one generation; a
+// cancelled ctx returns ctx.Err() without completing the sweep.
+func (e *Engine) GenerateTable(ctx context.Context) (*core.Table, error) {
+	return e.GenerateTableGrid(ctx, e.cfg.tstarts, e.ftargets(), e.cfg.variant)
+}
+
+// GenerateTableGrid is GenerateTable with explicit grids and variant,
+// for callers that need several tables from one engine (many policies
+// on one chip). Results are cached under the same LRU.
+func (e *Engine) GenerateTableGrid(ctx context.Context, tstarts, ftargets []float64, v core.Variant) (*core.Table, error) {
+	spec := core.TableSpec{
+		Chip:     e.chip,
+		Window:   e.window,
+		TMax:     e.cfg.tmax,
+		TStarts:  tstarts,
+		FTargets: ftargets,
+		Variant:  v,
+		Workers:  e.cfg.workers,
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return e.cache.get(ctx, spec.CacheKey(), func() (*core.Table, error) {
+		return core.GenerateTable(ctx, spec)
+	})
+}
+
+// Controller wraps a Phase-1 table into the run-time controller.
+func (e *Engine) Controller(table *core.Table) (*core.Controller, error) {
+	return core.NewController(table)
+}
+
+// SimOption adjusts one Simulate call.
+type SimOption func(*sim.Config)
+
+// RecordBlocks samples the named floorplan blocks' temperatures once
+// per window (for trace figures).
+func RecordBlocks(names ...string) SimOption {
+	return func(c *sim.Config) { c.RecordBlocks = append(c.RecordBlocks, names...) }
+}
+
+// WithAssigner selects the task-to-core assignment policy (default
+// first-idle; see sim.NewCoolestFirst for the §5.4 alternative).
+func WithAssigner(a sim.Assigner) SimOption {
+	return func(c *sim.Config) { c.Assigner = a }
+}
+
+// WithInitialTemp sets the uniform initial temperature in °C (default
+// the thermal model's ambient).
+func WithInitialTemp(t0 float64) SimOption {
+	return func(c *sim.Config) { c.T0 = t0 }
+}
+
+// WithMaxTime caps the simulated time in seconds.
+func WithMaxTime(seconds float64) SimOption {
+	return func(c *sim.Config) { c.MaxTime = seconds }
+}
+
+// Simulate runs a closed-loop simulation of the policy over the trace
+// on this engine's chip and thermal model. The context is checked at
+// every DFS window boundary.
+func (e *Engine) Simulate(ctx context.Context, policy sim.Policy, trace *workload.Trace, opts ...SimOption) (*sim.Result, error) {
+	cfg := sim.Config{
+		Chip:   e.chip,
+		Disc:   e.disc,
+		Policy: policy,
+		Trace:  trace,
+		Window: e.WindowSeconds(),
+		TMax:   e.cfg.tmax,
+	}
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return sim.Run(ctx, cfg)
+}
+
+// ProTempPolicy builds the table-driven Pro-Temp policy from a table.
+func (e *Engine) ProTempPolicy(table *core.Table) (sim.Policy, error) {
+	ctrl, err := core.NewController(table)
+	if err != nil {
+		return nil, err
+	}
+	return &sim.ProTemp{Controller: ctrl}, nil
+}
+
+// BasicDFSPolicy builds the reactive baseline at the given threshold.
+func (e *Engine) BasicDFSPolicy(threshold float64) (sim.Policy, error) {
+	if threshold <= 0 || threshold > e.cfg.tmax {
+		return nil, fmt.Errorf("protemp: threshold %g outside (0, %g]", threshold, e.cfg.tmax)
+	}
+	return &sim.BasicDFS{NumCores: e.chip.NumCores(), FMax: e.chip.FMax(), Threshold: threshold}, nil
+}
+
+// NoTCPolicy builds the no-temperature-control reference.
+func (e *Engine) NoTCPolicy() sim.Policy {
+	return &sim.NoTC{NumCores: e.chip.NumCores(), FMax: e.chip.FMax()}
+}

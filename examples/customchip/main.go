@@ -2,15 +2,16 @@
 // (in the spirit of the Tilera part the paper's introduction cites)
 // with smaller, lower-power cores. Everything the paper's flow needs —
 // RC model synthesis, Phase-1 table, run-time control — comes from the
-// same public API as the Niagara build.
+// same Engine options as the Niagara build, and the run-time side is
+// driven through a control Session.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"protemp"
-	"protemp/internal/core"
 	"protemp/internal/floorplan"
 	"protemp/internal/power"
 	"protemp/internal/workload"
@@ -18,6 +19,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	fp, err := floorplan.Grid(floorplan.GridSpec{
 		Rows: 4, Cols: 4,
@@ -28,28 +30,31 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sys, err := protemp.NewSystem(protemp.SystemConfig{
-		Floorplan: fp,
-		CoreModel: power.CoreModel{FMax: 750e6, PMax: 1.8},
-		Dt:        1e-3,
-		// 100-step window = 100 ms, as in the paper.
-		WindowSteps: 100,
-		TMax:        95,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("custom platform: %d cores on a %dx%d mesh, fmax %.0f MHz, tmax %.0f °C\n",
-		sys.Chip.NumCores(), 4, 4, sys.Chip.FMax()/1e6, sys.Config.TMax)
-
-	table, err := sys.GenerateTable(
-		[]float64{47, 67, 87, 95},
-		[]float64{93.75e6, 187.5e6, 281.25e6, 375e6, 468.75e6, 562.5e6, 656.25e6, 750e6},
-		core.VariantVariable,
+	engine, err := protemp.New(
+		protemp.WithFloorplan(fp),
+		protemp.WithCoreModel(power.CoreModel{FMax: 750e6, PMax: 1.8}),
+		// 100 × 1 ms window = 100 ms, as in the paper.
+		protemp.WithWindow(1e-3, 100),
+		protemp.WithTMax(95),
+		protemp.WithTableGrid(
+			[]float64{47, 67, 87, 95},
+			[]float64{93.75e6, 187.5e6, 281.25e6, 375e6, 468.75e6, 562.5e6, 656.25e6, 750e6},
+		),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	chip := engine.Chip()
+	fmt.Printf("custom platform: %d cores on a %dx%d mesh, fmax %.0f MHz, tmax %.0f °C\n",
+		chip.NumCores(), 4, 4, chip.FMax()/1e6, engine.TMax())
+
+	// A Session bundles Phase-1 generation (cached on the engine) with
+	// the run-time controller.
+	session, err := engine.NewSession(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := session.Table()
 	fmt.Println("supported average frequency by starting temperature:")
 	for _, ts := range table.TStarts {
 		fmt.Printf("  %5.0f °C -> %6.0f MHz\n", ts, table.MaxSupportedFreq(ts)/1e6)
@@ -57,37 +62,43 @@ func main() {
 
 	// Corner tiles sit next to the cache strips; the optimizer exploits
 	// that the same way it exploits Niagara's periphery cores.
-	a, err := sys.Optimize(65, 0.45*sys.Chip.FMax(), core.VariantVariable)
+	a, err := engine.Optimize(ctx, 65, 0.45*chip.FMax())
 	if err != nil {
 		log.Fatal(err)
 	}
 	if !a.Feasible {
 		log.Fatal("expected design point to be feasible")
 	}
-	{
-		fmt.Println("\nper-tile frequencies (MHz) at tstart 65 °C, 45% load:")
-		for r := 0; r < 4; r++ {
-			for c := 0; c < 4; c++ {
-				fmt.Printf(" %5.0f", a.Freqs[r*4+c]/1e6)
-			}
-			fmt.Println()
+	fmt.Println("\nper-tile frequencies (MHz) at tstart 65 °C, 45% load:")
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			fmt.Printf(" %5.0f", a.Freqs[r*4+c]/1e6)
 		}
-		fmt.Printf("peak predicted temperature: %.2f °C\n", a.PeakTemp)
+		fmt.Println()
 	}
+	fmt.Printf("peak predicted temperature: %.2f °C\n", a.PeakTemp)
 
-	// Close the loop on a short trace.
-	pro, err := sys.ProTempPolicy(table)
+	// One manual control step — what a deployment would do per window.
+	freqs, err := session.Step(ctx, protemp.State{MaxCoreTemp: 82, RequiredFreq: 0.4 * chip.FMax()})
 	if err != nil {
 		log.Fatal(err)
 	}
-	trace, err := workload.Mixed(3, sys.Chip.NumCores(), 3).Generate()
+	avg := 0.0
+	for _, f := range freqs {
+		avg += f / float64(len(freqs))
+	}
+	fmt.Printf("\nsession step at 82 °C, 40%% load: average command %.0f MHz\n", avg/1e6)
+
+	// Close the loop on a short trace, driving the simulator with the
+	// same session.
+	trace, err := workload.Mixed(3, chip.NumCores(), 3).Generate()
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.Simulate(pro, trace)
+	res, err := engine.Simulate(ctx, session.Policy(ctx), trace)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nclosed loop over %d tasks: max %.2f °C (limit %.0f), violations %.1f%%, %d completed\n",
-		len(trace.Tasks), res.MaxCoreTemp, sys.Config.TMax, 100*res.ViolationFrac, res.Completed)
+		len(trace.Tasks), res.MaxCoreTemp, engine.TMax(), 100*res.ViolationFrac, res.Completed)
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,8 +16,9 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	sys, err := protemp.NewSystem(protemp.SystemConfig{Dt: 1e-3, WindowSteps: 100})
+	engine, err := protemp.New(protemp.WithWindow(1e-3, 100))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,10 +27,10 @@ func main() {
 		target = 550e6
 	)
 	fmt.Printf("design point: tstart %.0f °C, target %.0f MHz average, tmax %.0f °C\n\n",
-		tstart, target/1e6, sys.Config.TMax)
+		tstart, target/1e6, engine.TMax())
 
 	for _, v := range []core.Variant{core.VariantVariable, core.VariantUniform, core.VariantGradient} {
-		a, err := sys.Optimize(tstart, target, v)
+		a, err := engine.OptimizeVariant(ctx, tstart, target, v)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,8 +58,8 @@ func main() {
 	fmt.Printf("%8s %10s %10s\n", "tstart", "uniform", "variable")
 	for _, ts := range []float64{47, 67, 87, 97} {
 		uni, _, err := core.SolveUniformBisect(&core.Spec{
-			Chip: sys.Chip, Window: sys.Window, TStart: ts,
-			TMax: sys.Config.TMax, Variant: core.VariantUniform,
+			Chip: engine.Chip(), Window: engine.Window(), TStart: ts,
+			TMax: engine.TMax(), Variant: core.VariantUniform,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -65,10 +67,10 @@ func main() {
 		// The variable assignment can always match the uniform optimum;
 		// probe a few percent above it to expose strict dominance.
 		probe := uni * 1.04
-		if probe > sys.Chip.FMax() {
-			probe = sys.Chip.FMax()
+		if probe > engine.Chip().FMax() {
+			probe = engine.Chip().FMax()
 		}
-		a, err := sys.Optimize(ts, probe, core.VariantVariable)
+		a, err := engine.OptimizeVariant(ctx, ts, probe, core.VariantVariable)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,6 @@
 // Niagara pipeline: the full Pro-Temp flow on the paper's evaluation
-// platform — generate the Phase-1 table, wrap it in the run-time
-// controller, and race the three policies (No-TC, Basic-DFS, Pro-Temp)
+// platform — generate the Phase-1 table, wrap it in a run-time control
+// session, and race the three policies (No-TC, Basic-DFS, Pro-Temp)
 // over a bursty compute-intensive trace, reporting the paper's Fig. 6/7
 // metrics.
 //
@@ -9,62 +9,63 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"protemp"
-	"protemp/internal/core"
 	"protemp/internal/sim"
 	"protemp/internal/workload"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	sys, err := protemp.NewSystem(protemp.SystemConfig{Dt: 1e-3, WindowSteps: 100})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Println("phase 1: generating the frequency table ...")
-	table, err := sys.GenerateTable(
-		[]float64{47, 57, 67, 77, 87, 97, 100},
-		[]float64{125e6, 250e6, 375e6, 500e6, 625e6, 750e6, 875e6, 1000e6},
-		core.VariantVariable,
+	engine, err := protemp.New(
+		protemp.WithWindow(1e-3, 100),
+		protemp.WithTableGrid(
+			[]float64{47, 57, 67, 77, 87, 97, 100},
+			[]float64{125e6, 250e6, 375e6, 500e6, 625e6, 750e6, 875e6, 1000e6},
+		),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	chip := engine.Chip()
+
+	fmt.Println("phase 1: generating the frequency table ...")
+	session, err := engine.NewSession(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := session.Table()
 	fmt.Printf("  %d grid points, %d feasible\n", table.Stats.Solves, table.Stats.Feasible)
 	fmt.Println("  supported average frequency by starting temperature:")
 	for _, ts := range table.TStarts {
 		fmt.Printf("    %5.0f °C -> %6.0f MHz\n", ts, table.MaxSupportedFreq(ts)/1e6)
 	}
 
-	trace, err := workload.ComputeIntensive(7, sys.Chip.NumCores(), 6).Generate()
+	trace, err := workload.ComputeIntensive(7, chip.NumCores(), 6).Generate()
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := workload.Summarize(trace, sys.Chip.NumCores())
+	st := workload.Summarize(trace, chip.NumCores())
 	fmt.Printf("\nphase 2: %d tasks over %.1f s (offered load %.2f)\n", st.Tasks, st.Duration, st.OfferedLoad)
 
-	pro, err := sys.ProTempPolicy(table)
+	basic, err := engine.BasicDFSPolicy(90)
 	if err != nil {
 		log.Fatal(err)
 	}
-	basic, err := sys.BasicDFSPolicy(90)
-	if err != nil {
-		log.Fatal(err)
-	}
-	policies := []sim.Policy{sys.NoTCPolicy(), basic, pro}
+	policies := []sim.Policy{engine.NoTCPolicy(), basic, session.Policy(ctx)}
 
-	fmt.Printf("\n%-10s %9s %9s %9s %9s\n", "policy", "maxT(°C)", ">100(%)", "wait(s)", "grad(°C)")
+	fmt.Printf("\n%-18s %9s %9s %9s %9s\n", "policy", "maxT(°C)", ">100(%)", "wait(s)", "grad(°C)")
 	for _, p := range policies {
-		res, err := sys.Simulate(p, trace)
+		res, err := engine.Simulate(ctx, p, trace)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-10s %9.1f %9.1f %9.3f %9.2f\n",
+		fmt.Printf("%-18s %9.1f %9.1f %9.3f %9.2f\n",
 			res.Policy, res.MaxCoreTemp, 100*res.ViolationFrac, res.Wait.Mean(), res.Gradient.Mean())
 	}
 	fmt.Println("\nPro-Temp keeps every core below the limit at every sub-step —")

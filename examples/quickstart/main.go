@@ -4,24 +4,26 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"protemp"
-	"protemp/internal/core"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	sys, err := protemp.NewNiagaraSystem()
+	// The zero-option engine is the paper's evaluation platform.
+	engine, err := protemp.New()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("platform: %d cores at %.0f MHz / %.0f W max, tmax %.0f °C\n",
-		sys.Chip.NumCores(), sys.Chip.FMax()/1e6, 4.0, sys.Config.TMax)
+		engine.Chip().NumCores(), engine.Chip().FMax()/1e6, 4.0, engine.TMax())
 
-	a, err := sys.Optimize(80, 600e6, core.VariantVariable)
+	a, err := engine.Optimize(ctx, 80, 600e6)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,5 +37,5 @@ func main() {
 	}
 	fmt.Printf("\naverage %.1f MHz, total core power %.2f W\n", a.AvgFreq/1e6, a.TotalPower)
 	fmt.Printf("worst-case temperature over the next 100 ms window: %.2f °C (limit %.0f)\n",
-		a.PeakTemp, sys.Config.TMax)
+		a.PeakTemp, engine.TMax())
 }

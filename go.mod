@@ -1,0 +1,3 @@
+module protemp
+
+go 1.24

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -19,7 +20,17 @@ const fullSpeedPhi = 1 - 1e-9
 // signal applies. Solver failures other than infeasibility are returned
 // as errors.
 func Solve(s *Spec) (*Assignment, error) {
+	return SolveContext(context.Background(), s)
+}
+
+// SolveContext is Solve with cancellation: ctx is polled once per
+// Newton iteration of the interior-point method, so a cancelled or
+// expired context aborts the solve promptly with ctx.Err().
+func SolveContext(ctx context.Context, s *Spec) (*Assignment, error) {
 	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	n := s.Chip.NumCores()
@@ -37,6 +48,7 @@ func Solve(s *Spec) (*Assignment, error) {
 
 	opts := solver.DefaultOptions()
 	opts.Tol = 1e-7
+	opts.Interrupt = ctx.Err
 
 	start := heuristicStart(s, lay, rows, phi)
 	if start == nil {

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -40,11 +44,15 @@ func DefaultTStarts() []float64 {
 	return []float64{27, 37, 47, 57, 67, 77, 87, 97, 100}
 }
 
-// DefaultFTargets returns a 50 MHz-granularity target grid up to fmax.
+// DefaultFTargets returns the paper's 5%-of-fmax granularity target
+// grid (20 points ending exactly at fmax; 50 MHz steps on the 1 GHz
+// Niagara). Stepping is index-based so the grid length cannot drift
+// with float accumulation.
 func DefaultFTargets(fmax float64) []float64 {
-	var out []float64
-	for f := 0.05 * fmax; f <= fmax*(1+1e-12); f += 0.05 * fmax {
-		out = append(out, f)
+	const points = 20
+	out := make([]float64, points)
+	for i := 1; i <= points; i++ {
+		out[i-1] = float64(i) / points * fmax
 	}
 	return out
 }
@@ -106,10 +114,63 @@ type TableStats struct {
 	NewtonIters int `json:"newton_iters"`
 }
 
+// CacheKey returns a stable fingerprint of everything that determines
+// the generated table's content: the chip (floorplan geometry, per-core
+// power models, fixed uncore powers), the thermal window (horizon,
+// step, response gain), the temperature limit, both grids, and the
+// model variant with its tuning. Specs with equal keys generate
+// interchangeable tables, so the key is what table caches index by.
+// Workers is deliberately excluded — it changes cost, not content.
+func (ts TableSpec) CacheKey() string {
+	h := sha256.New()
+	put := func(vs ...float64) {
+		var buf [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	io.WriteString(h, "protemp-table-v1\x00")
+	if ts.Chip != nil {
+		fp := ts.Chip.Floorplan()
+		for i := 0; i < fp.NumBlocks(); i++ {
+			b := fp.Block(i)
+			io.WriteString(h, b.Name)
+			io.WriteString(h, "\x00")
+			put(float64(b.Kind), b.X, b.Y, b.W, b.H)
+		}
+		for j := 0; j < ts.Chip.NumCores(); j++ {
+			m := ts.Chip.CoreModelOf(j)
+			put(m.FMax, m.PMax, m.IdleFrac)
+		}
+		put(ts.Chip.FixedPower()...)
+	}
+	if ts.Window != nil {
+		put(float64(ts.Window.Steps()), ts.Window.Dt(), ts.Window.MaxGain())
+	}
+	put(ts.TMax, float64(ts.Variant), ts.GradWeight, float64(ts.GradStride))
+	if ts.ConstrainAllBlocks {
+		put(1)
+	} else {
+		put(0)
+	}
+	put(float64(len(ts.TStarts)))
+	put(ts.TStarts...)
+	put(float64(len(ts.FTargets)))
+	put(ts.FTargets...)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // GenerateTable runs Phase 1: one convex solve per grid point, in
-// parallel. A solver error at any point aborts the generation.
-func GenerateTable(ts TableSpec) (*Table, error) {
+// parallel. A solver error at any point aborts the generation. The
+// context is honored down through the per-grid-point solver workers:
+// cancellation stops job dispatch, interrupts in-flight solves at their
+// next Newton iteration, and makes GenerateTable return ctx.Err().
+func GenerateTable(ctx context.Context, ts TableSpec) (*Table, error) {
 	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	nT, nF := len(ts.TStarts), len(ts.FTargets)
@@ -143,6 +204,9 @@ func GenerateTable(ts TableSpec) (*Table, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // drain remaining jobs without solving
+				}
 				spec := &Spec{
 					Chip:               ts.Chip,
 					Window:             ts.Window,
@@ -154,7 +218,7 @@ func GenerateTable(ts TableSpec) (*Table, error) {
 					GradStride:         ts.GradStride,
 					ConstrainAllBlocks: ts.ConstrainAllBlocks,
 				}
-				a, err := Solve(spec)
+				a, err := SolveContext(ctx, spec)
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("core: table point (%.0f°C, %.0f MHz): %w",
@@ -179,13 +243,21 @@ func GenerateTable(ts TableSpec) (*Table, error) {
 			}
 		}()
 	}
+dispatch:
 	for ti := 0; ti < nT; ti++ {
 		for fi := 0; fi < nF; fi++ {
-			jobs <- job{ti, fi}
+			select {
+			case jobs <- job{ti, fi}:
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

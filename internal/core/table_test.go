@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -19,7 +20,7 @@ func testTable(t *testing.T) *Table {
 	t.Helper()
 	f := niagaraFixture(t)
 	tblOnce.Do(func() {
-		tbl, tblErr = GenerateTable(TableSpec{
+		tbl, tblErr = GenerateTable(context.Background(), TableSpec{
 			Chip:     f.chip,
 			Window:   f.window,
 			TMax:     100,
@@ -189,7 +190,7 @@ func TestTableSpecValidate(t *testing.T) {
 			t.Errorf("case %d: invalid table spec accepted", i)
 		}
 	}
-	if _, err := GenerateTable(bad[0]); err == nil {
+	if _, err := GenerateTable(context.Background(), bad[0]); err == nil {
 		t.Error("GenerateTable accepted invalid spec")
 	}
 }
@@ -247,7 +248,7 @@ func TestNewControllerRejects(t *testing.T) {
 
 func TestGenerateTableUniformVariant(t *testing.T) {
 	f := niagaraFixture(t)
-	tb, err := GenerateTable(TableSpec{
+	tb, err := GenerateTable(context.Background(), TableSpec{
 		Chip:     f.chip,
 		Window:   f.window,
 		TMax:     100,
@@ -270,5 +271,76 @@ func TestGenerateTableUniformVariant(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// DefaultFTargets used to accumulate f += 0.05*fmax, so rounding could
+// change the grid length for unlucky fmax values. The index-based grid
+// must always be exactly 20 points ending exactly at fmax.
+func TestDefaultFTargetsExact(t *testing.T) {
+	for _, fmax := range []float64{1e9, 0.9e9, 750e6, 1.1e9, 3.33e9, 1} {
+		grid := DefaultFTargets(fmax)
+		if len(grid) != 20 {
+			t.Fatalf("fmax %g: %d points, want 20", fmax, len(grid))
+		}
+		if grid[len(grid)-1] != fmax {
+			t.Fatalf("fmax %g: last point %g != fmax", fmax, grid[len(grid)-1])
+		}
+		for i := 1; i < len(grid); i++ {
+			if grid[i] <= grid[i-1] {
+				t.Fatalf("fmax %g: grid not strictly ascending at %d", fmax, i)
+			}
+		}
+	}
+}
+
+func TestTableSpecCacheKey(t *testing.T) {
+	f := niagaraFixture(t)
+	base := func() TableSpec {
+		return TableSpec{
+			Chip: f.chip, Window: f.window, TMax: 100,
+			TStarts: []float64{47, 67}, FTargets: []float64{2e8, 4e8},
+		}
+	}
+	a, b := base(), base()
+	if a.CacheKey() != b.CacheKey() {
+		t.Fatal("identical specs produced different keys")
+	}
+	// Workers changes cost, not content: same key.
+	b.Workers = 3
+	if a.CacheKey() != b.CacheKey() {
+		t.Fatal("Workers leaked into the cache key")
+	}
+	distinct := []func(*TableSpec){
+		func(s *TableSpec) { s.TMax = 95 },
+		func(s *TableSpec) { s.Variant = VariantUniform },
+		func(s *TableSpec) { s.TStarts = []float64{47, 87} },
+		func(s *TableSpec) { s.FTargets = []float64{2e8, 4e8, 6e8} },
+		func(s *TableSpec) { s.GradWeight = 2 },
+		func(s *TableSpec) { s.GradStride = 3 },
+		func(s *TableSpec) { s.ConstrainAllBlocks = true },
+	}
+	seen := map[string]int{a.CacheKey(): -1}
+	for i, mutate := range distinct {
+		s := base()
+		mutate(&s)
+		k := s.CacheKey()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("mutation %d collides with %d", i, prev)
+		}
+		seen[k] = i
+	}
+}
+
+func TestGenerateTableCancelled(t *testing.T) {
+	f := niagaraFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := GenerateTable(ctx, TableSpec{
+		Chip: f.chip, Window: f.window, TMax: 100,
+		TStarts: []float64{47, 67, 87}, FTargets: []float64{2e8, 4e8, 6e8},
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -20,18 +21,18 @@ type BandsResult struct {
 }
 
 // Fig6a runs the band comparison on the mixed-benchmark trace.
-func (s *Setup) Fig6a() (*BandsResult, error) {
-	return s.bands("Fig6a", "mixed", s.Mixed)
+func (s *Setup) Fig6a(ctx context.Context) (*BandsResult, error) {
+	return s.bands(ctx, "Fig6a", "mixed", s.Mixed)
 }
 
 // Fig6b runs it on the most computation-intensive trace, where the
 // paper reports Basic-DFS spending up to 40% of the time above the
 // limit.
-func (s *Setup) Fig6b() (*BandsResult, error) {
-	return s.bands("Fig6b", "compute-intensive", s.Heavy)
+func (s *Setup) Fig6b(ctx context.Context) (*BandsResult, error) {
+	return s.bands(ctx, "Fig6b", "compute-intensive", s.Heavy)
 }
 
-func (s *Setup) bands(figure, name string, tr *workload.Trace) (*BandsResult, error) {
+func (s *Setup) bands(ctx context.Context, figure, name string, tr *workload.Trace) (*BandsResult, error) {
 	n := s.Chip.NumCores()
 	fmax := s.Chip.FMax()
 	policies := []sim.Policy{
@@ -41,7 +42,7 @@ func (s *Setup) bands(figure, name string, tr *workload.Trace) (*BandsResult, er
 	}
 	out := &BandsResult{Figure: figure, Workload: name}
 	for _, p := range policies {
-		res, err := s.runTrace(p, tr, nil)
+		res, err := s.runTrace(ctx, p, tr, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -94,14 +95,14 @@ type WaitResult struct {
 }
 
 // Fig7 runs the waiting-time comparison.
-func (s *Setup) Fig7() (*WaitResult, error) {
+func (s *Setup) Fig7(ctx context.Context) (*WaitResult, error) {
 	n := s.Chip.NumCores()
 	fmax := s.Chip.FMax()
-	basic, err := s.runTrace(&sim.BasicDFS{NumCores: n, FMax: fmax, Threshold: BasicThreshold}, s.Heavy, nil)
+	basic, err := s.runTrace(ctx, &sim.BasicDFS{NumCores: n, FMax: fmax, Threshold: BasicThreshold}, s.Heavy, nil)
 	if err != nil {
 		return nil, err
 	}
-	pro, err := s.runTrace(&sim.ProTemp{Controller: s.Ctrl}, s.Heavy, nil)
+	pro, err := s.runTrace(ctx, &sim.ProTemp{Controller: s.Ctrl}, s.Heavy, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +139,7 @@ type AssignResult struct {
 // Fig11 runs the assignment-policy study on the bursty medium load
 // (a fully saturated chip leaves at most one idle core at a time, so
 // every assignment policy degenerates to the same choice).
-func (s *Setup) Fig11() (*AssignResult, error) {
+func (s *Setup) Fig11(ctx context.Context) (*AssignResult, error) {
 	n := s.Chip.NumCores()
 	fmax := s.Chip.FMax()
 	coreBlocks := make([]int, n)
@@ -148,7 +149,7 @@ func (s *Setup) Fig11() (*AssignResult, error) {
 	cool := sim.NewCoolestFirst(s.Chip.Floorplan(), coreBlocks, 0.5)
 
 	run := func(p sim.Policy, a sim.Assigner) (*sim.Result, error) {
-		return sim.Run(sim.Config{
+		return sim.Run(ctx, sim.Config{
 			Chip: s.Chip, Disc: s.Disc, Policy: p, Assigner: a,
 			Trace:  s.Assign,
 			Window: s.Fid.Dt * float64(s.Fid.WindowSteps),

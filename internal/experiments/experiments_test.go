@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"bytes"
 	"os"
 	"path/filepath"
@@ -18,7 +19,7 @@ var (
 func quickSetup(t *testing.T) *Setup {
 	t.Helper()
 	setupOnce.Do(func() {
-		setupV, setupErr = NewSetup(Quick())
+		setupV, setupErr = NewSetup(context.Background(), Quick())
 	})
 	if setupErr != nil {
 		t.Fatal(setupErr)
@@ -38,7 +39,7 @@ func TestFidelityValidate(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Error("zero dt accepted")
 	}
-	if _, err := NewSetup(bad); err == nil {
+	if _, err := NewSetup(context.Background(), bad); err == nil {
 		t.Error("NewSetup accepted invalid fidelity")
 	}
 	bad2 := Quick()
@@ -52,11 +53,11 @@ func TestFidelityValidate(t *testing.T) {
 // the paper's headline contrast.
 func TestFig1Fig2Contrast(t *testing.T) {
 	s := quickSetup(t)
-	f1, err := s.Fig1()
+	f1, err := s.Fig1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	f2, err := s.Fig2()
+	f2, err := s.Fig2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +79,11 @@ func TestFig1Fig2Contrast(t *testing.T) {
 // the compute-intensive load (paper: up to 40%).
 func TestFig6Shapes(t *testing.T) {
 	s := quickSetup(t)
-	a, err := s.Fig6a()
+	a, err := s.Fig6a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Fig6b()
+	b, err := s.Fig6b(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestFig6Shapes(t *testing.T) {
 // Fig. 7: Pro-Temp reduces waiting substantially (paper: ~60%).
 func TestFig7Shape(t *testing.T) {
 	s := quickSetup(t)
-	r, err := s.Fig7()
+	r, err := s.Fig7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestFig7Shape(t *testing.T) {
 // Fig. 8: the gradient between P1 and P2 stays small under Pro-Temp.
 func TestFig8Gradient(t *testing.T) {
 	s := quickSetup(t)
-	r, err := s.Fig8()
+	r, err := s.Fig8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestFig8Gradient(t *testing.T) {
 // temperature; variable is strictly better somewhere hot.
 func TestFig9Shape(t *testing.T) {
 	s := quickSetup(t)
-	r, err := s.Fig9()
+	r, err := s.Fig9(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestFig9Shape(t *testing.T) {
 // core P2, strictly faster somewhere.
 func TestFig10Shape(t *testing.T) {
 	s := quickSetup(t)
-	r, err := s.Fig10()
+	r, err := s.Fig10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestFig10Shape(t *testing.T) {
 // time; Pro-Temp's gradient shrinks and the guarantee still holds.
 func TestFig11Shape(t *testing.T) {
 	s := quickSetup(t)
-	r, err := s.Fig11()
+	r, err := s.Fig11(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestFig11Shape(t *testing.T) {
 
 func TestSection51Cost(t *testing.T) {
 	s := quickSetup(t)
-	r, err := s.Section51()
+	r, err := s.Section51(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestSection51Cost(t *testing.T) {
 
 func TestRenderAndCSVOutputs(t *testing.T) {
 	s := quickSetup(t)
-	f1, err := s.Fig1()
+	f1, err := s.Fig1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

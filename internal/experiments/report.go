@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -21,38 +22,39 @@ type Report struct {
 	Cost  *CostResult
 }
 
-// RunAll executes every experiment in figure order.
-func (s *Setup) RunAll() (*Report, error) {
+// RunAll executes every experiment in figure order, honoring ctx
+// between and within experiments.
+func (s *Setup) RunAll(ctx context.Context) (*Report, error) {
 	r := &Report{}
 	var err error
-	if r.Fig1, err = s.Fig1(); err != nil {
+	if r.Fig1, err = s.Fig1(ctx); err != nil {
 		return nil, fmt.Errorf("fig1: %w", err)
 	}
-	if r.Fig2, err = s.Fig2(); err != nil {
+	if r.Fig2, err = s.Fig2(ctx); err != nil {
 		return nil, fmt.Errorf("fig2: %w", err)
 	}
-	if r.Fig6a, err = s.Fig6a(); err != nil {
+	if r.Fig6a, err = s.Fig6a(ctx); err != nil {
 		return nil, fmt.Errorf("fig6a: %w", err)
 	}
-	if r.Fig6b, err = s.Fig6b(); err != nil {
+	if r.Fig6b, err = s.Fig6b(ctx); err != nil {
 		return nil, fmt.Errorf("fig6b: %w", err)
 	}
-	if r.Fig7, err = s.Fig7(); err != nil {
+	if r.Fig7, err = s.Fig7(ctx); err != nil {
 		return nil, fmt.Errorf("fig7: %w", err)
 	}
-	if r.Fig8, err = s.Fig8(); err != nil {
+	if r.Fig8, err = s.Fig8(ctx); err != nil {
 		return nil, fmt.Errorf("fig8: %w", err)
 	}
-	if r.Fig9, err = s.Fig9(); err != nil {
+	if r.Fig9, err = s.Fig9(ctx); err != nil {
 		return nil, fmt.Errorf("fig9: %w", err)
 	}
-	if r.Fig10, err = s.Fig10(); err != nil {
+	if r.Fig10, err = s.Fig10(ctx); err != nil {
 		return nil, fmt.Errorf("fig10: %w", err)
 	}
-	if r.Fig11, err = s.Fig11(); err != nil {
+	if r.Fig11, err = s.Fig11(ctx); err != nil {
 		return nil, fmt.Errorf("fig11: %w", err)
 	}
-	if r.Cost, err = s.Section51(); err != nil {
+	if r.Cost, err = s.Section51(ctx); err != nil {
 		return nil, fmt.Errorf("section 5.1: %w", err)
 	}
 	return r, nil

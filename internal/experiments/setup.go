@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"protemp/internal/core"
@@ -116,8 +117,8 @@ const BasicThreshold = 90
 
 // NewSetup builds the evaluation rig, including Phase-1 table
 // generation (the expensive part — the paper's "few hours" with CVX,
-// seconds to minutes here).
-func NewSetup(fid Fidelity) (*Setup, error) {
+// seconds to minutes here). Cancelling ctx aborts table generation.
+func NewSetup(ctx context.Context, fid Fidelity) (*Setup, error) {
 	if err := fid.Validate(); err != nil {
 		return nil, err
 	}
@@ -138,7 +139,7 @@ func NewSetup(fid Fidelity) (*Setup, error) {
 	if err != nil {
 		return nil, err
 	}
-	table, err := core.GenerateTable(core.TableSpec{
+	table, err := core.GenerateTable(ctx, core.TableSpec{
 		Chip:     chip,
 		Window:   window,
 		TMax:     TMax,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -20,10 +21,10 @@ type SweepResult struct {
 }
 
 // Fig9 sweeps starting temperatures.
-func (s *Setup) Fig9() (*SweepResult, error) {
+func (s *Setup) Fig9(ctx context.Context) (*SweepResult, error) {
 	out := &SweepResult{TStarts: append([]float64(nil), s.Fid.SweepTStarts...)}
 	for _, tstart := range out.TStarts {
-		uni, vari, err := s.maxSupported(tstart)
+		uni, vari, err := s.maxSupported(ctx, tstart)
 		if err != nil {
 			return nil, err
 		}
@@ -41,7 +42,7 @@ func (s *Setup) Fig9() (*SweepResult, error) {
 // feasible witness for the variable program, so the variable bound can
 // never fall below it (the solver's strict-feasibility margins would
 // otherwise bias the measurement near the boundary).
-func (s *Setup) maxSupported(tstart float64) (uniform, variable float64, err error) {
+func (s *Setup) maxSupported(ctx context.Context, tstart float64) (uniform, variable float64, err error) {
 	uniform, _, err = core.SolveUniformBisect(s.Spec(tstart, 0, core.VariantUniform))
 	if err != nil {
 		return 0, 0, err
@@ -55,7 +56,7 @@ func (s *Setup) maxSupported(tstart float64) (uniform, variable float64, err err
 		if fn*fmax <= uniform {
 			return true // uniform witness
 		}
-		a, err := core.Solve(s.Spec(tstart, fn*fmax, core.VariantVariable))
+		a, err := core.SolveContext(ctx, s.Spec(tstart, fn*fmax, core.VariantVariable))
 		if err != nil {
 			solveErr = err
 			return false
@@ -91,7 +92,7 @@ type PerCoreResult struct {
 }
 
 // Fig10 runs the per-core sweep.
-func (s *Setup) Fig10() (*PerCoreResult, error) {
+func (s *Setup) Fig10(ctx context.Context) (*PerCoreResult, error) {
 	p1 := s.coreIndexOf("P1")
 	p2 := s.coreIndexOf("P2")
 	if p1 < 0 || p2 < 0 {
@@ -99,7 +100,7 @@ func (s *Setup) Fig10() (*PerCoreResult, error) {
 	}
 	out := &PerCoreResult{TStarts: append([]float64(nil), s.Fid.SweepTStarts...)}
 	for _, tstart := range out.TStarts {
-		uniform, variable, err := s.maxSupported(tstart)
+		uniform, variable, err := s.maxSupported(ctx, tstart)
 		if err != nil {
 			return nil, err
 		}
@@ -118,13 +119,13 @@ func (s *Setup) Fig10() (*PerCoreResult, error) {
 		if variable > uniform*1.002 {
 			target = uniform + 0.9*(variable-uniform)
 		}
-		a, err := core.Solve(s.Spec(tstart, target, core.VariantVariable))
+		a, err := core.SolveContext(ctx, s.Spec(tstart, target, core.VariantVariable))
 		if err != nil {
 			return nil, err
 		}
 		if !a.Feasible {
 			// Boundary noise: retreat a little further.
-			a, err = core.Solve(s.Spec(tstart, 0.98*target, core.VariantVariable))
+			a, err = core.SolveContext(ctx, s.Spec(tstart, 0.98*target, core.VariantVariable))
 			if err != nil {
 				return nil, err
 			}
@@ -175,9 +176,9 @@ type CostResult struct {
 // Section51 measures a representative single solve and regenerates the
 // table, timing both. (The table in the Setup was already generated;
 // this measures a fresh run.)
-func (s *Setup) Section51() (*CostResult, error) {
+func (s *Setup) Section51(ctx context.Context) (*CostResult, error) {
 	start := time.Now()
-	a, err := core.Solve(s.Spec(67, 500e6, core.VariantVariable))
+	a, err := core.SolveContext(ctx, s.Spec(67, 500e6, core.VariantVariable))
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +186,7 @@ func (s *Setup) Section51() (*CostResult, error) {
 	_ = a
 
 	start = time.Now()
-	tbl, err := core.GenerateTable(core.TableSpec{
+	tbl, err := core.GenerateTable(ctx, core.TableSpec{
 		Chip:     s.Chip,
 		Window:   s.Window,
 		TMax:     TMax,

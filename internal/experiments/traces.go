@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -24,8 +25,8 @@ type TraceResult struct {
 }
 
 // runTrace executes one policy over a trace, recording the named cores.
-func (s *Setup) runTrace(policy sim.Policy, tr *workload.Trace, record []string) (*sim.Result, error) {
-	return sim.Run(sim.Config{
+func (s *Setup) runTrace(ctx context.Context, policy sim.Policy, tr *workload.Trace, record []string) (*sim.Result, error) {
+	return sim.Run(ctx, sim.Config{
 		Chip:         s.Chip,
 		Disc:         s.Disc,
 		Policy:       policy,
@@ -40,8 +41,8 @@ func (s *Setup) runTrace(policy sim.Policy, tr *workload.Trace, record []string)
 // over the mixed trace, sampled once per 100 ms window. The paper's
 // plot shows repeated excursions above the 100 °C limit even though
 // scaling triggers at 90 °C.
-func (s *Setup) Fig1() (*TraceResult, error) {
-	res, err := s.runTrace(
+func (s *Setup) Fig1(ctx context.Context) (*TraceResult, error) {
+	res, err := s.runTrace(ctx,
 		&sim.BasicDFS{NumCores: s.Chip.NumCores(), FMax: s.Chip.FMax(), Threshold: BasicThreshold},
 		s.Heavy, []string{"P1"})
 	if err != nil {
@@ -52,8 +53,8 @@ func (s *Setup) Fig1() (*TraceResult, error) {
 
 // Fig2 reproduces the Pro-Temp snapshot of the same processor under the
 // same trace: the limit is respected at every instant.
-func (s *Setup) Fig2() (*TraceResult, error) {
-	res, err := s.runTrace(&sim.ProTemp{Controller: s.Ctrl}, s.Heavy, []string{"P1"})
+func (s *Setup) Fig2(ctx context.Context) (*TraceResult, error) {
+	res, err := s.runTrace(ctx, &sim.ProTemp{Controller: s.Ctrl}, s.Heavy, []string{"P1"})
 	if err != nil {
 		return nil, err
 	}
@@ -62,8 +63,8 @@ func (s *Setup) Fig2() (*TraceResult, error) {
 
 // Fig8 reproduces the two-processor Pro-Temp trace (P1 and P2): the
 // spatial gradient between a periphery and a middle core stays small.
-func (s *Setup) Fig8() (*TraceResult, error) {
-	res, err := s.runTrace(&sim.ProTemp{Controller: s.Ctrl}, s.Mixed, []string{"P1", "P2"})
+func (s *Setup) Fig8(ctx context.Context) (*TraceResult, error) {
+	res, err := s.runTrace(ctx, &sim.ProTemp{Controller: s.Ctrl}, s.Mixed, []string{"P1", "P2"})
 	if err != nil {
 		return nil, err
 	}

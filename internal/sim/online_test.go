@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"protemp/internal/workload"
@@ -21,7 +22,7 @@ func TestProTempOnlineNeverViolates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Chip: r.chip, Disc: r.disc, Policy: online, Trace: tr, TMax: 100,
 	})
 	if err != nil {
@@ -57,13 +58,13 @@ func TestProTempOnlineAtLeastAsFast(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	table, err := Run(Config{
+	table, err := Run(context.Background(), Config{
 		Chip: r.chip, Disc: r.disc, Policy: &ProTemp{Controller: r.ctrl}, Trace: tr, TMax: 100,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	online, err := Run(Config{
+	online, err := Run(context.Background(), Config{
 		Chip: r.chip, Disc: r.disc,
 		Policy: &ProTempOnline{Chip: r.chip, Window: window, TMax: 100},
 		Trace:  tr, TMax: 100,

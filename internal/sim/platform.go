@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -65,8 +66,45 @@ type coreState struct {
 	remaining float64 // work left, seconds at fmax
 }
 
-// Run executes the simulation.
-func Run(cfg Config) (*Result, error) {
+// Stepper advances a simulation one DFS window at a time — the
+// session-driven counterpart of the batch Run. A control session (or
+// any external driver) can interleave its own work between windows,
+// inspect temperatures mid-run, and stop whenever it likes; Run is the
+// thin loop over a Stepper. A Stepper is single-goroutine state: it
+// must not be stepped concurrently.
+type Stepper struct {
+	cfg  Config
+	chip *power.Chip
+	n    int
+	fmax float64
+	spw  int // thermal sub-steps per window
+	dt   float64
+
+	res       *Result
+	recordIdx map[string]int
+
+	temps       linalg.Vector
+	next        linalg.Vector
+	pvec        linalg.Vector
+	fixed       linalg.Vector
+	cores       []coreState
+	coreTemps   linalg.Vector
+	freqs       linalg.Vector
+	busySteps   []int
+	utilization linalg.Vector
+
+	queue       []workload.Task
+	tasks       []workload.Task
+	nextArrival int
+	t           float64
+	coreTime    float64
+	violTime    float64
+	done        bool
+}
+
+// NewStepper validates the configuration, applies the paper's defaults
+// and returns a Stepper positioned before the first DFS window.
+func NewStepper(cfg Config) (*Stepper, error) {
 	if cfg.Chip == nil || cfg.Disc == nil || cfg.Policy == nil || cfg.Trace == nil {
 		return nil, fmt.Errorf("sim: Chip, Disc, Policy and Trace are required")
 	}
@@ -104,7 +142,6 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Disc.NumNodes() != nb {
 		return nil, fmt.Errorf("sim: thermal model has %d nodes, floorplan %d blocks", cfg.Disc.NumNodes(), nb)
 	}
-	fmax := chip.FMax()
 
 	res := &Result{
 		Policy:    cfg.Policy.Name(),
@@ -127,173 +164,242 @@ func Run(cfg Config) (*Result, error) {
 		recordIdx[name] = bi
 		res.Series[name] = &metrics.Series{Name: name}
 	}
-
-	temps := linalg.Constant(nb, cfg.T0)
-	next := linalg.NewVector(nb)
-	pvec := linalg.NewVector(nb)
-	fixed := chip.FixedPower()
-	cores := make([]coreState, n)
-	coreTemps := linalg.NewVector(n)
-	freqs := linalg.NewVector(n)
-	busySteps := make([]int, n)
-	utilization := linalg.NewVector(n)
-
-	var queue []workload.Task
-	tasks := cfg.Trace.Tasks
-	nextArrival := 0
-	t := 0.0
-	var coreTime, violTime float64
 	res.MaxCoreTemp = cfg.T0
 
-	for {
-		// ----- DFS boundary: sense, account, decide -----
-		for i := 0; i < n; i++ {
-			coreTemps[i] = temps[chip.CoreBlockIndex(i)]
+	return &Stepper{
+		cfg:         cfg,
+		chip:        chip,
+		n:           n,
+		fmax:        chip.FMax(),
+		spw:         spw,
+		dt:          dt,
+		res:         res,
+		recordIdx:   recordIdx,
+		temps:       linalg.Constant(nb, cfg.T0),
+		next:        linalg.NewVector(nb),
+		pvec:        linalg.NewVector(nb),
+		fixed:       chip.FixedPower(),
+		cores:       make([]coreState, n),
+		coreTemps:   linalg.NewVector(n),
+		freqs:       linalg.NewVector(n),
+		busySteps:   make([]int, n),
+		utilization: linalg.NewVector(n),
+		tasks:       cfg.Trace.Tasks,
+	}, nil
+}
+
+// Done reports whether the simulation has terminated (all work drained
+// or the MaxTime cap reached). Step is a no-op once Done returns true.
+func (s *Stepper) Done() bool { return s.done }
+
+// Time returns the simulated time in seconds at the next DFS boundary.
+func (s *Stepper) Time() float64 { return s.t }
+
+// State returns the WindowState the policy would observe at the current
+// DFS boundary — the sensing half of a window without committing to a
+// frequency decision. External sessions use it to drive their own
+// controllers.
+func (s *Stepper) State() WindowState {
+	for i := 0; i < s.n; i++ {
+		s.coreTemps[i] = s.temps[s.chip.CoreBlockIndex(i)]
+	}
+	pending := 0.0
+	for _, c := range s.cores {
+		if c.busy {
+			pending += c.remaining
 		}
-		pending := 0.0
-		for _, c := range cores {
-			if c.busy {
-				pending += c.remaining
+	}
+	for _, task := range s.queue {
+		pending += task.Work
+	}
+	required := 0.0
+	if pending > 0 {
+		required = pending / (float64(s.n) * s.cfg.Window) * s.fmax
+	}
+	return WindowState{
+		Time:         s.t,
+		CoreTemps:    s.coreTemps.Clone(),
+		BlockTemps:   s.temps.Clone(),
+		MaxCoreTemp:  s.coreTemps.Max(),
+		RequiredFreq: required,
+		Utilization:  s.utilization.Clone(),
+		QueueLen:     len(s.queue),
+	}
+}
+
+// Step simulates one DFS window: sense, ask the policy for frequency
+// commands, then co-simulate the thermal sub-steps. It returns an error
+// only for invalid policy output.
+func (s *Stepper) Step() error {
+	st := s.State()
+	cmd, err := validatePolicyOutput(s.cfg.Policy.Decide(st), s.n, s.fmax)
+	if err != nil {
+		return err
+	}
+	s.advance(cmd)
+	return nil
+}
+
+// StepWith simulates one DFS window under externally supplied per-core
+// frequency commands (Hz, length NumCores) — the session-driven path
+// where the controller lives outside the simulator. Commands are
+// clamped to [0, fmax]; NaN becomes 0.
+func (s *Stepper) StepWith(cmd linalg.Vector) error {
+	out, err := validatePolicyOutput(cmd, s.n, s.fmax)
+	if err != nil {
+		return err
+	}
+	s.advance(out)
+	return nil
+}
+
+// advance runs one window under an already-validated command vector.
+func (s *Stepper) advance(cmd linalg.Vector) {
+	if s.done {
+		return
+	}
+	copy(s.freqs, cmd)
+
+	for name, bi := range s.recordIdx {
+		s.res.Series[name].Append(s.t, s.temps[bi])
+	}
+
+	// ----- simulate the window at thermal sub-steps -----
+	for sub := 0; sub < s.spw; sub++ {
+		for s.nextArrival < len(s.tasks) && s.tasks[s.nextArrival].Arrival <= s.t {
+			s.queue = append(s.queue, s.tasks[s.nextArrival])
+			s.nextArrival++
+		}
+		// Assign queued tasks to idle cores that can actually run.
+		for len(s.queue) > 0 {
+			var idle []int
+			for i := range s.cores {
+				if !s.cores[i].busy && s.freqs[i] > 0 {
+					idle = append(idle, i)
+				}
+			}
+			for i := 0; i < s.n; i++ {
+				s.coreTemps[i] = s.temps[s.chip.CoreBlockIndex(i)]
+			}
+			pick := s.cfg.Assigner.Pick(idle, s.coreTemps)
+			if pick < 0 {
+				break
+			}
+			task := s.queue[0]
+			s.queue = s.queue[1:]
+			s.cores[pick].busy = true
+			s.cores[pick].remaining = task.Work
+			s.res.Wait.Add(s.t - task.Arrival)
+		}
+		// Execute.
+		for i := range s.cores {
+			if s.cores[i].busy {
+				s.busySteps[i]++
+				if s.freqs[i] > 0 {
+					s.cores[i].remaining -= s.freqs[i] / s.fmax * s.dt
+					if s.cores[i].remaining <= 1e-12 {
+						s.cores[i].busy = false
+						s.cores[i].remaining = 0
+						s.res.Completed++
+					}
+				}
 			}
 		}
-		for _, task := range queue {
-			pending += task.Work
+		// Power: busy cores draw at their commanded frequency, idle
+		// cores are clock-gated to zero; uncore power is constant.
+		copy(s.pvec, s.fixed)
+		for i := range s.cores {
+			bi := s.chip.CoreBlockIndex(i)
+			if s.cores[i].busy {
+				s.pvec[bi] = s.chip.CoreModelOf(i).AtFrequency(s.freqs[i])
+			} else {
+				s.pvec[bi] = 0
+			}
 		}
-		required := 0.0
-		if pending > 0 {
-			required = pending / (float64(n) * cfg.Window) * fmax
+		s.res.EnergyJ += s.pvec.Sum() * s.dt
+		// Thermal step.
+		s.cfg.Disc.Step(s.next, s.temps, s.pvec)
+		s.temps, s.next = s.next, s.temps
+		// Metrics.
+		minT, maxT := math.Inf(1), math.Inf(-1)
+		for i := 0; i < s.n; i++ {
+			ct := s.temps[s.chip.CoreBlockIndex(i)]
+			s.res.CoreBands[i].Add(ct, s.dt)
+			s.res.AvgBands.Add(ct, s.dt)
+			if ct < minT {
+				minT = ct
+			}
+			if ct > maxT {
+				maxT = ct
+			}
 		}
-		st := WindowState{
-			Time:         t,
-			CoreTemps:    coreTemps.Clone(),
-			BlockTemps:   temps.Clone(),
-			MaxCoreTemp:  coreTemps.Max(),
-			RequiredFreq: required,
-			Utilization:  utilization.Clone(),
-			QueueLen:     len(queue),
+		s.res.Gradient.Add(maxT-minT, s.dt)
+		if maxT > s.res.MaxCoreTemp {
+			s.res.MaxCoreTemp = maxT
 		}
-		cmd, err := validatePolicyOutput(cfg.Policy.Decide(st), n, fmax)
-		if err != nil {
+		for i := 0; i < s.n; i++ {
+			s.coreTime += s.dt
+			if s.temps[s.chip.CoreBlockIndex(i)] > s.cfg.TMax {
+				s.violTime += s.dt
+			}
+		}
+		s.t += s.dt
+	}
+
+	// Per-core utilization observed over the window just simulated.
+	for i := range s.busySteps {
+		s.utilization[i] = float64(s.busySteps[i]) / float64(s.spw)
+		s.busySteps[i] = 0
+	}
+
+	// ----- termination -----
+	done := s.nextArrival == len(s.tasks) && len(s.queue) == 0
+	if done {
+		for _, c := range s.cores {
+			if c.busy {
+				done = false
+				break
+			}
+		}
+	}
+	if done || s.t >= s.cfg.MaxTime {
+		s.done = true
+	}
+}
+
+// Result finalizes and returns the metrics accumulated so far. It may
+// be called at any boundary, including after an early stop: unfinished
+// work is counted from the live queue and arrival stream.
+func (s *Stepper) Result() *Result {
+	s.res.SimTime = s.t
+	s.res.ViolationFrac = 0
+	if s.coreTime > 0 {
+		s.res.ViolationFrac = s.violTime / s.coreTime
+	}
+	unfinished := len(s.queue) + (len(s.tasks) - s.nextArrival)
+	for _, c := range s.cores {
+		if c.busy {
+			unfinished++
+		}
+	}
+	s.res.Unfinished = unfinished
+	return s.res
+}
+
+// Run executes the simulation to completion. The context is checked at
+// every DFS boundary; cancellation returns ctx.Err() with no result.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	st, err := NewStepper(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for !st.Done() {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		copy(freqs, cmd)
-
-		for name, bi := range recordIdx {
-			res.Series[name].Append(t, temps[bi])
-		}
-
-		// ----- simulate the window at thermal sub-steps -----
-		for s := 0; s < spw; s++ {
-			for nextArrival < len(tasks) && tasks[nextArrival].Arrival <= t {
-				queue = append(queue, tasks[nextArrival])
-				nextArrival++
-			}
-			// Assign queued tasks to idle cores that can actually run.
-			for len(queue) > 0 {
-				var idle []int
-				for i := range cores {
-					if !cores[i].busy && freqs[i] > 0 {
-						idle = append(idle, i)
-					}
-				}
-				for i := 0; i < n; i++ {
-					coreTemps[i] = temps[chip.CoreBlockIndex(i)]
-				}
-				pick := cfg.Assigner.Pick(idle, coreTemps)
-				if pick < 0 {
-					break
-				}
-				task := queue[0]
-				queue = queue[1:]
-				cores[pick].busy = true
-				cores[pick].remaining = task.Work
-				res.Wait.Add(t - task.Arrival)
-			}
-			// Execute.
-			for i := range cores {
-				if cores[i].busy {
-					busySteps[i]++
-					if freqs[i] > 0 {
-						cores[i].remaining -= freqs[i] / fmax * dt
-						if cores[i].remaining <= 1e-12 {
-							cores[i].busy = false
-							cores[i].remaining = 0
-							res.Completed++
-						}
-					}
-				}
-			}
-			// Power: busy cores draw at their commanded frequency, idle
-			// cores are clock-gated to zero; uncore power is constant.
-			copy(pvec, fixed)
-			for i := range cores {
-				bi := chip.CoreBlockIndex(i)
-				if cores[i].busy {
-					pvec[bi] = chip.CoreModelOf(i).AtFrequency(freqs[i])
-				} else {
-					pvec[bi] = 0
-				}
-			}
-			res.EnergyJ += pvec.Sum() * dt
-			// Thermal step.
-			cfg.Disc.Step(next, temps, pvec)
-			temps, next = next, temps
-			// Metrics.
-			minT, maxT := math.Inf(1), math.Inf(-1)
-			for i := 0; i < n; i++ {
-				ct := temps[chip.CoreBlockIndex(i)]
-				res.CoreBands[i].Add(ct, dt)
-				res.AvgBands.Add(ct, dt)
-				if ct < minT {
-					minT = ct
-				}
-				if ct > maxT {
-					maxT = ct
-				}
-			}
-			res.Gradient.Add(maxT-minT, dt)
-			if maxT > res.MaxCoreTemp {
-				res.MaxCoreTemp = maxT
-			}
-			for i := 0; i < n; i++ {
-				coreTime += dt
-				if temps[chip.CoreBlockIndex(i)] > cfg.TMax {
-					violTime += dt
-				}
-			}
-			t += dt
-		}
-
-		// Per-core utilization observed over the window just simulated.
-		for i := range busySteps {
-			utilization[i] = float64(busySteps[i]) / float64(spw)
-			busySteps[i] = 0
-		}
-
-		// ----- termination -----
-		done := nextArrival == len(tasks) && len(queue) == 0
-		if done {
-			for _, c := range cores {
-				if c.busy {
-					done = false
-					break
-				}
-			}
-		}
-		if done || t >= cfg.MaxTime {
-			res.Unfinished = len(queue) + (len(tasks) - nextArrival)
-			for _, c := range cores {
-				if c.busy {
-					res.Unfinished++
-				}
-			}
-			break
+		if err := st.Step(); err != nil {
+			return nil, err
 		}
 	}
-
-	res.SimTime = t
-	if coreTime > 0 {
-		res.ViolationFrac = violTime / coreTime
-	}
-	return res, nil
+	return st.Result(), nil
 }

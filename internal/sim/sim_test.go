@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -51,7 +52,7 @@ func testRig(t *testing.T) rig {
 			rigErr = err
 			return
 		}
-		table, err := core.GenerateTable(core.TableSpec{
+		table, err := core.GenerateTable(context.Background(), core.TableSpec{
 			Chip:     chip,
 			Window:   window,
 			TMax:     100,
@@ -95,7 +96,7 @@ func mixedTrace(t *testing.T, seconds float64) *workload.Trace {
 
 func runPolicy(t *testing.T, r rig, p Policy, tr *workload.Trace) *Result {
 	t.Helper()
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Chip:         r.chip,
 		Disc:         r.disc,
 		Policy:       p,
@@ -111,21 +112,21 @@ func runPolicy(t *testing.T, r rig, p Policy, tr *workload.Trace) *Result {
 func TestRunValidation(t *testing.T) {
 	r := testRig(t)
 	tr := mixedTrace(t, 1)
-	if _, err := Run(Config{}); err == nil {
+	if _, err := Run(context.Background(), Config{}); err == nil {
 		t.Error("empty config accepted")
 	}
-	if _, err := Run(Config{Chip: r.chip, Disc: r.disc, Policy: &NoTC{NumCores: 8, FMax: 1e9}, Trace: tr, Window: -1}); err == nil {
+	if _, err := Run(context.Background(), Config{Chip: r.chip, Disc: r.disc, Policy: &NoTC{NumCores: 8, FMax: 1e9}, Trace: tr, Window: -1}); err == nil {
 		t.Error("negative window accepted")
 	}
-	if _, err := Run(Config{Chip: r.chip, Disc: r.disc, Policy: &NoTC{NumCores: 8, FMax: 1e9}, Trace: tr, Window: 0.00037}); err == nil {
+	if _, err := Run(context.Background(), Config{Chip: r.chip, Disc: r.disc, Policy: &NoTC{NumCores: 8, FMax: 1e9}, Trace: tr, Window: 0.00037}); err == nil {
 		t.Error("non-multiple window accepted")
 	}
-	if _, err := Run(Config{Chip: r.chip, Disc: r.disc, Policy: &NoTC{NumCores: 8, FMax: 1e9}, Trace: tr, RecordBlocks: []string{"nope"}}); err == nil {
+	if _, err := Run(context.Background(), Config{Chip: r.chip, Disc: r.disc, Policy: &NoTC{NumCores: 8, FMax: 1e9}, Trace: tr, RecordBlocks: []string{"nope"}}); err == nil {
 		t.Error("unknown record block accepted")
 	}
 	bad := &Trace{}
 	_ = bad
-	if _, err := Run(Config{Chip: r.chip, Disc: r.disc, Policy: &NoTC{NumCores: 3, FMax: 1e9}, Trace: tr}); err == nil {
+	if _, err := Run(context.Background(), Config{Chip: r.chip, Disc: r.disc, Policy: &NoTC{NumCores: 3, FMax: 1e9}, Trace: tr}); err == nil {
 		t.Error("policy with wrong core count accepted")
 	}
 }
@@ -215,7 +216,7 @@ func TestCoolestFirstImproves(t *testing.T) {
 	cool := NewCoolestFirst(r.chip.Floorplan(), coreBlocks(r.chip), 0.5)
 
 	basicFI := runPolicy(t, r, &BasicDFS{NumCores: 8, FMax: 1e9, Threshold: 90}, tr)
-	basicCF, err := Run(Config{
+	basicCF, err := Run(context.Background(), Config{
 		Chip: r.chip, Disc: r.disc, Trace: tr,
 		Policy:   &BasicDFS{NumCores: 8, FMax: 1e9, Threshold: 90},
 		Assigner: cool,
@@ -229,7 +230,7 @@ func TestCoolestFirstImproves(t *testing.T) {
 	}
 
 	proFI := runPolicy(t, r, &ProTemp{Controller: r.ctrl}, tr)
-	proCF, err := Run(Config{
+	proCF, err := Run(context.Background(), Config{
 		Chip: r.chip, Disc: r.disc, Trace: tr,
 		Policy:   &ProTemp{Controller: r.ctrl},
 		Assigner: cool,
@@ -340,7 +341,7 @@ func TestMaxTimeCapStopsStarvation(t *testing.T) {
 	// A policy that never runs anything starves the queue; the cap must
 	// end the run and report unfinished work.
 	tr := mixedTrace(t, 1)
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Chip: r.chip, Disc: r.disc, Trace: tr,
 		Policy:  &stuckPolicy{},
 		MaxTime: 2,

@@ -29,6 +29,11 @@ type Options struct {
 	// centering iterate satisfies it. Phase I uses this to stop once a
 	// strictly feasible point is found.
 	StopEarly func(x linalg.Vector) bool
+	// Interrupt, if non-nil, is polled once per Newton iteration; a
+	// non-nil return aborts the solve with that error. Context
+	// cancellation plumbs through here so a caller's deadline reaches
+	// into the innermost centering loop.
+	Interrupt func() error
 }
 
 // DefaultOptions returns the tuning used throughout the project.
@@ -170,6 +175,11 @@ func center(p *Problem, x linalg.Vector, t float64, o Options) (int, bool, error
 	xTrial := linalg.NewVector(n)
 
 	for iter := 1; iter <= o.MaxNewton; iter++ {
+		if o.Interrupt != nil {
+			if err := o.Interrupt(); err != nil {
+				return iter - 1, false, err
+			}
+		}
 		if o.StopEarly != nil && o.StopEarly(x) {
 			return iter - 1, true, nil
 		}

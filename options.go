@@ -1,0 +1,179 @@
+package protemp
+
+import (
+	"fmt"
+
+	"protemp/internal/core"
+	"protemp/internal/floorplan"
+	"protemp/internal/power"
+	"protemp/internal/thermal"
+)
+
+// Option configures an Engine. Options are applied over the paper's
+// defaults (Niagara-8 floorplan, 1 GHz / 4 W cores, 30% uncore share,
+// 0.4 ms thermal step, 250-step = 100 ms DFS window, 100 °C limit,
+// per-core variable-frequency variant). Unlike the deprecated
+// SystemConfig, an option always takes effect, so legitimate zero
+// values — WithUncoreShare(0), WithTMax(0) rejected explicitly rather
+// than silently replaced — are representable.
+type Option func(*engineConfig) error
+
+// engineConfig is the resolved option set an Engine is built from.
+type engineConfig struct {
+	fp            *floorplan.Floorplan
+	coreModel     power.CoreModel
+	uncoreShare   float64
+	thermalParams thermal.Params
+	dt            float64
+	windowSteps   int
+	tmax          float64
+	variant       core.Variant
+	tstarts       []float64
+	ftargets      []float64 // nil means DefaultFTargets(fmax)
+	workers       int
+	cacheSize     int
+}
+
+func defaultEngineConfig() engineConfig {
+	return engineConfig{
+		fp:            floorplan.Niagara(),
+		coreModel:     power.NiagaraCore(),
+		uncoreShare:   power.UncoreShare,
+		thermalParams: thermal.DefaultParams(),
+		dt:            0.4e-3,
+		windowSteps:   250,
+		tmax:          100,
+		variant:       core.VariantVariable,
+		tstarts:       core.DefaultTStarts(),
+		ftargets:      nil,
+		workers:       0,
+		cacheSize:     8,
+	}
+}
+
+// WithFloorplan sets the chip floorplan (default the paper's
+// Niagara-8 plan).
+func WithFloorplan(fp *floorplan.Floorplan) Option {
+	return func(c *engineConfig) error {
+		if fp == nil {
+			return fmt.Errorf("protemp: nil floorplan")
+		}
+		c.fp = fp
+		return nil
+	}
+}
+
+// WithCoreModel sets the per-core DVFS power law (default the paper's
+// 1 GHz / 4 W cores).
+func WithCoreModel(m power.CoreModel) Option {
+	return func(c *engineConfig) error {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		c.coreModel = m
+		return nil
+	}
+}
+
+// WithUncoreShare sets the fixed non-core power as a fraction of the
+// cores' total maximum power (default the paper's 0.30). Zero is a
+// legitimate value: a chip whose caches and interconnect draw nothing.
+func WithUncoreShare(share float64) Option {
+	return func(c *engineConfig) error {
+		if share < 0 {
+			return fmt.Errorf("protemp: negative uncore share %g", share)
+		}
+		c.uncoreShare = share
+		return nil
+	}
+}
+
+// WithThermalParams sets the RC-synthesis parameters (default
+// thermal.DefaultParams()).
+func WithThermalParams(p thermal.Params) Option {
+	return func(c *engineConfig) error {
+		c.thermalParams = p
+		return nil
+	}
+}
+
+// WithWindow sets the thermal co-simulation step dt (seconds) and the
+// DFS window horizon in steps; dt·steps is the control period (the
+// paper uses 0.4 ms × 250 = 100 ms).
+func WithWindow(dt float64, steps int) Option {
+	return func(c *engineConfig) error {
+		if dt <= 0 {
+			return fmt.Errorf("protemp: non-positive thermal step %g", dt)
+		}
+		if steps < 1 {
+			return fmt.Errorf("protemp: window of %d steps", steps)
+		}
+		c.dt = dt
+		c.windowSteps = steps
+		return nil
+	}
+}
+
+// WithTMax sets the temperature limit in °C (default 100).
+func WithTMax(tmax float64) Option {
+	return func(c *engineConfig) error {
+		if tmax <= 0 {
+			return fmt.Errorf("protemp: non-positive tmax %g", tmax)
+		}
+		c.tmax = tmax
+		return nil
+	}
+}
+
+// WithVariant sets the default optimization model variant used by
+// Optimize, GenerateTable and NewSession (default
+// core.VariantVariable).
+func WithVariant(v core.Variant) Option {
+	return func(c *engineConfig) error {
+		switch v {
+		case core.VariantVariable, core.VariantUniform, core.VariantGradient:
+			c.variant = v
+			return nil
+		default:
+			return fmt.Errorf("protemp: unknown variant %v", v)
+		}
+	}
+}
+
+// WithTableGrid sets the default Phase-1 grids: ascending starting
+// temperatures (°C) and ascending target frequencies (Hz). Defaults
+// are core.DefaultTStarts() and core.DefaultFTargets(fmax).
+func WithTableGrid(tstarts, ftargets []float64) Option {
+	return func(c *engineConfig) error {
+		if len(tstarts) == 0 || len(ftargets) == 0 {
+			return fmt.Errorf("protemp: empty table grid (%d temps, %d freqs)", len(tstarts), len(ftargets))
+		}
+		c.tstarts = append([]float64(nil), tstarts...)
+		c.ftargets = append([]float64(nil), ftargets...)
+		return nil
+	}
+}
+
+// WithWorkers bounds the parallel Phase-1 solves (default GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *engineConfig) error {
+		if n < 0 {
+			return fmt.Errorf("protemp: negative worker count %d", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithTableCacheSize bounds the engine's LRU cache of generated
+// Phase-1 tables (default 8). Zero disables caching; concurrent
+// callers then each pay for their own generation.
+func WithTableCacheSize(n int) Option {
+	return func(c *engineConfig) error {
+		if n < 0 {
+			return fmt.Errorf("protemp: negative cache size %d", n)
+		}
+		c.cacheSize = n
+		return nil
+	}
+}

@@ -1,0 +1,246 @@
+package protemp
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"protemp/internal/core"
+	"protemp/internal/linalg"
+	"protemp/internal/sim"
+)
+
+// State is what a control session observes at a DFS boundary: the
+// sensor summary the paper's run-time phase consumes.
+type State struct {
+	// MaxCoreTemp is the hottest core sensor reading in °C — the single
+	// value the paper's table lookup keys on.
+	MaxCoreTemp float64
+	// RequiredFreq is the average frequency (Hz) needed to clear the
+	// pending work within the next window.
+	RequiredFreq float64
+	// BlockTemps optionally holds the full per-block thermal map
+	// (length NumBlocks, °C). Table sessions ignore it; online (MPC)
+	// sessions solve on it when present, recovering the headroom the
+	// single-value rounding gives away.
+	BlockTemps []float64
+}
+
+// Session is a reusable, goroutine-safe control session: configure the
+// engine once, then drive any number of Step calls — one per DFS
+// window — from any number of goroutines. A table session answers from
+// the cached Phase-1 table in O(log n); an online session solves the
+// convex program on the observed thermal map each step.
+type Session struct {
+	engine *Engine
+	ctrl   *core.Controller // table-driven when non-nil
+
+	mu         sync.Mutex
+	steps      uint64
+	downgrades uint64
+	idles      uint64
+	solves     uint64 // online only
+}
+
+// NewSession opens a table-driven control session on the engine's
+// configured grid and variant. The Phase-1 table comes from the
+// engine's cache: concurrent NewSession calls on one configuration
+// trigger exactly one generation. Cancelling ctx aborts a table
+// generation in progress.
+func (e *Engine) NewSession(ctx context.Context) (*Session, error) {
+	table, err := e.GenerateTable(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := core.NewController(table)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{engine: e, ctrl: ctrl}, nil
+}
+
+// NewSessionFromTable opens a session on an explicit table (for
+// example one deserialized from disk).
+func (e *Engine) NewSessionFromTable(table *core.Table) (*Session, error) {
+	ctrl, err := core.NewController(table)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{engine: e, ctrl: ctrl}, nil
+}
+
+// NewOnlineSession opens a model-predictive session that solves the
+// convex program at every Step on the full thermal map — no Phase-1
+// table, one interior-point solve per window.
+func (e *Engine) NewOnlineSession() *Session {
+	return &Session{engine: e}
+}
+
+// Online reports whether the session solves online (true) or answers
+// from a Phase-1 table (false).
+func (s *Session) Online() bool { return s.ctrl == nil }
+
+// Table returns the session's Phase-1 table, or nil for an online
+// session.
+func (s *Session) Table() *core.Table {
+	if s.ctrl == nil {
+		return nil
+	}
+	return s.ctrl.Table()
+}
+
+// Stats reports session activity: windows stepped, downgraded
+// decisions (required frequency unsupportable, a lower point
+// substituted), idle windows, and — for online sessions — convex
+// solves performed.
+func (s *Session) Stats() (steps, downgrades, idles, solves uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.steps, s.downgrades, s.idles, s.solves
+}
+
+// Step decides the per-core frequency command (Hz, length NumCores)
+// for the next DFS window from the observed state. It is safe to call
+// from multiple goroutines; each call is one window decision.
+// Cancelling ctx aborts an online solve at its next Newton iteration;
+// table lookups are effectively instant but still honor an
+// already-cancelled context.
+func (s *Session) Step(ctx context.Context, st State) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.ctrl != nil {
+		return s.stepTable(st), nil
+	}
+	return s.stepOnline(ctx, st)
+}
+
+func (s *Session) stepTable(st State) []float64 {
+	d := s.ctrl.Decide(st.MaxCoreTemp, st.RequiredFreq)
+	s.mu.Lock()
+	s.steps++
+	if d.Downgraded {
+		s.downgrades++
+	}
+	if d.Idle {
+		s.idles++
+	}
+	s.mu.Unlock()
+	return d.Freqs
+}
+
+// stepOnline mirrors sim.ProTempOnline's decision rule with context
+// plumbed through: solve at the (floored) required target, and if that
+// is unsupportable from the observed map, bisect the largest
+// supportable uniform target and re-solve just inside it.
+func (s *Session) stepOnline(ctx context.Context, st State) ([]float64, error) {
+	e := s.engine
+	n := e.chip.NumCores()
+	fmax := e.chip.FMax()
+	required := st.RequiredFreq
+	if math.IsNaN(required) || required < 0 {
+		required = 0
+	}
+	if required > fmax {
+		required = fmax
+	}
+	if required > 0 && required < 0.1*fmax {
+		required = 0.1 * fmax
+	}
+	spec := e.spec(st.MaxCoreTemp, required, e.cfg.variant)
+	if st.BlockTemps != nil {
+		if len(st.BlockTemps) != e.cfg.fp.NumBlocks() {
+			return nil, fmt.Errorf("protemp: state has %d block temps for %d blocks",
+				len(st.BlockTemps), e.cfg.fp.NumBlocks())
+		}
+		spec.T0 = st.BlockTemps
+	}
+
+	s.mu.Lock()
+	s.steps++
+	s.solves++
+	s.mu.Unlock()
+
+	a, err := core.SolveContext(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if a.Feasible {
+		return a.Freqs, nil
+	}
+
+	// Unsupportable target: fall back to the largest supportable
+	// uniform frequency (the run-time analogue of the paper's "next
+	// lower frequency point" rule), idling the window if even that
+	// fails.
+	maxF, _, err := core.SolveUniformBisect(spec)
+	if err != nil {
+		return nil, err
+	}
+	idle := make([]float64, n)
+	if maxF <= 0 {
+		s.noteIdle()
+		return idle, nil
+	}
+	spec.FTarget = math.Min(required, 0.98*maxF)
+	s.mu.Lock()
+	s.solves++
+	s.downgrades++
+	s.mu.Unlock()
+	a, err = core.SolveContext(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if !a.Feasible {
+		s.noteIdle()
+		return idle, nil
+	}
+	return a.Freqs, nil
+}
+
+func (s *Session) noteIdle() {
+	s.mu.Lock()
+	s.idles++
+	s.mu.Unlock()
+}
+
+// Policy adapts the session into a sim.Policy so it can drive
+// Engine.Simulate or a sim.Stepper. Pass the same ctx given to
+// Simulate: each window's Step runs under it, so cancellation reaches
+// an online session's in-flight solve rather than waiting for the next
+// window boundary. Decide never fails: on a solve error (including
+// cancellation) the window is idled, which is always thermally safe,
+// and the simulator's own boundary check surfaces ctx.Err().
+func (s *Session) Policy(ctx context.Context) sim.Policy {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return sessionPolicy{s: s, ctx: ctx}
+}
+
+type sessionPolicy struct {
+	s   *Session
+	ctx context.Context
+}
+
+// Name implements sim.Policy.
+func (p sessionPolicy) Name() string {
+	if p.s.Online() {
+		return "Pro-Temp-Session-Online"
+	}
+	return "Pro-Temp-Session"
+}
+
+// Decide implements sim.Policy.
+func (p sessionPolicy) Decide(st sim.WindowState) linalg.Vector {
+	freqs, err := p.s.Step(p.ctx, State{
+		MaxCoreTemp:  st.MaxCoreTemp,
+		RequiredFreq: st.RequiredFreq,
+		BlockTemps:   st.BlockTemps,
+	})
+	if err != nil {
+		return linalg.NewVector(p.s.engine.chip.NumCores())
+	}
+	return linalg.VectorOf(freqs...)
+}
