@@ -6,7 +6,20 @@ import (
 	"sync"
 
 	"protemp/internal/core"
+	"protemp/internal/metrics"
 )
+
+// TableStore is the persistence tier under the engine's in-memory
+// table cache: a write-through second level keyed by
+// core.TableSpec.CacheKey(). Load returns (nil, false, nil) when the
+// key is absent; errors are reserved for real failures (corrupt file,
+// I/O). Implementations must be safe for concurrent use.
+// WithTableStoreDir installs the built-in directory-backed store;
+// WithTableStore accepts any implementation.
+type TableStore interface {
+	Load(key string) (*core.Table, bool, error)
+	Save(key string, t *core.Table) error
+}
 
 // CacheStats reports engine-level table-cache activity. Generations is
 // the number of Phase-1 sweeps actually executed — the observable that
@@ -17,14 +30,54 @@ type CacheStats struct {
 	// Shared counts lookups that attached to an in-flight generation
 	// started by another caller.
 	Shared uint64
-	// Misses counts lookups that had to start a generation.
+	// Misses counts lookups that missed the in-memory tier.
 	Misses uint64
-	// Generations counts Phase-1 sweeps executed (equals Misses).
+	// Generations counts Phase-1 sweeps executed (Misses minus
+	// StoreHits).
 	Generations uint64
 	// Evictions counts tables dropped by the LRU policy.
 	Evictions uint64
+	// StoreHits counts misses served by the persistent store instead of
+	// a Phase-1 sweep (warm restarts, pre-generated tables).
+	StoreHits uint64
+	// StoreMisses counts misses that consulted the store and found
+	// nothing.
+	StoreMisses uint64
+	// StoreWrites counts tables written through to the store.
+	StoreWrites uint64
+	// StoreErrors counts store loads/saves that failed; store failures
+	// degrade to a fresh generation, never to a caller-visible error.
+	StoreErrors uint64
 	// Size is the current number of cached (or in-flight) tables.
 	Size int
+}
+
+// cacheCounters are the atomic counters behind CacheStats, registered
+// in a metrics.Registry so a serving layer can expose them directly.
+type cacheCounters struct {
+	hits        *metrics.Counter
+	shared      *metrics.Counter
+	misses      *metrics.Counter
+	generations *metrics.Counter
+	evictions   *metrics.Counter
+	storeHits   *metrics.Counter
+	storeMisses *metrics.Counter
+	storeWrites *metrics.Counter
+	storeErrors *metrics.Counter
+}
+
+func newCacheCounters(reg *metrics.Registry) cacheCounters {
+	return cacheCounters{
+		hits:        reg.Counter("table_cache_hits"),
+		shared:      reg.Counter("table_cache_singleflight_shared"),
+		misses:      reg.Counter("table_cache_misses"),
+		generations: reg.Counter("table_cache_generations"),
+		evictions:   reg.Counter("table_cache_evictions"),
+		storeHits:   reg.Counter("table_store_hits"),
+		storeMisses: reg.Counter("table_store_misses"),
+		storeWrites: reg.Counter("table_store_writes"),
+		storeErrors: reg.Counter("table_store_errors"),
+	}
 }
 
 // cacheEntry is one table slot; done is closed when generation
@@ -39,34 +92,65 @@ type cacheEntry struct {
 }
 
 // tableCache is an LRU of generated Phase-1 tables with singleflight
-// semantics: concurrent callers for one key share a single generation.
+// semantics (concurrent callers for one key share a single generation)
+// and an optional write-through persistent second tier: a miss
+// consults the store before paying for a Phase-1 sweep, and a
+// completed sweep is written back so the next process starts warm.
 type tableCache struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[string]*cacheEntry
 	order   *list.List // front = most recently used
-	stats   CacheStats
+	store   TableStore // nil = memory only
+	c       cacheCounters
 }
 
-func newTableCache(capacity int) *tableCache {
+func newTableCache(capacity int, store TableStore, reg *metrics.Registry) *tableCache {
 	return &tableCache{
 		cap:     capacity,
 		entries: make(map[string]*cacheEntry),
 		order:   list.New(),
+		store:   store,
+		c:       newCacheCounters(reg),
 	}
 }
 
-// get returns the table for key, running gen at most once across all
-// concurrent callers of the same key. Waiters blocked on another
-// caller's generation honor their own ctx. A failed generation is
-// dropped so a later call can retry.
+// fill resolves a miss outside the cache lock: persistent store first,
+// Phase-1 generation second, write-through on a fresh generation.
+// Store failures are counted and degrade to generation — a bad disk
+// must not take down the control plane.
+func (c *tableCache) fill(key string, gen func() (*core.Table, error)) (*core.Table, error) {
+	if c.store != nil {
+		t, ok, err := c.store.Load(key)
+		if err != nil {
+			c.c.storeErrors.Inc()
+		} else if ok {
+			c.c.storeHits.Inc()
+			return t, nil
+		} else {
+			c.c.storeMisses.Inc()
+		}
+	}
+	c.c.generations.Inc()
+	t, err := gen()
+	if err == nil && c.store != nil {
+		if serr := c.store.Save(key, t); serr != nil {
+			c.c.storeErrors.Inc()
+		} else {
+			c.c.storeWrites.Inc()
+		}
+	}
+	return t, err
+}
+
+// get returns the table for key, running the fill (store load or
+// Phase-1 generation) at most once across all concurrent callers of
+// the same key. Waiters blocked on another caller's fill honor their
+// own ctx. A failed fill is dropped so a later call can retry.
 func (c *tableCache) get(ctx context.Context, key string, gen func() (*core.Table, error)) (*core.Table, error) {
-	if c.cap == 0 { // caching disabled
-		c.mu.Lock()
-		c.stats.Misses++
-		c.stats.Generations++
-		c.mu.Unlock()
-		return gen()
+	if c.cap == 0 { // in-memory caching disabled; the store still works
+		c.c.misses.Inc()
+		return c.fill(key, gen)
 	}
 	for {
 		c.mu.Lock()
@@ -75,7 +159,7 @@ func (c *tableCache) get(ctx context.Context, key string, gen func() (*core.Tabl
 			select {
 			case <-e.done:
 				if e.err == nil {
-					c.stats.Hits++
+					c.c.hits.Inc()
 					c.order.MoveToFront(e.elem)
 					t := e.table
 					c.mu.Unlock()
@@ -87,7 +171,7 @@ func (c *tableCache) get(ctx context.Context, key string, gen func() (*core.Tabl
 				ok = false
 			default:
 				// In flight elsewhere: wait outside the lock.
-				c.stats.Shared++
+				c.c.shared.Inc()
 				c.mu.Unlock()
 				select {
 				case <-e.done:
@@ -109,11 +193,10 @@ func (c *tableCache) get(ctx context.Context, key string, gen func() (*core.Tabl
 			e = &cacheEntry{key: key, done: make(chan struct{})}
 			e.elem = c.order.PushFront(e)
 			c.entries[key] = e
-			c.stats.Misses++
-			c.stats.Generations++
+			c.c.misses.Inc()
 			c.mu.Unlock()
 
-			tbl, err := gen()
+			tbl, err := c.fill(key, gen)
 
 			c.mu.Lock()
 			e.table, e.err = tbl, err
@@ -155,7 +238,7 @@ func (c *tableCache) evictLocked() {
 			}
 			if finished {
 				c.removeLocked(e)
-				c.stats.Evictions++
+				c.c.evictions.Inc()
 				break
 			}
 			el = el.Prev()
@@ -168,9 +251,19 @@ func (c *tableCache) evictLocked() {
 
 // Stats returns a snapshot of the cache counters.
 func (c *tableCache) Stats() CacheStats {
+	s := CacheStats{
+		Hits:        c.c.hits.Value(),
+		Shared:      c.c.shared.Value(),
+		Misses:      c.c.misses.Value(),
+		Generations: c.c.generations.Value(),
+		Evictions:   c.c.evictions.Value(),
+		StoreHits:   c.c.storeHits.Value(),
+		StoreMisses: c.c.storeMisses.Value(),
+		StoreWrites: c.c.storeWrites.Value(),
+		StoreErrors: c.c.storeErrors.Value(),
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
 	s.Size = len(c.entries)
+	c.mu.Unlock()
 	return s
 }

@@ -1,0 +1,147 @@
+// Command protemp-serve runs the thermal control plane as an HTTP
+// daemon: Phase-1 tables are generated (or loaded from a persistent
+// store directory) on demand, and any number of remote control loops
+// drive Phase-2 decisions through sessions.
+//
+// Endpoints:
+//
+//	POST   /v1/optimize              single-shot convex solve
+//	POST   /v1/tables                generate-or-fetch a Phase-1 table
+//	POST   /v1/sessions              open a control session
+//	GET    /v1/sessions/{id}         session stats
+//	POST   /v1/sessions/{id}/step    one DFS-window decision
+//	POST   /v1/sessions/{id}/stream  NDJSON co-simulated control loop
+//	DELETE /v1/sessions/{id}         close a session
+//	GET    /metrics                  counters (cache, store, sessions)
+//	GET    /healthz                  liveness
+//
+// Usage:
+//
+//	protemp-serve [-addr :8080] [-store DIR] [-session-ttl 15m]
+//	              [-shards 16] [-tmax 100] [-dt 0.0004] [-steps 250]
+//	              [-variant variable|uniform|gradient] [-floorplan file]
+//	              [-cache 8] [-workers N]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"protemp"
+	"protemp/internal/core"
+	"protemp/internal/floorplan"
+	"protemp/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("protemp-serve: ")
+
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		storeDir   = flag.String("store", "", "persistent table-store directory (empty = memory only)")
+		sessionTTL = flag.Duration("session-ttl", 15*time.Minute, "idle session expiry (0 disables)")
+		shards     = flag.Int("shards", 16, "session-manager shards")
+		tmax       = flag.Float64("tmax", 100, "maximum temperature in °C")
+		dt         = flag.Float64("dt", 0.4e-3, "thermal step in seconds")
+		steps      = flag.Int("steps", 250, "DFS window horizon in steps")
+		variant    = flag.String("variant", "variable", "model variant: variable, uniform or gradient")
+		fpPath     = flag.String("floorplan", "", "floorplan file (default built-in Niagara-8)")
+		cacheSize  = flag.Int("cache", 8, "in-memory table cache capacity")
+		workers    = flag.Int("workers", 0, "parallel Phase-1 solves (default GOMAXPROCS)")
+		drainWait  = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	opts := []protemp.Option{
+		protemp.WithTMax(*tmax),
+		protemp.WithWindow(*dt, *steps),
+		protemp.WithWorkers(*workers),
+		protemp.WithTableCacheSize(*cacheSize),
+	}
+	if *storeDir != "" {
+		opts = append(opts, protemp.WithTableStoreDir(*storeDir))
+	}
+	if *fpPath != "" {
+		f, err := os.Open(*fpPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fp, err := floorplan.Parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, protemp.WithFloorplan(fp))
+	}
+	switch *variant {
+	case "variable":
+		opts = append(opts, protemp.WithVariant(core.VariantVariable))
+	case "uniform":
+		opts = append(opts, protemp.WithVariant(core.VariantUniform))
+	case "gradient":
+		opts = append(opts, protemp.WithVariant(core.VariantGradient))
+	default:
+		log.Fatalf("unknown variant %q", *variant)
+	}
+
+	engine, err := protemp.New(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ttl := *sessionTTL
+	if ttl <= 0 {
+		ttl = -1 // server.Config treats 0 as "default"; negative disables
+	}
+	srv, err := server.New(server.Config{
+		Engine:     engine,
+		Shards:     *shards,
+		SessionTTL: ttl,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (%d cores, %s variant, store=%q)",
+			*addr, engine.Chip().NumCores(), engine.Variant(), *storeDir)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down (draining up to %v)", *drainWait)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("session drain: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Print("bye")
+}

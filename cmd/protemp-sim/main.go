@@ -22,7 +22,6 @@ import (
 	"syscall"
 
 	"protemp"
-	"protemp/internal/core"
 	"protemp/internal/sim"
 	"protemp/internal/workload"
 )
@@ -130,7 +129,9 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			table, err := core.ReadTableJSON(f)
+			// ReadTable accepts both the versioned store format and
+			// the legacy bare JSON.
+			table, err := protemp.ReadTable(f)
 			f.Close()
 			if err != nil {
 				log.Fatal(err)

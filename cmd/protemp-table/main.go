@@ -1,11 +1,19 @@
 // Command protemp-table runs Phase 1 of the Pro-Temp method: it sweeps
 // starting temperatures and target frequencies, solves the convex
 // program at every grid point, and writes the resulting frequency table
-// as JSON for the run-time controller. Ctrl-C cancels the sweep.
+// for the run-time controller. Ctrl-C cancels the sweep.
+//
+// Output formats: legacy JSON (-format json, the default for .json
+// paths) or the versioned table-store envelope (-format store, the
+// default for .ptbl paths) that protemp-serve and every reader of
+// protemp.ReadTable accept. With -store DIR the table is additionally
+// written into a store directory under its cache key, so a running
+// server picks it up without re-sweeping.
 //
 // Usage:
 //
-//	protemp-table [-o table.json] [-tmax 100] [-dt 0.0004] [-steps 250]
+//	protemp-table [-o table.json] [-format auto|json|store] [-store DIR]
+//	              [-tmax 100] [-dt 0.0004] [-steps 250]
 //	              [-tstarts 27,37,...] [-ftargets-mhz 50,100,...]
 //	              [-variant variable|uniform|gradient] [-floorplan file]
 package main
@@ -33,7 +41,9 @@ func main() {
 	log.SetPrefix("protemp-table: ")
 
 	var (
-		out      = flag.String("o", "table.json", "output JSON path ('-' for stdout)")
+		out      = flag.String("o", "table.json", "output path ('-' for stdout)")
+		format   = flag.String("format", "auto", "output format: auto (by extension), json (legacy) or store (versioned)")
+		storeDir = flag.String("store", "", "also save into this table-store directory under the table's cache key")
 		tmax     = flag.Float64("tmax", 100, "maximum temperature in °C")
 		dt       = flag.Float64("dt", 0.4e-3, "thermal step in seconds")
 		steps    = flag.Int("steps", 250, "DFS window horizon in steps")
@@ -52,6 +62,11 @@ func main() {
 		protemp.WithTMax(*tmax),
 		protemp.WithWindow(*dt, *steps),
 		protemp.WithWorkers(*workers),
+	}
+	if *storeDir != "" {
+		// The engine's write-through tier persists the generated table
+		// under its cache key — the layout protemp-serve loads from.
+		opts = append(opts, protemp.WithTableStoreDir(*storeDir))
 	}
 	if *fpPath != "" {
 		f, err := os.Open(*fpPath)
@@ -94,6 +109,18 @@ func main() {
 		}
 	}
 
+	// Validate the output format before paying for the sweep.
+	versioned := false
+	switch *format {
+	case "auto":
+		versioned = strings.HasSuffix(*out, ".ptbl") || strings.HasSuffix(*out, ".bin")
+	case "json":
+	case "store":
+		versioned = true
+	default:
+		log.Fatalf("unknown format %q (want auto, json or store)", *format)
+	}
+
 	start := time.Now()
 	table, err := engine.GenerateTableGrid(ctx, ts, fs, engine.Variant())
 	if err != nil {
@@ -113,11 +140,19 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := table.WriteJSON(w); err != nil {
+	if versioned {
+		err = protemp.WriteTable(w, table)
+	} else {
+		err = table.WriteJSON(w)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("%d points (%d feasible) in %v -> %s",
 		table.Stats.Solves, table.Stats.Feasible, elapsed.Round(time.Millisecond), *out)
+	if *storeDir != "" {
+		log.Printf("stored under key %s in %s", engine.TableKey(ts, fs, engine.Variant()), *storeDir)
+	}
 }
 
 func parseFloats(s string, scale float64) ([]float64, error) {

@@ -6,6 +6,7 @@ import (
 
 	"protemp/internal/core"
 	"protemp/internal/floorplan"
+	"protemp/internal/metrics"
 	"protemp/internal/power"
 	"protemp/internal/sim"
 	"protemp/internal/thermal"
@@ -31,6 +32,7 @@ type Engine struct {
 	disc   *thermal.Discrete
 	window *thermal.WindowResponse
 	cache  *tableCache
+	reg    *metrics.Registry
 }
 
 // New builds an Engine; options override the paper's defaults.
@@ -60,13 +62,15 @@ func New(opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := metrics.NewRegistry()
 	return &Engine{
 		cfg:    cfg,
 		chip:   chip,
 		model:  model,
 		disc:   disc,
 		window: window,
-		cache:  newTableCache(cfg.cacheSize),
+		cache:  newTableCache(cfg.cacheSize, cfg.store, reg),
+		reg:    reg,
 	}, nil
 }
 
@@ -101,8 +105,43 @@ func (e *Engine) WindowSeconds() float64 { return e.cfg.dt * float64(e.cfg.windo
 // Variant returns the engine's default optimization model variant.
 func (e *Engine) Variant() core.Variant { return e.cfg.variant }
 
+// TableGrid returns copies of the engine's default Phase-1 grids: the
+// starting temperatures (°C) and target frequencies (Hz) GenerateTable
+// sweeps.
+func (e *Engine) TableGrid() (tstarts, ftargets []float64) {
+	return append([]float64(nil), e.cfg.tstarts...),
+		append([]float64(nil), e.ftargets()...)
+}
+
 // CacheStats returns a snapshot of the table-cache counters.
 func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }
+
+// MetricsSnapshot returns the current value of every engine-level
+// metrics counter (table cache and store activity), keyed by counter
+// name — the payload a serving layer merges into its metrics endpoint.
+func (e *Engine) MetricsSnapshot() map[string]uint64 { return e.reg.Snapshot() }
+
+// TableKey returns the cache/store key for the table the given grids
+// and variant would generate on this engine — the filename (plus
+// ".ptbl") a pre-generated table must carry to be picked up from a
+// server's store directory. Nil grids select the engine defaults.
+func (e *Engine) TableKey(tstarts, ftargets []float64, v core.Variant) string {
+	if tstarts == nil {
+		tstarts = e.cfg.tstarts
+	}
+	if ftargets == nil {
+		ftargets = e.ftargets()
+	}
+	spec := core.TableSpec{
+		Chip:     e.chip,
+		Window:   e.window,
+		TMax:     e.cfg.tmax,
+		TStarts:  tstarts,
+		FTargets: ftargets,
+		Variant:  v,
+	}
+	return spec.CacheKey()
+}
 
 // ftargets returns the configured frequency grid, defaulting to the 5%
 // grid of the chip's fmax.

@@ -105,7 +105,18 @@ func SolveContext(ctx context.Context, s *Spec) (*Assignment, error) {
 // It returns the maximum supportable average frequency in Hz and whether
 // the requested target is supportable.
 func SolveUniformBisect(s *Spec) (maxFreq float64, targetOK bool, err error) {
+	return SolveUniformBisectContext(context.Background(), s)
+}
+
+// SolveUniformBisectContext is SolveUniformBisect with cancellation:
+// ctx is polled at every bisection probe, so a session cancelled
+// mid-Step does not keep evaluating thermal rows for a caller that has
+// already gone away.
+func SolveUniformBisectContext(ctx context.Context, s *Spec) (maxFreq float64, targetOK bool, err error) {
 	if err := s.Validate(); err != nil {
+		return 0, false, err
+	}
+	if err := ctx.Err(); err != nil {
 		return 0, false, err
 	}
 	rows, err := s.tempRows()
@@ -113,10 +124,20 @@ func SolveUniformBisect(s *Spec) (maxFreq float64, targetOK bool, err error) {
 		return 0, false, err
 	}
 	fmax := s.Chip.FMax()
+	cancelled := false
 	feasible := func(fn float64) bool {
+		if cancelled || ctx.Err() != nil {
+			// Claim infeasibility to collapse the remaining probes
+			// cheaply; the flag makes the result unambiguous below.
+			cancelled = true
+			return false
+		}
 		return uniformPeak(s, rows, fn) <= s.TMax
 	}
 	fnMax, ok := solver.BisectMax(0, 1, 1e-7, feasible)
+	if cancelled {
+		return 0, false, ctx.Err()
+	}
 	if !ok {
 		return 0, false, nil
 	}

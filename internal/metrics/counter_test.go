@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+	c.Add(5)
+	if got := c.Value(); got != workers*perWorker+5 {
+		t.Fatalf("after Add: %d", got)
+	}
+}
+
+func TestRegistryIdempotentAndSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("a")
+	if reg.Counter("a") != a {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Add(3)
+	reg.Counter("b").Inc()
+	snap := reg.Snapshot()
+	if snap["a"] != 3 || snap["b"] != 1 || len(snap) != 2 {
+		t.Fatalf("snapshot %v", snap)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]uint64
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["a"] != 3 || decoded["b"] != 1 {
+		t.Fatalf("json %v", decoded)
+	}
+}
+
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				reg.Counter("shared").Inc()
+				reg.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared").Value(); got != 800 {
+		t.Fatalf("shared = %d", got)
+	}
+}

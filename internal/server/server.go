@@ -1,0 +1,609 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"protemp"
+	"protemp/internal/core"
+	"protemp/internal/linalg"
+	"protemp/internal/metrics"
+	"protemp/internal/sim"
+	"protemp/internal/workload"
+)
+
+// Config configures a Server. Engine is required; everything else has
+// serving defaults.
+type Config struct {
+	Engine *protemp.Engine
+	// Shards is the session-manager shard count (default 16).
+	Shards int
+	// SessionTTL expires sessions idle longer than this (default 15
+	// minutes; negative disables expiry).
+	SessionTTL time.Duration
+	// ReapInterval is the expiry scan period (default SessionTTL/4,
+	// floored at 1s). Tests shrink it to exercise expiry quickly.
+	ReapInterval time.Duration
+	// MaxBodyBytes bounds request bodies (default 8 MiB — a full
+	// explicit table grid is a few hundred KiB).
+	MaxBodyBytes int64
+	// StreamWindowCap bounds the windows one stream request may drive
+	// (default 10000).
+	StreamWindowCap int
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Server serves the thermal control plane over HTTP/JSON. Create with
+// New, mount via Handler (it also implements http.Handler directly),
+// and call Shutdown to drain gracefully.
+type Server struct {
+	engine   *protemp.Engine
+	sessions *sessionManager
+	reg      *metrics.Registry
+	mux      *http.ServeMux
+	cfg      Config
+
+	requests      *metrics.Counter
+	errorsCount   *metrics.Counter
+	streamWindows *metrics.Counter
+	tableRequests *metrics.Counter
+	optimizes     *metrics.Counter
+}
+
+// New builds a Server and starts its session reaper.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: nil engine")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 16
+	}
+	if cfg.SessionTTL == 0 {
+		cfg.SessionTTL = 15 * time.Minute
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.StreamWindowCap == 0 {
+		cfg.StreamWindowCap = 10000
+	}
+	reg := metrics.NewRegistry()
+	s := &Server{
+		engine:        cfg.Engine,
+		sessions:      newSessionManager(cfg.Shards, cfg.SessionTTL, cfg.ReapInterval, reg, cfg.now),
+		reg:           reg,
+		mux:           http.NewServeMux(),
+		cfg:           cfg,
+		requests:      reg.Counter("http_requests"),
+		errorsCount:   reg.Counter("http_errors"),
+		streamWindows: reg.Counter("stream_windows"),
+		tableRequests: reg.Counter("table_requests"),
+		optimizes:     reg.Counter("optimize_requests"),
+	}
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /v1/tables", s.handleTables)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleSessionStep)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/stream", s.handleSessionStream)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown gracefully drains the server: new sessions and steps are
+// refused, in-flight requests (including streams) run to completion
+// bounded by ctx, then all sessions are dropped. Call it after (or
+// concurrently with) http.Server.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.sessions.Drain(ctx)
+}
+
+// SessionCount returns the number of live sessions.
+func (s *Server) SessionCount() int { return s.sessions.Len() }
+
+// ---- wire types ----
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type optimizeRequest struct {
+	TStartC   float64 `json:"tstart_c"`
+	FTargetHz float64 `json:"ftarget_hz"`
+	Variant   string  `json:"variant,omitempty"`
+}
+
+type assignmentResponse struct {
+	Feasible    bool      `json:"feasible"`
+	FreqsHz     []float64 `json:"freqs_hz,omitempty"`
+	PowersW     []float64 `json:"powers_w,omitempty"`
+	AvgFreqHz   float64   `json:"avg_freq_hz,omitempty"`
+	TotalPowerW float64   `json:"total_power_w,omitempty"`
+	PeakTempC   float64   `json:"peak_temp_c,omitempty"`
+	TGradC      float64   `json:"tgrad_c,omitempty"`
+	NewtonIters int       `json:"newton_iters,omitempty"`
+}
+
+type tablesRequest struct {
+	TStartsC   []float64 `json:"tstarts_c,omitempty"`
+	FTargetsHz []float64 `json:"ftargets_hz,omitempty"`
+	Variant    string    `json:"variant,omitempty"`
+	// KeyOnly skips the table payload in the response — useful to warm
+	// the cache/store or discover the store filename without shipping
+	// the grid back.
+	KeyOnly bool `json:"key_only,omitempty"`
+}
+
+type tablesResponse struct {
+	Key   string      `json:"key"`
+	Table *core.Table `json:"table,omitempty"`
+}
+
+type sessionCreateRequest struct {
+	// Online selects the model-predictive session (one convex solve
+	// per step on the full thermal map) instead of the default
+	// table-driven session.
+	Online bool `json:"online,omitempty"`
+}
+
+type sessionInfoResponse struct {
+	ID         string  `json:"id"`
+	Online     bool    `json:"online"`
+	NumCores   int     `json:"num_cores"`
+	WindowS    float64 `json:"window_s"`
+	Steps      uint64  `json:"steps"`
+	Downgrades uint64  `json:"downgrades"`
+	Idles      uint64  `json:"idles"`
+	Solves     uint64  `json:"solves"`
+}
+
+type stepRequest struct {
+	MaxCoreTempC   float64   `json:"max_core_temp_c"`
+	RequiredFreqHz float64   `json:"required_freq_hz"`
+	BlockTempsC    []float64 `json:"block_temps_c,omitempty"`
+}
+
+type stepResponse struct {
+	FreqsHz []float64 `json:"freqs_hz"`
+	Steps   uint64    `json:"steps"`
+}
+
+type streamRequest struct {
+	// Windows bounds how many DFS windows to drive (default: until the
+	// workload drains, capped by the server's StreamWindowCap).
+	Windows int `json:"windows,omitempty"`
+	// Tasks is an explicit workload (arrival-ordered). When empty a
+	// synthetic mixed trace is generated from Seed/DurationS/Utilization.
+	Tasks []streamTask `json:"tasks,omitempty"`
+	// Seed / DurationS / Utilization parameterize the synthetic trace
+	// (defaults 1 / one window per requested step / 0.7).
+	Seed        int64   `json:"seed,omitempty"`
+	DurationS   float64 `json:"duration_s,omitempty"`
+	Utilization float64 `json:"utilization,omitempty"`
+	// T0C is the uniform initial temperature (default model ambient).
+	T0C float64 `json:"t0_c,omitempty"`
+}
+
+type streamTask struct {
+	ArrivalS float64 `json:"arrival_s"`
+	WorkS    float64 `json:"work_s"`
+}
+
+// streamWindow is one NDJSON line of a stream response.
+type streamWindow struct {
+	Window         int       `json:"window"`
+	TimeS          float64   `json:"t_s"`
+	MaxCoreTempC   float64   `json:"max_core_temp_c"`
+	RequiredFreqHz float64   `json:"required_freq_hz"`
+	FreqsHz        []float64 `json:"freqs_hz"`
+	QueueLen       int       `json:"queue_len"`
+	Done           bool      `json:"done"`
+}
+
+// streamSummary is the final NDJSON line.
+type streamSummary struct {
+	Summary struct {
+		Windows       int     `json:"windows"`
+		SimTimeS      float64 `json:"sim_time_s"`
+		Completed     int     `json:"completed"`
+		Unfinished    int     `json:"unfinished"`
+		MaxCoreTempC  float64 `json:"max_core_temp_c"`
+		ViolationFrac float64 `json:"violation_frac"`
+		EnergyJ       float64 `json:"energy_j"`
+	} `json:"summary"`
+}
+
+// ---- helpers ----
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.errorsCount.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// decodeJSON parses the request body; an empty body decodes into the
+// zero value so every field can default.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+func parseVariant(name string, def core.Variant) (core.Variant, error) {
+	switch name {
+	case "":
+		return def, nil
+	case "variable":
+		return core.VariantVariable, nil
+	case "uniform":
+		return core.VariantUniform, nil
+	case "gradient":
+		return core.VariantGradient, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q (want variable, uniform or gradient)", name)
+	}
+}
+
+// sessionError maps manager errors onto HTTP statuses.
+func (s *Server) sessionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrSessionNotFound):
+		s.writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrDraining):
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"sessions": s.sessions.Len(),
+	})
+}
+
+// handleMetrics merges the engine's counters (table cache and store)
+// with the serving counters into one flat JSON object, plus the
+// sessions_active gauge.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	merged := s.engine.MetricsSnapshot()
+	for name, v := range s.reg.Snapshot() {
+		merged[name] = v
+	}
+	merged["sessions_active"] = uint64(s.sessions.Len())
+	// encoding/json emits map keys in sorted order — stable output
+	// for scrapers and tests.
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(merged)
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	s.optimizes.Inc()
+	var req optimizeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	v, err := parseVariant(req.Variant, s.engine.Variant())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	a, err := s.engine.OptimizeVariant(r.Context(), req.TStartC, req.FTargetHz, v)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client went away; nothing useful to write
+		}
+		s.writeError(w, http.StatusBadRequest, "optimize: %v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, assignmentResponse{
+		Feasible:    a.Feasible,
+		FreqsHz:     a.Freqs,
+		PowersW:     a.Powers,
+		AvgFreqHz:   a.AvgFreq,
+		TotalPowerW: a.TotalPower,
+		PeakTempC:   a.PeakTemp,
+		TGradC:      a.TGrad,
+		NewtonIters: a.NewtonIters,
+	})
+}
+
+// handleTables generates or fetches a Phase-1 table. The call funnels
+// through the engine's singleflight cache and write-through store, so
+// concurrent requests for one configuration cost at most one sweep and
+// a restarted server serves it from disk.
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	s.tableRequests.Inc()
+	var req tablesRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	v, err := parseVariant(req.Variant, s.engine.Variant())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ts, fs := req.TStartsC, req.FTargetsHz
+	defTS, defFS := s.engine.TableGrid()
+	if len(ts) == 0 {
+		ts = defTS
+	}
+	if len(fs) == 0 {
+		fs = defFS
+	}
+	table, err := s.engine.GenerateTableGrid(r.Context(), ts, fs, v)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "table: %v", err)
+		return
+	}
+	resp := tablesResponse{Key: s.engine.TableKey(ts, fs, v)}
+	if !req.KeyOnly {
+		resp.Table = table
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req sessionCreateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	var (
+		sess *protemp.Session
+		err  error
+	)
+	if req.Online {
+		sess = s.engine.NewOnlineSession()
+	} else {
+		// Table generation (or cache/store hit) happens here, under
+		// the request context: a cancelled create aborts the sweep.
+		sess, err = s.engine.NewSession(r.Context())
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			s.writeError(w, http.StatusInternalServerError, "session: %v", err)
+			return
+		}
+	}
+	id, err := s.sessions.Add(sess, req.Online)
+	if err != nil {
+		s.sessionError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, s.sessionInfo(id, sess, req.Online))
+}
+
+func (s *Server) sessionInfo(id string, sess *protemp.Session, online bool) sessionInfoResponse {
+	steps, downgrades, idles, solves := sess.Stats()
+	return sessionInfoResponse{
+		ID:         id,
+		Online:     online,
+		NumCores:   s.engine.Chip().NumCores(),
+		WindowS:    s.engine.WindowSeconds(),
+		Steps:      steps,
+		Downgrades: downgrades,
+		Idles:      idles,
+		Solves:     solves,
+	}
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	ms, release, err := s.sessions.Acquire(r.PathValue("id"))
+	if err != nil {
+		s.sessionError(w, err)
+		return
+	}
+	defer release()
+	s.writeJSON(w, http.StatusOK, s.sessionInfo(ms.id, ms.sess, ms.online))
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.Remove(r.PathValue("id")) {
+		s.writeError(w, http.StatusNotFound, "%v", ErrSessionNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
+	var req stepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	ms, release, err := s.sessions.Acquire(r.PathValue("id"))
+	if err != nil {
+		s.sessionError(w, err)
+		return
+	}
+	defer release()
+	freqs, err := ms.sess.Step(r.Context(), protemp.State{
+		MaxCoreTemp:  req.MaxCoreTempC,
+		RequiredFreq: req.RequiredFreqHz,
+		BlockTemps:   req.BlockTempsC,
+	})
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "step: %v", err)
+		return
+	}
+	s.sessions.steps.Inc()
+	steps, _, _, _ := ms.sess.Stats()
+	s.writeJSON(w, http.StatusOK, stepResponse{FreqsHz: freqs, Steps: steps})
+}
+
+// handleSessionStream drives a sim.Stepper window-at-a-time under the
+// session's controller and streams one NDJSON object per DFS window,
+// closing with a summary line. The stream pins the session, so the
+// idle reaper cannot expire it mid-run, and graceful drain waits for
+// the stream to finish.
+func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
+	var req streamRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	ms, release, err := s.sessions.Acquire(r.PathValue("id"))
+	if err != nil {
+		s.sessionError(w, err)
+		return
+	}
+	defer release()
+
+	maxWindows := req.Windows
+	if maxWindows <= 0 || maxWindows > s.cfg.StreamWindowCap {
+		maxWindows = s.cfg.StreamWindowCap
+	}
+	trace, err := s.streamTrace(req, maxWindows)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "stream: %v", err)
+		return
+	}
+	ctx := r.Context()
+	stepper, err := sim.NewStepper(sim.Config{
+		Chip:    s.engine.Chip(),
+		Disc:    s.engine.Disc(),
+		Policy:  ms.sess.Policy(ctx),
+		Trace:   trace,
+		Window:  s.engine.WindowSeconds(),
+		TMax:    s.engine.TMax(),
+		T0:      req.T0C,
+		MaxTime: float64(maxWindows+1) * s.engine.WindowSeconds(),
+	})
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "stream: %v", err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+
+	windows := 0
+	for windows < maxWindows && !stepper.Done() {
+		if ctx.Err() != nil {
+			return // client disconnected mid-stream
+		}
+		st := stepper.State()
+		freqs, err := ms.sess.Step(ctx, protemp.State{
+			MaxCoreTemp:  st.MaxCoreTemp,
+			RequiredFreq: st.RequiredFreq,
+			BlockTemps:   st.BlockTemps,
+		})
+		if err != nil {
+			// Headers are gone; report in-band and stop.
+			enc.Encode(errorResponse{Error: fmt.Sprintf("step: %v", err)})
+			return
+		}
+		if err := stepper.StepWith(linalg.VectorOf(freqs...)); err != nil {
+			enc.Encode(errorResponse{Error: fmt.Sprintf("advance: %v", err)})
+			return
+		}
+		windows++
+		s.streamWindows.Inc()
+		s.sessions.steps.Inc()
+		line := streamWindow{
+			Window:         windows,
+			TimeS:          stepper.Time(),
+			MaxCoreTempC:   st.MaxCoreTemp,
+			RequiredFreqHz: st.RequiredFreq,
+			FreqsHz:        freqs,
+			QueueLen:       st.QueueLen,
+			Done:           stepper.Done(),
+		}
+		if err := enc.Encode(line); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	res := stepper.Result()
+	var sum streamSummary
+	sum.Summary.Windows = windows
+	sum.Summary.SimTimeS = res.SimTime
+	sum.Summary.Completed = res.Completed
+	sum.Summary.Unfinished = res.Unfinished
+	sum.Summary.MaxCoreTempC = res.MaxCoreTemp
+	sum.Summary.ViolationFrac = res.ViolationFrac
+	sum.Summary.EnergyJ = res.EnergyJ
+	enc.Encode(sum)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// streamTrace builds the workload for a stream request: explicit tasks
+// when given, otherwise a synthetic mixed trace sized to the request.
+func (s *Server) streamTrace(req streamRequest, maxWindows int) (*workload.Trace, error) {
+	if len(req.Tasks) > 0 {
+		tr := &workload.Trace{Tasks: make([]workload.Task, len(req.Tasks))}
+		for i, t := range req.Tasks {
+			tr.Tasks[i] = workload.Task{ID: i, Arrival: t.ArrivalS, Work: t.WorkS, Class: "external"}
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	duration := req.DurationS
+	if duration <= 0 {
+		duration = float64(maxWindows) * s.engine.WindowSeconds()
+	}
+	gen := workload.Mixed(seed, s.engine.Chip().NumCores(), duration)
+	if req.Utilization > 0 {
+		gen.Utilization = req.Utilization
+	}
+	return gen.Generate()
+}

@@ -1,0 +1,284 @@
+// Package server is the thermal control-plane daemon: it exposes a
+// protemp.Engine over HTTP/JSON so remote chips (or their management
+// controllers) can run the paper's two-phase scheme as a service —
+// expensive Phase-1 sweeps shared and persisted centrally, cheap
+// Phase-2 decisions served per window to any number of control loops.
+//
+// The package sits above the facade: unlike the other internal
+// packages (which the facade wires together), server consumes the
+// public Engine/Session API and adds the serving concerns — network
+// endpoints, a sharded session manager with idle expiry and graceful
+// drain, and a metrics surface.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"protemp"
+	"protemp/internal/metrics"
+)
+
+// Session-manager errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrSessionNotFound reports an unknown (or already expired) id.
+	ErrSessionNotFound = errors.New("server: session not found")
+	// ErrDraining reports that the manager is shutting down and no
+	// longer accepts sessions or steps.
+	ErrDraining = errors.New("server: draining, not accepting work")
+)
+
+// managedSession wraps one control session with its serving state.
+// lastUsed and refs are guarded by the owning shard's mutex.
+type managedSession struct {
+	id       string
+	sess     *protemp.Session
+	online   bool
+	created  time.Time
+	lastUsed time.Time
+	refs     int // in-flight operations pinning the session
+}
+
+// shard is one lock domain of the manager.
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string]*managedSession
+}
+
+// sessionManager spreads sessions over N independently locked shards
+// so thousands of concurrent control loops don't serialize on one
+// mutex. An idle-TTL reaper expires sessions nobody has stepped
+// recently (never one with an operation in flight), and Drain provides
+// the context-scoped graceful shutdown: new work is refused, in-flight
+// steps run to completion (or the context gives up), then every
+// session is dropped.
+type sessionManager struct {
+	shards []*shard
+	ttl    time.Duration
+	now    func() time.Time
+
+	// drainMu gates the draining flag against in-flight op accounting:
+	// Acquire/Add hold it shared while checking the flag and joining
+	// ops, Drain holds it exclusively while setting the flag, so no op
+	// can slip into the WaitGroup after Drain has begun waiting.
+	drainMu  sync.RWMutex
+	draining bool
+	ops      sync.WaitGroup
+
+	stopReaper chan struct{}
+	reaperDone chan struct{}
+
+	created *metrics.Counter
+	expired *metrics.Counter
+	removed *metrics.Counter
+	steps   *metrics.Counter
+}
+
+// newSessionManager builds the manager and starts its reaper. ttl <= 0
+// disables expiry; reapEvery <= 0 derives a default from the ttl.
+func newSessionManager(shards int, ttl, reapEvery time.Duration, reg *metrics.Registry, now func() time.Time) *sessionManager {
+	if shards < 1 {
+		shards = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	m := &sessionManager{
+		shards:     make([]*shard, shards),
+		ttl:        ttl,
+		now:        now,
+		stopReaper: make(chan struct{}),
+		reaperDone: make(chan struct{}),
+		created:    reg.Counter("sessions_created"),
+		expired:    reg.Counter("sessions_expired"),
+		removed:    reg.Counter("sessions_removed"),
+		steps:      reg.Counter("session_steps"),
+	}
+	for i := range m.shards {
+		m.shards[i] = &shard{sessions: make(map[string]*managedSession)}
+	}
+	if ttl > 0 {
+		if reapEvery <= 0 {
+			reapEvery = ttl / 4
+			if reapEvery < time.Second {
+				reapEvery = time.Second
+			}
+		}
+		go m.reapLoop(reapEvery)
+	} else {
+		close(m.reaperDone)
+	}
+	return m
+}
+
+// newSessionID returns a 128-bit random hex id.
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+func (m *sessionManager) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return m.shards[h.Sum32()%uint32(len(m.shards))]
+}
+
+// Add registers a session and returns its id.
+func (m *sessionManager) Add(sess *protemp.Session, online bool) (string, error) {
+	m.drainMu.RLock()
+	defer m.drainMu.RUnlock()
+	if m.draining {
+		return "", ErrDraining
+	}
+	id, err := newSessionID()
+	if err != nil {
+		return "", err
+	}
+	now := m.now()
+	ms := &managedSession{id: id, sess: sess, online: online, created: now, lastUsed: now}
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	sh.sessions[id] = ms
+	sh.mu.Unlock()
+	m.created.Inc()
+	return id, nil
+}
+
+// Acquire pins the session for one operation: the reaper will not
+// expire it while pinned, and Drain waits for the returned release
+// function to be called. Callers must call release exactly once.
+func (m *sessionManager) Acquire(id string) (*managedSession, func(), error) {
+	m.drainMu.RLock()
+	if m.draining {
+		m.drainMu.RUnlock()
+		return nil, nil, ErrDraining
+	}
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	ms, ok := sh.sessions[id]
+	if !ok {
+		sh.mu.Unlock()
+		m.drainMu.RUnlock()
+		return nil, nil, ErrSessionNotFound
+	}
+	ms.refs++
+	ms.lastUsed = m.now()
+	sh.mu.Unlock()
+	m.ops.Add(1)
+	m.drainMu.RUnlock()
+
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			sh.mu.Lock()
+			ms.refs--
+			ms.lastUsed = m.now()
+			sh.mu.Unlock()
+			m.ops.Done()
+		})
+	}
+	return ms, release, nil
+}
+
+// Remove drops the session; in-flight operations holding a pin finish
+// against their own reference. Reports whether the id existed.
+func (m *sessionManager) Remove(id string) bool {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.sessions[id]
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
+	if ok {
+		m.removed.Inc()
+	}
+	return ok
+}
+
+// Len counts live sessions across all shards.
+func (m *sessionManager) Len() int {
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		n += len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// reapLoop expires idle sessions until stopped.
+func (m *sessionManager) reapLoop(every time.Duration) {
+	defer close(m.reaperDone)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			m.reap()
+		case <-m.stopReaper:
+			return
+		}
+	}
+}
+
+// reap removes sessions idle longer than the ttl. A pinned session
+// (refs > 0) is never expired: a slow in-flight step refreshes
+// lastUsed on release, so it gets a full ttl afterwards.
+func (m *sessionManager) reap() {
+	cutoff := m.now().Add(-m.ttl)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for id, ms := range sh.sessions {
+			if ms.refs == 0 && ms.lastUsed.Before(cutoff) {
+				delete(sh.sessions, id)
+				m.expired.Inc()
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Drain gracefully shuts the manager down: refuse new work, stop the
+// reaper, wait for in-flight operations to finish (bounded by ctx),
+// then drop every session. It returns ctx.Err() if operations were
+// still in flight when the context expired; the manager is unusable
+// either way.
+func (m *sessionManager) Drain(ctx context.Context) error {
+	m.drainMu.Lock()
+	alreadyDraining := m.draining
+	m.draining = true
+	m.drainMu.Unlock()
+
+	if !alreadyDraining {
+		if m.ttl > 0 {
+			close(m.stopReaper)
+		}
+	}
+	<-m.reaperDone
+
+	done := make(chan struct{})
+	go func() {
+		m.ops.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		clear(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return err
+}

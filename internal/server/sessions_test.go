@@ -1,0 +1,212 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"protemp/internal/metrics"
+)
+
+func newTestManager(t *testing.T, shards int, ttl, reap time.Duration) (*sessionManager, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	m := newSessionManager(shards, ttl, reap, reg, nil)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		m.Drain(ctx)
+	})
+	return m, reg
+}
+
+func TestManagerAddAcquireRemove(t *testing.T) {
+	m, _ := newTestManager(t, 4, time.Minute, time.Minute)
+	id, err := m.Add(nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(id) != 32 {
+		t.Fatalf("id %q", id)
+	}
+	ms, release, err := m.Acquire(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.id != id {
+		t.Fatalf("acquired %q want %q", ms.id, id)
+	}
+	release()
+	release() // double release must be a no-op
+	if !m.Remove(id) {
+		t.Fatal("remove reported missing")
+	}
+	if m.Remove(id) {
+		t.Fatal("second remove reported present")
+	}
+	if _, _, err := m.Acquire(id); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("acquire after remove: %v", err)
+	}
+}
+
+// TestManagerConcurrent hammers create/step/expire across shards; run
+// with -race this is the regression net for the shard locking.
+func TestManagerConcurrent(t *testing.T) {
+	m, _ := newTestManager(t, 8, 50*time.Millisecond, 5*time.Millisecond)
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var ids []string
+			for i := 0; i < 50; i++ {
+				id, err := m.Add(nil, false)
+				if err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
+				ids = append(ids, id)
+				if ms, release, err := m.Acquire(id); err == nil {
+					_ = ms.online
+					release()
+				}
+				if i%3 == 0 {
+					m.Remove(ids[i/3])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() == 0 {
+		t.Fatal("expected surviving sessions before expiry")
+	}
+	// Everything idles out once the TTL passes.
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := m.Len(); n != 0 {
+		t.Fatalf("%d sessions survived the idle TTL", n)
+	}
+}
+
+// TestManagerReaperSkipsPinned verifies an in-flight operation shields
+// its session from expiry, and that release restarts the idle clock.
+func TestManagerReaperSkipsPinned(t *testing.T) {
+	m, _ := newTestManager(t, 2, 40*time.Millisecond, 5*time.Millisecond)
+	id, err := m.Add(nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, release, err := m.Acquire(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond) // several TTLs while pinned
+	if _, r2, err := m.Acquire(id); err != nil {
+		t.Fatalf("pinned session expired: %v", err)
+	} else {
+		r2()
+	}
+	release()
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m.Len() != 0 {
+		t.Fatal("released session never expired")
+	}
+}
+
+func TestManagerDrainWaitsForInflight(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := newSessionManager(4, time.Minute, time.Minute, reg, nil)
+	id, err := m.Add(nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, release, err := m.Acquire(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With an operation in flight, a short drain budget times out.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	if err := m.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain with pinned op: %v", err)
+	}
+	cancel()
+
+	// Draining refuses new work.
+	if _, err := m.Add(nil, false); !errors.Is(err, ErrDraining) {
+		t.Fatalf("add while draining: %v", err)
+	}
+	if _, _, err := m.Acquire(id); !errors.Is(err, ErrDraining) {
+		t.Fatalf("acquire while draining: %v", err)
+	}
+
+	// Once the operation releases, drain completes cleanly.
+	release()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := m.Drain(ctx2); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	if m.Len() != 0 {
+		t.Fatal("sessions survived drain")
+	}
+}
+
+// TestManagerDrainConcurrentOps drains while operations are still
+// being launched; with -race this checks the drain gate ordering.
+func TestManagerDrainConcurrentOps(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := newSessionManager(8, time.Minute, time.Minute, reg, nil)
+	var ids []string
+	for i := 0; i < 32; i++ {
+		id, err := m.Add(nil, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, release, err := m.Acquire(ids[(w*7+i)%len(ids)])
+				if err != nil {
+					if errors.Is(err, ErrDraining) {
+						return
+					}
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+				release()
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if m.Len() != 0 {
+		t.Fatal("sessions survived drain")
+	}
+}

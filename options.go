@@ -32,6 +32,7 @@ type engineConfig struct {
 	ftargets      []float64 // nil means DefaultFTargets(fmax)
 	workers       int
 	cacheSize     int
+	store         TableStore
 }
 
 func defaultEngineConfig() engineConfig {
@@ -166,14 +167,44 @@ func WithWorkers(n int) Option {
 }
 
 // WithTableCacheSize bounds the engine's LRU cache of generated
-// Phase-1 tables (default 8). Zero disables caching; concurrent
-// callers then each pay for their own generation.
+// Phase-1 tables (default 8). Zero disables in-memory caching;
+// concurrent callers then each pay for their own generation (though a
+// configured table store is still consulted).
 func WithTableCacheSize(n int) Option {
 	return func(c *engineConfig) error {
 		if n < 0 {
 			return fmt.Errorf("protemp: negative cache size %d", n)
 		}
 		c.cacheSize = n
+		return nil
+	}
+}
+
+// WithTableStore installs a persistent second tier under the engine's
+// table cache: in-memory misses consult the store before running a
+// Phase-1 sweep, and fresh sweeps are written through, so restarts
+// come up warm. Store failures degrade to generation and are counted
+// in CacheStats.StoreErrors, never surfaced to callers.
+func WithTableStore(ts TableStore) Option {
+	return func(c *engineConfig) error {
+		if ts == nil {
+			return fmt.Errorf("protemp: nil table store")
+		}
+		c.store = ts
+		return nil
+	}
+}
+
+// WithTableStoreDir is WithTableStore backed by the built-in
+// directory store (one atomic file per table, shareable between
+// processes). The directory is created if needed.
+func WithTableStoreDir(dir string) Option {
+	return func(c *engineConfig) error {
+		ts, err := OpenTableStore(dir)
+		if err != nil {
+			return err
+		}
+		c.store = ts
 		return nil
 	}
 }

@@ -173,8 +173,11 @@ func (s *Session) stepOnline(ctx context.Context, st State) ([]float64, error) {
 	// Unsupportable target: fall back to the largest supportable
 	// uniform frequency (the run-time analogue of the paper's "next
 	// lower frequency point" rule), idling the window if even that
-	// fails.
-	maxF, _, err := core.SolveUniformBisect(spec)
+	// fails. The bisection honors ctx too: a session cancelled at any
+	// point inside Step returns promptly and remains safe to Step
+	// again under a live context — no counter is left inconsistent and
+	// no lock is held across a solve.
+	maxF, _, err := core.SolveUniformBisectContext(ctx, spec)
 	if err != nil {
 		return nil, err
 	}

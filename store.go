@@ -1,0 +1,58 @@
+package protemp
+
+import (
+	"errors"
+	"io"
+
+	"protemp/internal/core"
+	"protemp/internal/tablestore"
+)
+
+// WriteTable serializes a Phase-1 table in the versioned table-store
+// format (magic + version + checksum + compressed payload). Files
+// written this way drop directly into a server's store directory and
+// are readable by ReadTable and every protemp daemon.
+func WriteTable(w io.Writer, t *core.Table) error {
+	return tablestore.Encode(w, t)
+}
+
+// ReadTable deserializes a Phase-1 table from either supported format:
+// the versioned table-store envelope or the legacy bare-JSON emitted
+// by earlier protemp-table builds. The table is validated before it is
+// returned.
+func ReadTable(r io.Reader) (*core.Table, error) {
+	return tablestore.Decode(r)
+}
+
+// OpenTableStore opens (creating if needed) a directory-backed
+// persistent table store usable with WithTableStore. Tables are stored
+// one file per cache key, written atomically, so multiple processes
+// can share one directory.
+func OpenTableStore(dir string) (TableStore, error) {
+	s, err := tablestore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return dirStore{s}, nil
+}
+
+// dirStore adapts tablestore.Store's ErrNotFound convention to the
+// TableStore (table, ok, err) contract.
+type dirStore struct {
+	s *tablestore.Store
+}
+
+func (d dirStore) Load(key string) (*core.Table, bool, error) {
+	t, err := d.s.Load(key)
+	if errors.Is(err, tablestore.ErrNotFound) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return t, true, nil
+}
+
+func (d dirStore) Save(key string, t *core.Table) error {
+	return d.s.Save(key, t)
+}

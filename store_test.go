@@ -1,0 +1,246 @@
+package protemp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// storeOpts builds a fast engine backed by a table store in dir.
+func storeOpts(dir string) []Option {
+	return fastOpts(smallGrid(), WithTableStoreDir(dir))
+}
+
+// TestTableStoreWriteThrough is the restart-warm property at the
+// engine level: generate on one engine, load from the store (no
+// Phase-1 sweep) on a fresh engine sharing the directory.
+func TestTableStoreWriteThrough(t *testing.T) {
+	dir := t.TempDir()
+
+	e1, err := New(storeOpts(dir)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl1, err := e1.GenerateTable(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e1.CacheStats()
+	if st.Generations != 1 || st.StoreWrites != 1 || st.StoreMisses != 1 {
+		t.Fatalf("cold engine stats %+v", st)
+	}
+
+	e2, err := New(storeOpts(dir)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := e2.GenerateTable(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := e2.CacheStats()
+	if st2.Generations != 0 || st2.StoreHits != 1 {
+		t.Fatalf("warm engine stats %+v: expected a store hit, no sweep", st2)
+	}
+	if len(tbl2.Entries) != len(tbl1.Entries) || tbl2.NumCores != tbl1.NumCores {
+		t.Fatalf("stored table differs: %d rows vs %d", len(tbl2.Entries), len(tbl1.Entries))
+	}
+
+	// Second lookup on the warm engine is an in-memory hit, not
+	// another store read.
+	if _, err := e2.GenerateTable(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st3 := e2.CacheStats(); st3.Hits != 1 || st3.StoreHits != 1 {
+		t.Fatalf("stats after repeat %+v", st3)
+	}
+}
+
+// TestTableStoreWithCacheDisabled: the persistent tier works even when
+// the in-memory LRU is off.
+func TestTableStoreWithCacheDisabled(t *testing.T) {
+	dir := t.TempDir()
+	e, err := New(append(storeOpts(dir), WithTableCacheSize(0))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.GenerateTable(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.GenerateTable(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := e.CacheStats()
+	if st.Generations != 1 || st.StoreHits != 1 || st.StoreWrites != 1 {
+		t.Fatalf("stats %+v: second call should hit the store, not re-sweep", st)
+	}
+}
+
+// TestTableStoreConcurrentWarmup: concurrent sessions on a warm store
+// share one store load through the singleflight path.
+func TestTableStoreConcurrentWarmup(t *testing.T) {
+	dir := t.TempDir()
+	e1, err := New(storeOpts(dir)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.GenerateTable(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := New(storeOpts(dir)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e2.NewSession(context.Background()); err != nil {
+				t.Errorf("session: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := e2.CacheStats()
+	if st.Generations != 0 || st.StoreHits != 1 {
+		t.Fatalf("stats %+v: %d concurrent sessions should share one store load", st, callers)
+	}
+}
+
+// TestWriteReadTableFormats: ReadTable accepts both the versioned
+// store format and the legacy JSON.
+func TestWriteReadTableFormats(t *testing.T) {
+	e, err := New(fastOpts(smallGrid())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.GenerateTable(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var versioned, legacy bytes.Buffer
+	if err := WriteTable(&versioned, tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.WriteJSON(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	for name, buf := range map[string]*bytes.Buffer{"versioned": &versioned, "legacy": &legacy} {
+		got, err := ReadTable(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.NumCores != tbl.NumCores || len(got.Entries) != len(tbl.Entries) {
+			t.Fatalf("%s: table mismatch", name)
+		}
+	}
+}
+
+// TestTableKeyMatchesStoreFile: the key the engine reports is the key
+// the write-through tier files the table under.
+func TestTableKeyMatchesStoreFile(t *testing.T) {
+	dir := t.TempDir()
+	e, err := New(storeOpts(dir)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.GenerateTable(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	key := e.TableKey(nil, nil, e.Variant())
+	store, err := OpenTableStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, ok, err := store.Load(key)
+	if err != nil || !ok {
+		t.Fatalf("store.Load(%s) = %v, %v", key, ok, err)
+	}
+	if tbl.NumCores != e.Chip().NumCores() {
+		t.Fatalf("stored table has %d cores", tbl.NumCores)
+	}
+}
+
+// TestSessionStepCancelledMidStepIsReusable is the session-lifecycle
+// regression test: cancelling a context while Step is in flight (at
+// any point — during the main solve, the bisection fallback, or the
+// re-solve) must return promptly without deadlock and leave the
+// session fully usable under a live context.
+func TestSessionStepCancelledMidStepIsReusable(t *testing.T) {
+	e, err := New(fastOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewOnlineSession()
+
+	// A hot start with a near-fmax target forces the expensive path:
+	// infeasible main solve, bisection fallback, downgraded re-solve.
+	hot := State{MaxCoreTemp: 97, RequiredFreq: 0.95 * e.Chip().FMax()}
+
+	for i := 0; i < 6; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := s.Step(ctx, hot)
+			done <- err
+		}()
+		// Cancel at staggered offsets so different iterations land in
+		// different phases of the step.
+		time.Sleep(time.Duration(i) * 2 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("iteration %d: unexpected error %v", i, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("iteration %d: Step deadlocked after cancellation", i)
+		}
+	}
+
+	// The session must still work, repeatedly, on a live context.
+	for i := 0; i < 3; i++ {
+		freqs, err := s.Step(context.Background(), State{MaxCoreTemp: 50, RequiredFreq: 5e8})
+		if err != nil {
+			t.Fatalf("post-cancel step %d: %v", i, err)
+		}
+		if len(freqs) != e.Chip().NumCores() {
+			t.Fatalf("post-cancel step %d: %d freqs", i, len(freqs))
+		}
+	}
+	// Every recorded online step pairs with at least one solve; an
+	// early-cancelled Step records neither (the entry check), so only
+	// the invariant — not an exact count — is assertable.
+	steps, _, _, solves := s.Stats()
+	if steps < 3 || solves < steps {
+		t.Fatalf("counters inconsistent after cancellations: steps=%d solves=%d", steps, solves)
+	}
+}
+
+// TestSessionNewAfterCancelledGeneration: a table session whose
+// Phase-1 generation was cancelled can be recreated on the same engine.
+func TestSessionNewAfterCancelledGeneration(t *testing.T) {
+	e, err := New(fastOpts(smallGrid())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.NewSession(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled NewSession: %v", err)
+	}
+	sess, err := e.NewSession(context.Background())
+	if err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	if _, err := sess.Step(context.Background(), State{MaxCoreTemp: 47, RequiredFreq: 2.5e8}); err != nil {
+		t.Fatal(err)
+	}
+}
