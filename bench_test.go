@@ -167,6 +167,80 @@ func BenchmarkFig11TaskAssignment(b *testing.B) {
 	}
 }
 
+// fleetBenchSpec is the batch the fleet-runner benchmarks execute:
+// 3 scenarios × 2 policies, one of them table-driven so the Phase-1
+// cache is on the critical path.
+func fleetBenchSpec(workers int) FleetSpec {
+	return FleetSpec{
+		Scenarios:  []string{"mixed", "bursty", "adversarial"},
+		Policies:   []FleetPolicy{{Kind: "protemp"}, {Kind: "basic-dfs"}},
+		Seeds:      []int64{1},
+		Workers:    workers,
+		Horizon:    2,
+		MaxSimTime: 6,
+	}
+}
+
+func fleetBenchEngine(b *testing.B) *Engine {
+	b.Helper()
+	e, err := New(
+		WithWindow(1e-3, 100),
+		WithTableGrid([]float64{47, 100}, []float64{250e6, 500e6, 750e6}),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkFleetRunner measures the batch evaluation harness along the
+// two axes that matter for serving: worker parallelism (1 vs
+// GOMAXPROCS) and table-cache temperature. The warm cases share one
+// engine whose Phase-1 table is already generated, so they measure
+// pure simulation fan-out; the cold cases pay one generation per
+// iteration on a fresh engine, so warm-vs-cold is the measurable
+// speedup the shared cache buys a batch.
+func BenchmarkFleetRunner(b *testing.B) {
+	ctx := context.Background()
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+		name := fmt.Sprintf("workers%d", workers)
+		if workers == 0 {
+			name = "workersMax"
+		}
+		b.Run("warm/"+name, func(b *testing.B) {
+			e := fleetBenchEngine(b)
+			if _, err := e.GenerateTable(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := RunFleet(ctx, e, fleetBenchSpec(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed != 6 {
+					b.Fatalf("completed %d of 6", res.Completed)
+				}
+			}
+		})
+		b.Run("cold/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := fleetBenchEngine(b) // fresh engine: empty table cache
+				res, err := RunFleet(ctx, e, fleetBenchSpec(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed != 6 {
+					b.Fatalf("completed %d of 6", res.Completed)
+				}
+				if gen := e.CacheStats().Generations; gen != 1 {
+					b.Fatalf("cold engine ran %d generations, want 1", gen)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSolveSinglePoint times one Phase-1 convex solve — the
 // paper's §5.1 "less than 2 minutes with CVX" data point.
 func BenchmarkSolveSinglePoint(b *testing.B) {

@@ -1,0 +1,196 @@
+// Command protemp-fleet runs a batch fleet evaluation: named workload
+// scenarios × control policies × seeds, fanned across a worker pool on
+// one shared engine (Phase-1 tables are generated once per distinct
+// spec and shared), then prints a ranked comparison table and the
+// cross-scenario policy leaderboard. Ctrl-C cancels mid-batch and
+// still reports the partial results.
+//
+// Usage:
+//
+//	protemp-fleet [-scenarios mixed,bursty,adversarial,diurnal]
+//	              [-policies protemp,basic-dfs,no-tc] [-seeds 1,2]
+//	              [-workers 0] [-horizon 0] [-max-sim 0] [-run-timeout 0]
+//	              [-grid paper|coarse] [-dt 0.0004] [-steps 250]
+//	              [-tmax 100] [-store DIR] [-json FILE] [-csv FILE]
+//	              [-list]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"protemp"
+	"protemp/internal/fleet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("protemp-fleet: ")
+
+	var (
+		scenarios  = flag.String("scenarios", "mixed,bursty,adversarial,diurnal", "comma-separated scenario names (see -list)")
+		policies   = flag.String("policies", "protemp,basic-dfs,no-tc", "comma-separated policies: protemp[/variant], basic-dfs[@°C], no-tc")
+		seeds      = flag.String("seeds", "1", "comma-separated workload seeds")
+		workers    = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		horizon    = flag.Float64("horizon", 0, "override scenario arrival horizons in seconds (0 = defaults)")
+		maxSim     = flag.Float64("max-sim", 0, "cap simulated seconds per run (0 = simulator default)")
+		runTimeout = flag.Duration("run-timeout", 0, "wall-clock cap per run (0 = none)")
+		grid       = flag.String("grid", "paper", "Phase-1 grid fidelity: paper (9×20) or coarse (4×5)")
+		dt         = flag.Float64("dt", 0.4e-3, "thermal step in seconds")
+		steps      = flag.Int("steps", 250, "DFS window horizon in steps")
+		tmax       = flag.Float64("tmax", 100, "default maximum temperature in °C")
+		storeDir   = flag.String("store", "", "persistent table-store directory (tables survive across invocations)")
+		jsonPath   = flag.String("json", "", "write the full batch result as JSON to this file")
+		csvPath    = flag.String("csv", "", "write per-run summary rows as CSV to this file")
+		list       = flag.Bool("list", false, "list the built-in scenarios and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range fleet.Builtin().All() {
+			fmt.Printf("%-14s %s (horizon %gs", sc.Name, sc.Description, sc.Horizon)
+			if sc.T0C != 0 {
+				fmt.Printf(", T0 %g°C", sc.T0C)
+			}
+			if sc.TMaxC != 0 {
+				fmt.Printf(", TMax %g°C", sc.TMaxC)
+			}
+			fmt.Println(")")
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := []protemp.Option{
+		protemp.WithWindow(*dt, *steps),
+		protemp.WithTMax(*tmax),
+	}
+	switch *grid {
+	case "paper":
+	case "coarse":
+		opts = append(opts, protemp.WithTableGrid(
+			[]float64{40, 60, 80, 100},
+			[]float64{200e6, 400e6, 600e6, 800e6, 1000e6},
+		))
+	default:
+		log.Fatalf("unknown grid fidelity %q (want paper or coarse)", *grid)
+	}
+	if *storeDir != "" {
+		opts = append(opts, protemp.WithTableStoreDir(*storeDir))
+	}
+	engine, err := protemp.New(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := protemp.FleetSpec{
+		Scenarios:  splitCSV(*scenarios),
+		Workers:    *workers,
+		Horizon:    *horizon,
+		MaxSimTime: *maxSim,
+		RunTimeout: *runTimeout,
+	}
+	for _, p := range splitCSV(*policies) {
+		pol, err := parsePolicy(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Policies = append(spec.Policies, pol)
+	}
+	for _, s := range splitCSV(*seeds) {
+		seed, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			log.Fatalf("bad seed %q: %v", s, err)
+		}
+		spec.Seeds = append(spec.Seeds, seed)
+	}
+
+	runner := fleet.NewRunner(engine, nil, nil)
+	total := len(spec.Scenarios) * len(spec.Policies) * len(spec.Seeds)
+	log.Printf("running %d cells (%d scenarios × %d policies × %d seeds) on a %d-core chip",
+		total, len(spec.Scenarios), len(spec.Policies), len(spec.Seeds),
+		engine.Chip().NumCores())
+
+	start := time.Now()
+	res, err := runner.RunWithProgress(ctx, spec, func(done, failed, total int) {
+		log.Printf("  %d/%d done (%d failed)", done, total, failed)
+	})
+	if err != nil && res == nil {
+		log.Fatal(err)
+	}
+	if err != nil {
+		log.Printf("batch interrupted (%v); reporting partial results", err)
+	}
+
+	fmt.Println()
+	if werr := fleet.WriteReportTable(os.Stdout, res); werr != nil {
+		log.Fatal(werr)
+	}
+	stats := engine.CacheStats()
+	log.Printf("tables: %d generated, %d cache hits, %d singleflight-shared, %d store hits (%.1fs wall)",
+		stats.Generations, stats.Hits, stats.Shared, stats.StoreHits, time.Since(start).Seconds())
+
+	if *jsonPath != "" {
+		writeFile(*jsonPath, func(f *os.File) error { return fleet.WriteJSON(f, res) })
+	}
+	if *csvPath != "" {
+		writeFile(*csvPath, func(f *os.File) error { return fleet.WriteCSV(f, res) })
+	}
+	if err != nil || res.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// parsePolicy parses the CLI policy syntax: "protemp", "protemp/uniform",
+// "basic-dfs", "basic-dfs@92.5", "no-tc".
+func parsePolicy(s string) (protemp.FleetPolicy, error) {
+	switch {
+	case s == "protemp" || s == "basic-dfs" || s == "no-tc":
+		return protemp.FleetPolicy{Kind: s}, nil
+	case strings.HasPrefix(s, "protemp/"):
+		return protemp.FleetPolicy{Kind: "protemp", Variant: strings.TrimPrefix(s, "protemp/")}, nil
+	case strings.HasPrefix(s, "basic-dfs@"):
+		threshold, err := strconv.ParseFloat(strings.TrimPrefix(s, "basic-dfs@"), 64)
+		if err != nil {
+			return protemp.FleetPolicy{}, fmt.Errorf("bad basic-dfs threshold in %q: %v", s, err)
+		}
+		return protemp.FleetPolicy{Kind: "basic-dfs", ThresholdC: threshold}, nil
+	default:
+		return protemp.FleetPolicy{}, fmt.Errorf("unknown policy %q (want protemp[/variant], basic-dfs[@°C] or no-tc)", s)
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", path)
+}

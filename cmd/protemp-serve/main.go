@@ -12,7 +12,13 @@
 //	POST   /v1/sessions/{id}/step    one DFS-window decision
 //	POST   /v1/sessions/{id}/stream  NDJSON co-simulated control loop
 //	DELETE /v1/sessions/{id}         close a session
-//	GET    /metrics                  counters (cache, store, sessions)
+//	POST   /v1/fleet                 submit an async batch evaluation job
+//	GET    /v1/fleet                 list fleet jobs
+//	GET    /v1/fleet/scenarios       list registered workload scenarios
+//	GET    /v1/fleet/{id}            job status and progress
+//	GET    /v1/fleet/{id}/results    ranked results once finished
+//	DELETE /v1/fleet/{id}            cancel (partial results kept) or delete
+//	GET    /metrics                  counters + gauges (cache, store, sessions, fleet)
 //	GET    /healthz                  liveness
 //
 // Usage:

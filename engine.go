@@ -126,21 +126,38 @@ func (e *Engine) MetricsSnapshot() map[string]uint64 { return e.reg.Snapshot() }
 // ".ptbl") a pre-generated table must carry to be picked up from a
 // server's store directory. Nil grids select the engine defaults.
 func (e *Engine) TableKey(tstarts, ftargets []float64, v core.Variant) string {
+	return e.TableKeyOverride(tstarts, ftargets, v, 0)
+}
+
+// TableKeyOverride is TableKey with an additional temperature-limit
+// override; tmax <= 0 selects the engine default.
+func (e *Engine) TableKeyOverride(tstarts, ftargets []float64, v core.Variant, tmax float64) string {
+	spec := e.tableSpec(tstarts, ftargets, v, tmax)
+	return spec.CacheKey()
+}
+
+// tableSpec assembles a Phase-1 table spec against this engine,
+// defaulting nil grids and non-positive tmax to the engine
+// configuration.
+func (e *Engine) tableSpec(tstarts, ftargets []float64, v core.Variant, tmax float64) core.TableSpec {
 	if tstarts == nil {
 		tstarts = e.cfg.tstarts
 	}
 	if ftargets == nil {
 		ftargets = e.ftargets()
 	}
-	spec := core.TableSpec{
+	if tmax <= 0 {
+		tmax = e.cfg.tmax
+	}
+	return core.TableSpec{
 		Chip:     e.chip,
 		Window:   e.window,
-		TMax:     e.cfg.tmax,
+		TMax:     tmax,
 		TStarts:  tstarts,
 		FTargets: ftargets,
 		Variant:  v,
+		Workers:  e.cfg.workers,
 	}
-	return spec.CacheKey()
 }
 
 // ftargets returns the configured frequency grid, defaulting to the 5%
@@ -189,15 +206,18 @@ func (e *Engine) GenerateTable(ctx context.Context) (*core.Table, error) {
 // for callers that need several tables from one engine (many policies
 // on one chip). Results are cached under the same LRU.
 func (e *Engine) GenerateTableGrid(ctx context.Context, tstarts, ftargets []float64, v core.Variant) (*core.Table, error) {
-	spec := core.TableSpec{
-		Chip:     e.chip,
-		Window:   e.window,
-		TMax:     e.cfg.tmax,
-		TStarts:  tstarts,
-		FTargets: ftargets,
-		Variant:  v,
-		Workers:  e.cfg.workers,
-	}
+	return e.GenerateTableOverride(ctx, tstarts, ftargets, v, 0)
+}
+
+// GenerateTableOverride is GenerateTableGrid with an additional
+// temperature-limit override, for callers evaluating several thermal
+// limits on one chip (the fleet runner sweeping per-scenario TMax).
+// Nil grids select the engine defaults; tmax <= 0 selects the engine
+// default limit. Results share the same LRU/singleflight/store tiers,
+// keyed by the full TableSpec, so distinct limits coexist without
+// re-sweeping each other out.
+func (e *Engine) GenerateTableOverride(ctx context.Context, tstarts, ftargets []float64, v core.Variant, tmax float64) (*core.Table, error) {
+	spec := e.tableSpec(tstarts, ftargets, v, tmax)
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -235,6 +255,14 @@ func WithInitialTemp(t0 float64) SimOption {
 // WithMaxTime caps the simulated time in seconds.
 func WithMaxTime(seconds float64) SimOption {
 	return func(c *sim.Config) { c.MaxTime = seconds }
+}
+
+// WithSimTMax overrides the temperature limit used for violation
+// accounting in one Simulate call (default the engine's TMax) — for
+// evaluating a policy against a limit other than the one it was
+// configured for, as the fleet scenarios do.
+func WithSimTMax(tmax float64) SimOption {
+	return func(c *sim.Config) { c.TMax = tmax }
 }
 
 // Simulate runs a closed-loop simulation of the policy over the trace

@@ -1,0 +1,62 @@
+package protemp
+
+import (
+	"context"
+
+	"protemp/internal/fleet"
+)
+
+// Fleet evaluation: named workload scenarios batched across policies
+// and seeds on one shared Engine. The heavy lifting lives in
+// internal/fleet (scenario registry, bounded worker pool, ranked
+// reports); these aliases re-export the spec/result types so callers
+// of the public facade can build batches without reaching into
+// internal packages.
+type (
+	// FleetSpec describes one batch: scenarios × policies × seeds.
+	FleetSpec = fleet.BatchSpec
+	// FleetPolicy names one policy cell ("protemp", "basic-dfs",
+	// "no-tc") with its parameters.
+	FleetPolicy = fleet.PolicySpec
+	// FleetResult aggregates a batch; FleetResult.Runs is in
+	// deterministic scenario-major order.
+	FleetResult = fleet.BatchResult
+	// FleetRun is one (scenario, policy, seed) outcome.
+	FleetRun = fleet.RunResult
+	// FleetScenario is one named workload regime; register custom ones
+	// on a FleetRegistry.
+	FleetScenario = fleet.Scenario
+	// FleetRegistry maps scenario names to scenarios.
+	FleetRegistry = fleet.Registry
+)
+
+// FleetScenarios returns the built-in scenario registry: the
+// paper-style mixed and compute regimes plus the production stressors
+// (diurnal load curve, bursty on/off traffic, thermally adversarial
+// all-cores-hot, ambient sweep). Each call returns an independent
+// registry, so callers may Register their own scenarios freely.
+func FleetScenarios() *FleetRegistry { return fleet.Builtin() }
+
+// RunFleet evaluates the batch on the engine with the built-in
+// scenarios: every (scenario, policy, seed) cell is simulated across a
+// bounded worker pool, Phase-1 tables are generated at most once per
+// distinct table spec through the engine's cache/singleflight/store
+// tiers, and the progress instruments land in the engine's metrics
+// registry (fleet_runs_inflight and the fleet_* counters appear in
+// MetricsSnapshot). Cancelling ctx aborts in-flight runs and returns
+// the partial result together with ctx.Err().
+func (e *Engine) RunFleet(ctx context.Context, spec FleetSpec) (*FleetResult, error) {
+	return e.RunFleetScenarios(ctx, spec, nil)
+}
+
+// RunFleetScenarios is RunFleet with an explicit scenario registry
+// (nil selects the built-ins).
+func (e *Engine) RunFleetScenarios(ctx context.Context, spec FleetSpec, scenarios *FleetRegistry) (*FleetResult, error) {
+	return fleet.NewRunner(e, scenarios, e.reg).Run(ctx, spec)
+}
+
+// RunFleet evaluates the batch on the engine with the built-in
+// scenarios — the package-level spelling of Engine.RunFleet.
+func RunFleet(ctx context.Context, e *Engine, spec FleetSpec) (*FleetResult, error) {
+	return e.RunFleet(ctx, spec)
+}

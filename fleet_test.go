@@ -1,0 +1,99 @@
+package protemp
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunFleetSharedEngineSingleGeneration is the fleet acceptance
+// check: a 12-run batch (4 scenarios × 3 policies) completes in
+// parallel on one shared Engine with exactly one Phase-1 table
+// generation per distinct table spec — asserted through both the
+// cache stats and the engine metrics snapshot.
+func TestRunFleetSharedEngineSingleGeneration(t *testing.T) {
+	e, err := New(fastOpts(smallGrid())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FleetSpec{
+		Scenarios: []string{"mixed", "bursty", "diurnal", "adversarial"},
+		Policies: []FleetPolicy{
+			{Kind: "protemp"},
+			{Kind: "basic-dfs"},
+			{Kind: "no-tc"},
+		},
+		Seeds:      []int64{1},
+		Workers:    4,
+		Horizon:    2,
+		MaxSimTime: 6,
+	}
+	res, err := RunFleet(context.Background(), e, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 12 || res.Completed != 12 || res.Failed != 0 || res.Skipped != 0 {
+		t.Fatalf("runs/completed/failed/skipped = %d/%d/%d/%d, want 12/12/0/0",
+			len(res.Runs), res.Completed, res.Failed, res.Skipped)
+	}
+
+	// All four scenarios keep the engine's TMax, so the four parallel
+	// protemp cells share a single table spec — and must have cost
+	// exactly one Phase-1 sweep between them.
+	distinctKeys := map[string]bool{}
+	for _, rr := range res.Runs {
+		if rr.Summary != nil && rr.Summary.TableKey != "" {
+			distinctKeys[rr.Summary.TableKey] = true
+		}
+	}
+	if len(distinctKeys) != 1 {
+		t.Fatalf("distinct table keys = %d, want 1", len(distinctKeys))
+	}
+	stats := e.CacheStats()
+	if stats.Generations != uint64(len(distinctKeys)) {
+		t.Fatalf("generations = %d, want %d (one per distinct spec)", stats.Generations, len(distinctKeys))
+	}
+	if stats.Hits+stats.Shared < 3 {
+		t.Fatalf("expected the other protemp cells to share the table (hits %d, shared %d)", stats.Hits, stats.Shared)
+	}
+
+	// The engine metrics snapshot carries both the cache counters and
+	// the fleet progress instruments for a serving layer to merge.
+	snap := e.MetricsSnapshot()
+	if snap["table_cache_generations"] != stats.Generations {
+		t.Fatalf("snapshot generations = %d, want %d", snap["table_cache_generations"], stats.Generations)
+	}
+	if snap["fleet_runs_completed"] != 12 || snap["fleet_batches"] != 1 {
+		t.Fatalf("fleet counters missing from engine snapshot: %v", snap)
+	}
+	if snap["fleet_runs_inflight"] != 0 {
+		t.Fatalf("inflight gauge stuck at %d", snap["fleet_runs_inflight"])
+	}
+}
+
+// TestRunFleetCustomRegistry drives the facade with a custom scenario.
+func TestRunFleetCustomRegistry(t *testing.T) {
+	e, err := New(fastOpts(smallGrid())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := FleetScenarios()
+	base, _ := reg.Get("mixed")
+	custom := base
+	custom.Name = "my-scenario"
+	custom.Description = "registered by the caller"
+	if err := reg.Register(custom); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunFleetScenarios(context.Background(), FleetSpec{
+		Scenarios:  []string{"my-scenario"},
+		Policies:   []FleetPolicy{{Kind: "no-tc"}},
+		Horizon:    2,
+		MaxSimTime: 6,
+	}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("completed = %d, want 1", res.Completed)
+	}
+}

@@ -57,6 +57,24 @@ func (v Variant) String() string {
 	}
 }
 
+// ParseVariant is the inverse of String for the named variants. The
+// empty string selects def — callers with a configured default pass it
+// through, so wire formats can omit the field.
+func ParseVariant(name string, def Variant) (Variant, error) {
+	switch name {
+	case "":
+		return def, nil
+	case "variable":
+		return VariantVariable, nil
+	case "uniform":
+		return VariantUniform, nil
+	case "gradient":
+		return VariantGradient, nil
+	default:
+		return 0, fmt.Errorf("core: unknown variant %q (want variable, uniform or gradient)", name)
+	}
+}
+
 // Spec is one Phase-1 design point.
 type Spec struct {
 	// Chip provides the floorplan, core power models and fixed powers.

@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// better reports whether summary a beats summary b: fewest thermal
+// violation core-seconds first (the controller's contract), then
+// coolest peak, then lowest p95 wait, then highest throughput, then
+// least energy. Ties at every level preserve input order.
+func better(a, b *Summary) bool {
+	if a.ViolationCoreS != b.ViolationCoreS {
+		return a.ViolationCoreS < b.ViolationCoreS
+	}
+	if a.PeakTempC != b.PeakTempC {
+		return a.PeakTempC < b.PeakTempC
+	}
+	if a.WaitP95S != b.WaitP95S {
+		return a.WaitP95S < b.WaitP95S
+	}
+	if a.ThroughputTPS != b.ThroughputTPS {
+		return a.ThroughputTPS > b.ThroughputTPS
+	}
+	return a.EnergyJ < b.EnergyJ
+}
+
+// Rank returns the completed runs best-first (see better), grouped by
+// scenario name so the comparison reads per regime.
+func Rank(res *BatchResult) []RunResult {
+	out := make([]RunResult, 0, len(res.Runs))
+	for _, rr := range res.Runs {
+		if rr.Summary != nil {
+			out = append(out, rr)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Scenario != out[j].Scenario {
+			return out[i].Scenario < out[j].Scenario
+		}
+		return better(out[i].Summary, out[j].Summary)
+	})
+	return out
+}
+
+// LeaderboardRow is one policy's cross-scenario standing.
+type LeaderboardRow struct {
+	Policy string  `json:"policy"`
+	Runs   int     `json:"runs"`
+	Wins   int     `json:"wins"`     // scenario×seed groups won
+	Groups int     `json:"groups"`   // groups the policy competed in
+	AvgPos float64 `json:"avg_rank"` // mean 1-based rank within its groups
+}
+
+// Leaderboard ranks policies across the whole batch: within every
+// (scenario, seed) group the completed policies are ordered by better,
+// and each policy accumulates its position. Policies are returned by
+// ascending mean position (wins break ties).
+func Leaderboard(res *BatchResult) []LeaderboardRow {
+	type groupKey struct {
+		scenario string
+		seed     int64
+	}
+	groups := make(map[groupKey][]RunResult)
+	for _, rr := range res.Runs {
+		if rr.Summary == nil {
+			continue
+		}
+		k := groupKey{rr.Scenario, rr.Seed}
+		groups[k] = append(groups[k], rr)
+	}
+	acc := make(map[string]*LeaderboardRow)
+	for _, members := range groups {
+		sort.SliceStable(members, func(i, j int) bool { return better(members[i].Summary, members[j].Summary) })
+		for pos, rr := range members {
+			row := acc[rr.Policy]
+			if row == nil {
+				row = &LeaderboardRow{Policy: rr.Policy}
+				acc[rr.Policy] = row
+			}
+			row.Runs++
+			row.Groups++
+			row.AvgPos += float64(pos + 1)
+			if pos == 0 {
+				row.Wins++
+			}
+		}
+	}
+	out := make([]LeaderboardRow, 0, len(acc))
+	for _, row := range acc {
+		row.AvgPos /= float64(row.Groups)
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AvgPos != out[j].AvgPos {
+			return out[i].AvgPos < out[j].AvgPos
+		}
+		if out[i].Wins != out[j].Wins {
+			return out[i].Wins > out[j].Wins
+		}
+		return out[i].Policy < out[j].Policy
+	})
+	return out
+}
+
+// WriteReportTable renders the human-readable comparison: per-scenario
+// ranked rows, failures/skips, and the cross-scenario leaderboard.
+func WriteReportTable(w io.Writer, res *BatchResult) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tpolicy\tseed\tthroughput/s\twait_p95_ms\tpeak_°C\tviol_core_s\tswitches\tenergy_J")
+	for _, rr := range Rank(res) {
+		s := rr.Summary
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%.2f\t%.2f\t%.4f\t%d\t%.1f\n",
+			rr.Scenario, rr.Policy, rr.Seed,
+			s.ThroughputTPS, s.WaitP95S*1e3, s.PeakTempC, s.ViolationCoreS, s.FreqSwitches, s.EnergyJ)
+	}
+	for _, rr := range res.Runs {
+		switch {
+		case rr.Error != "":
+			fmt.Fprintf(tw, "%s\t%s\t%d\tFAILED: %s\n", rr.Scenario, rr.Policy, rr.Seed, rr.Error)
+		case rr.Skipped:
+			fmt.Fprintf(tw, "%s\t%s\t%d\tskipped\n", rr.Scenario, rr.Policy, rr.Seed)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	board := Leaderboard(res)
+	if len(board) > 1 {
+		fmt.Fprintln(w)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "policy\tavg_rank\twins\tgroups")
+		for _, row := range board {
+			fmt.Fprintf(tw, "%s\t%.2f\t%d\t%d\n", row.Policy, row.AvgPos, row.Wins, row.Groups)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "\n%d completed, %d failed, %d skipped in %.1fs\n",
+		res.Completed, res.Failed, res.Skipped, res.ElapsedS)
+	return nil
+}
+
+// WriteJSON emits the full batch result as indented JSON.
+func WriteJSON(w io.Writer, res *BatchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// WriteCSV emits one row per run (completed or not) with the summary
+// columns, machine-readable for downstream analysis.
+func WriteCSV(w io.Writer, res *BatchResult) error {
+	if _, err := fmt.Fprintln(w, "scenario,policy,seed,status,sim_time_s,tasks,completed,unfinished,throughput_tps,wait_mean_s,wait_p50_s,wait_p95_s,wait_p99_s,wait_max_s,peak_temp_c,tmax_c,violation_frac,violation_core_s,freq_switches,energy_j"); err != nil {
+		return err
+	}
+	for _, rr := range res.Runs {
+		status := "ok"
+		if rr.Error != "" {
+			status = "failed"
+		} else if rr.Skipped {
+			status = "skipped"
+		}
+		s := rr.Summary
+		if s == nil {
+			s = &Summary{}
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%s,%.6f,%d,%d,%d,%.6f,%.9f,%.9f,%.9f,%.9f,%.9f,%.4f,%.4f,%.9f,%.9f,%d,%.6f\n",
+			rr.Scenario, rr.Policy, rr.Seed, status,
+			s.SimTimeS, s.Tasks, s.Completed, s.Unfinished, s.ThroughputTPS,
+			s.WaitMeanS, s.WaitP50S, s.WaitP95S, s.WaitP99S, s.WaitMaxS,
+			s.PeakTempC, s.TMaxC, s.ViolationFrac, s.ViolationCoreS,
+			s.FreqSwitches, s.EnergyJ); err != nil {
+			return err
+		}
+	}
+	return nil
+}

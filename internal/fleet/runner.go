@@ -1,0 +1,501 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"protemp/internal/core"
+	"protemp/internal/linalg"
+	"protemp/internal/metrics"
+	"protemp/internal/power"
+	"protemp/internal/sim"
+	"protemp/internal/thermal"
+)
+
+// Engine is the slice of the protemp.Engine facade the runner needs:
+// the shared modeled chip plus cached Phase-1 table generation. Every
+// run in a batch goes through one Engine, so the engine's
+// LRU/singleflight/store tiers guarantee at most one Phase-1 sweep per
+// distinct table spec no matter how many runs request it concurrently.
+type Engine interface {
+	Chip() *power.Chip
+	Disc() *thermal.Discrete
+	WindowSeconds() float64
+	TMax() float64
+	Variant() core.Variant
+	GenerateTableOverride(ctx context.Context, tstarts, ftargets []float64, v core.Variant, tmax float64) (*core.Table, error)
+	TableKeyOverride(tstarts, ftargets []float64, v core.Variant, tmax float64) string
+}
+
+// PolicySpec names one control policy of a batch.
+type PolicySpec struct {
+	// Kind is "protemp", "basic-dfs" or "no-tc".
+	Kind string `json:"kind"`
+	// ThresholdC is the Basic-DFS shutdown trigger in °C; zero derives
+	// the paper's margin (TMax − 10).
+	ThresholdC float64 `json:"threshold_c,omitempty"`
+	// Variant selects the Pro-Temp table variant ("variable", "uniform"
+	// or "gradient"; empty = engine default).
+	Variant string `json:"variant,omitempty"`
+}
+
+// Validate checks the spec against the engine-independent rules.
+func (p PolicySpec) Validate() error {
+	switch p.Kind {
+	case "protemp":
+		if _, err := core.ParseVariant(p.Variant, core.VariantVariable); err != nil {
+			return err
+		}
+	case "basic-dfs", "no-tc":
+	default:
+		return fmt.Errorf("fleet: unknown policy kind %q (want protemp, basic-dfs or no-tc)", p.Kind)
+	}
+	// The negated comparison also rejects NaN, which would otherwise
+	// slip through every range check and disable throttling entirely.
+	if !(p.ThresholdC >= 0) || math.IsInf(p.ThresholdC, 0) {
+		return fmt.Errorf("fleet: invalid threshold %g", p.ThresholdC)
+	}
+	return nil
+}
+
+// Label returns the display/report name, e.g. "protemp/gradient" or
+// "basic-dfs@90".
+func (p PolicySpec) Label() string {
+	switch p.Kind {
+	case "protemp":
+		if p.Variant != "" {
+			return "protemp/" + p.Variant
+		}
+		return "protemp"
+	case "basic-dfs":
+		if p.ThresholdC > 0 {
+			return fmt.Sprintf("basic-dfs@%g", p.ThresholdC)
+		}
+		return "basic-dfs"
+	default:
+		return p.Kind
+	}
+}
+
+// BatchSpec describes one fleet evaluation: the cross product of
+// scenarios × policies × seeds. It is pure data (JSON-serializable for
+// the server's async job API).
+type BatchSpec struct {
+	// Scenarios are registry names; at least one is required.
+	Scenarios []string `json:"scenarios"`
+	// Policies to compare; at least one is required.
+	Policies []PolicySpec `json:"policies"`
+	// Seeds for the workload generators (default {1}).
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Workers bounds the parallel runs (default min(GOMAXPROCS, runs)).
+	Workers int `json:"workers,omitempty"`
+	// RunTimeout caps each individual run (0 = no per-run cap).
+	RunTimeout time.Duration `json:"run_timeout,omitempty"`
+	// Horizon overrides every scenario's arrival horizon in seconds
+	// (0 = scenario defaults). Short CI batches set this low.
+	Horizon float64 `json:"horizon_s,omitempty"`
+	// MaxSimTime caps each run's simulated seconds (0 = simulator
+	// default, which is generous for overcommitted scenarios).
+	MaxSimTime float64 `json:"max_sim_time_s,omitempty"`
+}
+
+// Run is one expanded (scenario, policy, seed) cell.
+type Run struct {
+	Scenario string     `json:"scenario"`
+	Policy   PolicySpec `json:"policy"`
+	Seed     int64      `json:"seed"`
+}
+
+// Summary aggregates one run into the comparable quantities the
+// paper's evaluation reports, plus serving-oriented ones.
+type Summary struct {
+	SimTimeS       float64 `json:"sim_time_s"`
+	Tasks          int     `json:"tasks"`
+	Completed      int     `json:"completed"`
+	Unfinished     int     `json:"unfinished"`
+	ThroughputTPS  float64 `json:"throughput_tps"`
+	WaitMeanS      float64 `json:"wait_mean_s"`
+	WaitP50S       float64 `json:"wait_p50_s"`
+	WaitP95S       float64 `json:"wait_p95_s"`
+	WaitP99S       float64 `json:"wait_p99_s"`
+	WaitMaxS       float64 `json:"wait_max_s"`
+	PeakTempC      float64 `json:"peak_temp_c"`
+	TMaxC          float64 `json:"tmax_c"`
+	ViolationFrac  float64 `json:"violation_frac"`
+	ViolationCoreS float64 `json:"violation_core_s"`
+	FreqSwitches   uint64  `json:"freq_switches"`
+	EnergyJ        float64 `json:"energy_j"`
+	TableKey       string  `json:"table_key,omitempty"`
+}
+
+// RunResult is one run's outcome: a summary, an error, or a skip mark
+// for runs never started because the batch was cancelled first.
+type RunResult struct {
+	Scenario string   `json:"scenario"`
+	Policy   string   `json:"policy"`
+	Seed     int64    `json:"seed"`
+	Error    string   `json:"error,omitempty"`
+	Skipped  bool     `json:"skipped,omitempty"`
+	Summary  *Summary `json:"summary,omitempty"`
+}
+
+// BatchResult aggregates a batch. Runs holds one entry per expanded
+// cell in deterministic (scenario-major) input order regardless of
+// completion order.
+type BatchResult struct {
+	Runs      []RunResult `json:"runs"`
+	Completed int         `json:"completed"`
+	Failed    int         `json:"failed"`
+	Skipped   int         `json:"skipped"`
+	ElapsedS  float64     `json:"elapsed_s"`
+}
+
+// Runner executes batches against one shared engine. Its progress
+// instruments live in the provided metrics registry (a private one
+// when nil), so a serving layer creating one Runner surfaces
+// fleet_runs_inflight and the run counters on its /metrics endpoint.
+type Runner struct {
+	eng       Engine
+	scenarios *Registry
+
+	batches   *metrics.Counter
+	started   *metrics.Counter
+	completed *metrics.Counter
+	failed    *metrics.Counter
+	inflight  *metrics.Gauge
+}
+
+// NewRunner builds a Runner. scenarios nil selects the builtin
+// registry; reg nil keeps the progress instruments private.
+func NewRunner(eng Engine, scenarios *Registry, reg *metrics.Registry) *Runner {
+	if scenarios == nil {
+		scenarios = Builtin()
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Runner{
+		eng:       eng,
+		scenarios: scenarios,
+		batches:   reg.Counter("fleet_batches"),
+		started:   reg.Counter("fleet_runs_started"),
+		completed: reg.Counter("fleet_runs_completed"),
+		failed:    reg.Counter("fleet_runs_failed"),
+		inflight:  reg.Gauge("fleet_runs_inflight"),
+	}
+}
+
+// Scenarios returns the runner's scenario registry.
+func (r *Runner) Scenarios() *Registry { return r.scenarios }
+
+// Plan validates the spec and expands it into the run list the batch
+// would execute, scenario-major: for each scenario, each policy, each
+// seed. Servers use it to reject bad specs (and bound run counts)
+// before committing a job id.
+func (r *Runner) Plan(spec BatchSpec) ([]Run, error) {
+	if len(spec.Scenarios) == 0 {
+		return nil, fmt.Errorf("fleet: no scenarios")
+	}
+	if len(spec.Policies) == 0 {
+		return nil, fmt.Errorf("fleet: no policies")
+	}
+	if spec.Workers < 0 {
+		return nil, fmt.Errorf("fleet: negative worker count %d", spec.Workers)
+	}
+	if spec.RunTimeout < 0 {
+		return nil, fmt.Errorf("fleet: negative run timeout %v", spec.RunTimeout)
+	}
+	// Negated comparisons so NaN is rejected too: a NaN horizon slides
+	// past every generator bound and yields empty "completed" runs.
+	if !(spec.Horizon >= 0) || math.IsInf(spec.Horizon, 0) {
+		return nil, fmt.Errorf("fleet: invalid horizon %g", spec.Horizon)
+	}
+	if !(spec.MaxSimTime >= 0) || math.IsInf(spec.MaxSimTime, 0) {
+		return nil, fmt.Errorf("fleet: invalid sim-time cap %g", spec.MaxSimTime)
+	}
+	seen := make(map[string]bool, len(spec.Scenarios))
+	for _, name := range spec.Scenarios {
+		if _, ok := r.scenarios.Get(name); !ok {
+			return nil, fmt.Errorf("fleet: unknown scenario %q (have %v)", name, r.scenarios.Names())
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("fleet: duplicate scenario %q", name)
+		}
+		seen[name] = true
+	}
+	// Duplicate policies or seeds would run identical cells twice and
+	// let one policy occupy several leaderboard ranks of its own group,
+	// so they are errors just like duplicate scenarios.
+	seenPolicy := make(map[string]bool, len(spec.Policies))
+	for _, p := range spec.Policies {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		label := p.Label()
+		if seenPolicy[label] {
+			return nil, fmt.Errorf("fleet: duplicate policy %q", label)
+		}
+		seenPolicy[label] = true
+	}
+	seeds := spec.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	seenSeed := make(map[int64]bool, len(seeds))
+	for _, seed := range seeds {
+		if seenSeed[seed] {
+			return nil, fmt.Errorf("fleet: duplicate seed %d", seed)
+		}
+		seenSeed[seed] = true
+	}
+	runs := make([]Run, 0, len(spec.Scenarios)*len(spec.Policies)*len(seeds))
+	for _, name := range spec.Scenarios {
+		for _, p := range spec.Policies {
+			for _, seed := range seeds {
+				runs = append(runs, Run{Scenario: name, Policy: p, Seed: seed})
+			}
+		}
+	}
+	return runs, nil
+}
+
+// Run executes the batch: every (scenario, policy, seed) cell is
+// simulated on the shared engine, fanned across a bounded worker pool.
+// Cancelling ctx stops dispatch, aborts in-flight runs at their next
+// DFS window (and table generations at their next Newton iteration),
+// and returns the partial BatchResult accumulated so far together with
+// ctx.Err() — completed cells keep their summaries, undispatched cells
+// are marked Skipped.
+func (r *Runner) Run(ctx context.Context, spec BatchSpec) (*BatchResult, error) {
+	return r.RunWithProgress(ctx, spec, nil)
+}
+
+// RunWithProgress is Run with a progress callback invoked (serialized)
+// after every finished cell.
+func (r *Runner) RunWithProgress(ctx context.Context, spec BatchSpec, progress func(done, failed, total int)) (*BatchResult, error) {
+	runs, err := r.Plan(spec)
+	if err != nil {
+		return nil, err
+	}
+	r.batches.Inc()
+	start := time.Now()
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+
+	res := &BatchResult{Runs: make([]RunResult, len(runs))}
+	var (
+		mu   sync.Mutex // guards res tallies and the progress callback
+		wg   sync.WaitGroup
+		idx  = make(chan int)
+		done int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rr := r.runOne(ctx, spec, runs[i])
+				mu.Lock()
+				res.Runs[i] = rr
+				done++
+				switch {
+				case rr.Error != "":
+					res.Failed++
+				case rr.Skipped:
+					res.Skipped++
+				default:
+					res.Completed++
+				}
+				if progress != nil {
+					progress(done, res.Failed, len(runs))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+dispatch:
+	for i := range runs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	// Cells never handed to a worker keep zero values; mark them.
+	for i := range res.Runs {
+		if res.Runs[i].Scenario == "" {
+			res.Runs[i] = RunResult{
+				Scenario: runs[i].Scenario,
+				Policy:   runs[i].Policy.Label(),
+				Seed:     runs[i].Seed,
+				Skipped:  true,
+			}
+			res.Skipped++
+		}
+	}
+	res.ElapsedS = time.Since(start).Seconds()
+	return res, ctx.Err()
+}
+
+// runOne executes a single cell under the per-run timeout.
+func (r *Runner) runOne(ctx context.Context, spec BatchSpec, run Run) RunResult {
+	rr := RunResult{Scenario: run.Scenario, Policy: run.Policy.Label(), Seed: run.Seed}
+	if err := ctx.Err(); err != nil {
+		rr.Skipped = true
+		return rr
+	}
+	if spec.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.RunTimeout)
+		defer cancel()
+	}
+	r.started.Inc()
+	r.inflight.Inc()
+	defer r.inflight.Dec()
+
+	summary, err := r.simulate(ctx, spec, run)
+	if err != nil {
+		rr.Error = err.Error()
+		r.failed.Inc()
+		return rr
+	}
+	rr.Summary = summary
+	r.completed.Inc()
+	return rr
+}
+
+// simulate builds the cell's trace and policy and drives the
+// closed-loop simulation.
+func (r *Runner) simulate(ctx context.Context, spec BatchSpec, run Run) (*Summary, error) {
+	sc, ok := r.scenarios.Get(run.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown scenario %q", run.Scenario) // registry mutated after Plan
+	}
+	tmax := sc.TMaxC
+	if tmax <= 0 {
+		tmax = r.eng.TMax()
+	}
+	trace, err := sc.trace(run.Seed, r.eng.Chip().NumCores(), spec.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	policy, tableKey, err := r.buildPolicy(ctx, run.Policy, tmax)
+	if err != nil {
+		return nil, err
+	}
+	counted := &switchCounter{inner: policy}
+	simRes, err := sim.Run(ctx, sim.Config{
+		Chip:    r.eng.Chip(),
+		Disc:    r.eng.Disc(),
+		Policy:  counted,
+		Trace:   trace,
+		Window:  r.eng.WindowSeconds(),
+		TMax:    tmax,
+		T0:      sc.T0C,
+		MaxTime: spec.MaxSimTime,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Summary{
+		SimTimeS:      simRes.SimTime,
+		Tasks:         len(trace.Tasks),
+		Completed:     simRes.Completed,
+		Unfinished:    simRes.Unfinished,
+		WaitMeanS:     simRes.Wait.Mean(),
+		WaitP50S:      simRes.Wait.Percentile(50),
+		WaitP95S:      simRes.Wait.Percentile(95),
+		WaitP99S:      simRes.Wait.Percentile(99),
+		WaitMaxS:      simRes.Wait.Max(),
+		PeakTempC:     simRes.MaxCoreTemp,
+		TMaxC:         tmax,
+		ViolationFrac: simRes.ViolationFrac,
+		FreqSwitches:  counted.switches,
+		EnergyJ:       simRes.EnergyJ,
+		TableKey:      tableKey,
+	}
+	if simRes.SimTime > 0 {
+		s.ThroughputTPS = float64(simRes.Completed) / simRes.SimTime
+	}
+	// ViolationFrac is violation core-time over total core-time;
+	// multiplying back by cores × sim-time recovers the absolute
+	// violation duration in core-seconds.
+	s.ViolationCoreS = simRes.ViolationFrac * simRes.SimTime * float64(r.eng.Chip().NumCores())
+	return s, nil
+}
+
+// buildPolicy instantiates the control policy for one run. Pro-Temp
+// goes through the engine's cached table generation: concurrent runs
+// needing one table spec share a single Phase-1 sweep.
+func (r *Runner) buildPolicy(ctx context.Context, p PolicySpec, tmax float64) (sim.Policy, string, error) {
+	chip := r.eng.Chip()
+	switch p.Kind {
+	case "no-tc":
+		return &sim.NoTC{NumCores: chip.NumCores(), FMax: chip.FMax()}, "", nil
+	case "basic-dfs":
+		threshold := p.ThresholdC
+		if threshold == 0 {
+			threshold = tmax - 10 // the paper's 90-against-100 margin
+		}
+		if !(threshold > 0) || threshold > tmax { // negated form rejects NaN too
+			return nil, "", fmt.Errorf("fleet: basic-dfs threshold %g outside (0, %g]", threshold, tmax)
+		}
+		return &sim.BasicDFS{NumCores: chip.NumCores(), FMax: chip.FMax(), Threshold: threshold}, "", nil
+	case "protemp":
+		v, err := core.ParseVariant(p.Variant, r.eng.Variant())
+		if err != nil {
+			return nil, "", err
+		}
+		table, err := r.eng.GenerateTableOverride(ctx, nil, nil, v, tmax)
+		if err != nil {
+			return nil, "", err
+		}
+		ctrl, err := core.NewController(table)
+		if err != nil {
+			return nil, "", err
+		}
+		return &sim.ProTemp{Controller: ctrl}, r.eng.TableKeyOverride(nil, nil, v, tmax), nil
+	default:
+		return nil, "", fmt.Errorf("fleet: unknown policy kind %q", p.Kind)
+	}
+}
+
+// switchCounter wraps a policy and counts per-core frequency command
+// changes between consecutive windows — the DVFS actuation cost a
+// hardware platform pays in PLL relocks and voltage ramps.
+type switchCounter struct {
+	inner    sim.Policy
+	prev     linalg.Vector
+	switches uint64
+}
+
+// Name implements sim.Policy.
+func (p *switchCounter) Name() string { return p.inner.Name() }
+
+// Decide implements sim.Policy.
+func (p *switchCounter) Decide(st sim.WindowState) linalg.Vector {
+	out := p.inner.Decide(st)
+	if p.prev != nil && len(p.prev) == len(out) {
+		for i := range out {
+			if out[i] != p.prev[i] {
+				p.switches++
+			}
+		}
+	}
+	p.prev = append(p.prev[:0], out...)
+	return out
+}

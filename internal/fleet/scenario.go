@@ -1,0 +1,202 @@
+// Package fleet is the multi-scenario evaluation layer: a registry of
+// named, parameterized workload scenarios and a parallel batch runner
+// that fans scenario × policy × seed runs across a bounded worker
+// pool, all sharing one Engine so Phase-1 tables are generated exactly
+// once per distinct table spec.
+//
+// The paper evaluates Pro-Temp against its baselines one trace at a
+// time; this package is the production counterpart — stress the
+// controller under a diurnal load curve, a bursty on/off stream, a
+// thermally adversarial all-cores-hot regime and an ambient sweep in
+// one batch, and get back comparable summaries (throughput, wait-time
+// percentiles, thermal violations, peak temperature, frequency
+// switches) ranked per scenario.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"protemp/internal/workload"
+)
+
+// Scenario is one named, parameterized workload regime. Build
+// synthesizes its trace; the overrides adapt the platform per
+// scenario without rebuilding the engine (the thermal model and chip
+// stay shared, so Phase-1 tables are too).
+type Scenario struct {
+	Name        string
+	Description string
+	// Horizon is the default arrival horizon in seconds (a BatchSpec
+	// may override it for quicker or longer sweeps).
+	Horizon float64
+	// T0C overrides the uniform initial temperature in °C — the
+	// ambient-condition knob of the ambient sweep. Zero keeps the
+	// thermal model's ambient.
+	T0C float64
+	// TMaxC overrides the temperature limit in °C for both the
+	// Pro-Temp table and violation accounting. Zero keeps the engine
+	// default.
+	TMaxC float64
+	// Build synthesizes the trace for a seed, core count and horizon
+	// (horizon <= 0 selects the scenario's default). It must be
+	// deterministic under seed.
+	Build func(seed int64, nCores int, horizon float64) (*workload.Trace, error)
+}
+
+// trace runs Build with the horizon defaulting rule applied.
+func (s Scenario) trace(seed int64, nCores int, horizon float64) (*workload.Trace, error) {
+	if horizon <= 0 {
+		horizon = s.Horizon
+	}
+	return s.Build(seed, nCores, horizon)
+}
+
+// Registry is a concurrency-safe name → Scenario map.
+type Registry struct {
+	mu        sync.RWMutex
+	scenarios map[string]Scenario
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{scenarios: make(map[string]Scenario)}
+}
+
+// Register adds a scenario; a duplicate name, empty name, nil Build or
+// non-positive default horizon is an error.
+func (r *Registry) Register(s Scenario) error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("fleet: scenario with empty name")
+	case s.Build == nil:
+		return fmt.Errorf("fleet: scenario %q has nil Build", s.Name)
+	case s.Horizon <= 0:
+		return fmt.Errorf("fleet: scenario %q has non-positive horizon %g", s.Name, s.Horizon)
+	case s.TMaxC < 0:
+		return fmt.Errorf("fleet: scenario %q has negative TMax %g", s.Name, s.TMaxC)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.scenarios[s.Name]; ok {
+		return fmt.Errorf("fleet: scenario %q already registered", s.Name)
+	}
+	r.scenarios[s.Name] = s
+	return nil
+}
+
+// Get looks a scenario up by name.
+func (r *Registry) Get(name string) (Scenario, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.scenarios[name]
+	return s, ok
+}
+
+// Names returns the registered scenario names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.scenarios))
+	for name := range r.scenarios {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns the registered scenarios sorted by name.
+func (r *Registry) All() []Scenario {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Scenario, 0, len(r.scenarios))
+	for _, s := range r.scenarios {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// mustRegister is the builtin-population helper: the builtins are
+// statically correct, so a failure is a programming error.
+func (r *Registry) mustRegister(s Scenario) {
+	if err := r.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Builtin returns a fresh registry populated with the built-in
+// scenarios. Each call returns an independent registry, so callers may
+// Register their own scenarios without leaking into others.
+func Builtin() *Registry {
+	r := NewRegistry()
+	r.mustRegister(Scenario{
+		Name:        "mixed",
+		Description: "paper-style mixed benchmark blend, moderate load with pronounced bursts (Fig. 6a regime)",
+		Horizon:     20,
+		Build: func(seed int64, nCores int, horizon float64) (*workload.Trace, error) {
+			return workload.Mixed(seed, nCores, horizon).Generate()
+		},
+	})
+	r.mustRegister(Scenario{
+		Name:        "bursty",
+		Description: "on/off traffic: long idle valleys broken by saturating bursts",
+		Horizon:     20,
+		Build: func(seed int64, nCores int, horizon float64) (*workload.Trace, error) {
+			g := workload.Mixed(seed, nCores, horizon)
+			g.Utilization = 0.4
+			g.BurstFactor = 4
+			g.HighFrac = 0.2
+			g.MeanBurst = 1.5
+			return g.Generate()
+		},
+	})
+	r.mustRegister(Scenario{
+		Name:        "compute",
+		Description: "sustained near-capacity compute-class load (Fig. 6b regime)",
+		Horizon:     20,
+		Build: func(seed int64, nCores int, horizon float64) (*workload.Trace, error) {
+			return workload.ComputeIntensive(seed, nCores, horizon).Generate()
+		},
+	})
+	r.mustRegister(Scenario{
+		Name:        "adversarial",
+		Description: "thermally adversarial: all cores hot from the start, overcommitted steady compute load",
+		Horizon:     20,
+		T0C:         95,
+		Build: func(seed int64, nCores int, horizon float64) (*workload.Trace, error) {
+			g := workload.ComputeIntensive(seed, nCores, horizon)
+			g.Utilization = 1.2 // overcommitted: backlog grows while the chip is hot
+			g.BurstFactor = 1   // no relief valleys
+			g.HighFrac = 1
+			return g.Generate()
+		},
+	})
+	r.mustRegister(Scenario{
+		Name:        "diurnal",
+		Description: "day-shaped load curve: quiet start, ramp, saturated peak, medium tail",
+		Horizon:     20,
+		Build: func(seed int64, nCores int, horizon float64) (*workload.Trace, error) {
+			return workload.GeneratePhases(seed, nCores, workload.Diurnal(horizon))
+		},
+	})
+	mixedAt := func(seed int64, nCores int, horizon float64) (*workload.Trace, error) {
+		return workload.Mixed(seed, nCores, horizon).Generate()
+	}
+	r.mustRegister(Scenario{
+		Name:        "ambient-cool",
+		Description: "ambient sweep, cool point: mixed load starting from 45 °C",
+		Horizon:     20,
+		T0C:         45,
+		Build:       mixedAt,
+	})
+	r.mustRegister(Scenario{
+		Name:        "ambient-hot",
+		Description: "ambient sweep, hot point: mixed load starting from 85 °C",
+		Horizon:     20,
+		T0C:         85,
+		Build:       mixedAt,
+	})
+	return r
+}

@@ -3,7 +3,6 @@ package metrics
 import (
 	"encoding/json"
 	"io"
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -25,12 +24,13 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
-// Registry is a named set of counters: components register counters
-// once and a metrics endpoint snapshots them all. Safe for concurrent
-// use; counter registration is idempotent per name.
+// Registry is a named set of counters and gauges: components register
+// instruments once and a metrics endpoint snapshots them all. Safe for
+// concurrent use; registration is idempotent per name.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 }
 
 // NewRegistry returns an empty registry.
@@ -51,31 +51,31 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Snapshot returns the current value of every registered counter.
+// Snapshot returns the current value of every registered counter and
+// gauge. Gauge levels below zero are reported as zero: the snapshot's
+// wire format is unsigned.
 func (r *Registry) Snapshot() map[string]uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]uint64, len(r.counters))
+	out := make(map[string]uint64, len(r.counters)+len(r.gauges))
 	for name, c := range r.counters {
 		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		if v := g.Value(); v > 0 {
+			out[name] = uint64(v)
+		} else {
+			out[name] = 0
+		}
 	}
 	return out
 }
 
 // WriteJSON emits the snapshot as a single JSON object with keys in
-// sorted order (stable output for scraping and tests).
+// sorted order — encoding/json sorts map keys itself, so the output is
+// stable for scraping and tests.
 func (r *Registry) WriteJSON(w io.Writer) error {
-	snap := r.Snapshot()
-	names := make([]string, 0, len(snap))
-	for name := range snap {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	ordered := make(map[string]uint64, len(snap))
-	for _, name := range names {
-		ordered[name] = snap[name]
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(ordered)
+	return enc.Encode(r.Snapshot())
 }

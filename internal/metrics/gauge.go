@@ -1,0 +1,45 @@
+package metrics
+
+import "sync/atomic"
+
+// Gauge is an instantaneous level — a value that moves both ways, in
+// contrast to the monotonic Counter: active sessions, in-flight fleet
+// runs, queue depths. The zero value is ready to use; a Gauge must not
+// be copied after first use. Negative levels are representable (Dec
+// below zero is not clamped) but are reported as zero by Registry
+// snapshots, whose wire format is unsigned.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc raises the level by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec lowers the level by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add moves the level by n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Gauges and counters share the registry's snapshot namespace, so
+// a name must not be used for both.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGaugeBasics(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge = %d", g.Value())
+	}
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Fatalf("after Inc,Inc,Dec: %d", g.Value())
+	}
+	g.Add(5)
+	if g.Value() != 6 {
+		t.Fatalf("after Add(5): %d", g.Value())
+	}
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Fatalf("after Set(-3): %d", g.Value())
+	}
+}
+
+func TestRegistryGaugeIdempotentAndConcurrent(t *testing.T) {
+	r := NewRegistry()
+	if r.Gauge("depth") != r.Gauge("depth") {
+		t.Fatal("Gauge not idempotent per name")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Gauge("depth").Inc()
+				r.Gauge("depth").Dec()
+			}
+			r.Gauge("depth").Inc()
+		}()
+	}
+	wg.Wait()
+	if got := r.Gauge("depth").Value(); got != 8 {
+		t.Fatalf("concurrent gauge = %d, want 8", got)
+	}
+}
+
+func TestSnapshotIncludesGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	r.Gauge("active").Set(2)
+	r.Gauge("below").Set(-7)
+	snap := r.Snapshot()
+	if snap["hits"] != 3 {
+		t.Fatalf("hits = %d", snap["hits"])
+	}
+	if snap["active"] != 2 {
+		t.Fatalf("active = %d", snap["active"])
+	}
+	if snap["below"] != 0 {
+		t.Fatalf("negative gauge should snapshot as 0, got %d", snap["below"])
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"hits": 3`, `"active": 2`, `"below": 0`} {
+		if !strings.Contains(sb.String(), key) {
+			t.Fatalf("WriteJSON output missing %s:\n%s", key, sb.String())
+		}
+	}
+}

@@ -1,0 +1,476 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"protemp"
+	"protemp/internal/fleet"
+	"protemp/internal/metrics"
+)
+
+// Fleet job errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrJobNotFound reports an unknown (or already deleted) job id.
+	ErrJobNotFound = errors.New("server: fleet job not found")
+	// ErrJobRunning reports a results fetch on an unfinished job.
+	ErrJobRunning = errors.New("server: fleet job still running")
+	// ErrTooManyJobs reports that the running-job cap is reached.
+	ErrTooManyJobs = errors.New("server: too many fleet jobs running")
+)
+
+// Fleet job states.
+const (
+	jobRunning   = "running"
+	jobDone      = "done"
+	jobFailed    = "failed"
+	jobCancelled = "cancelled"
+)
+
+// fleetJob is one asynchronous batch evaluation: submitted over POST
+// /v1/fleet, executed in a background goroutine against the shared
+// engine, polled by id, and harvested once finished. Everything below
+// mu is guarded by it.
+type fleetJob struct {
+	id      string
+	created time.Time
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	status   string
+	total    int
+	done     int
+	failed   int
+	finished time.Time
+	result   *fleet.BatchResult
+	errMsg   string
+}
+
+func (j *fleetJob) snapshot(now time.Time) fleetJobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end := j.finished
+	if j.status == jobRunning {
+		end = now
+	}
+	return fleetJobStatus{
+		ID:       j.id,
+		Status:   j.status,
+		Total:    j.total,
+		Done:     j.done,
+		Failed:   j.failed,
+		ElapsedS: end.Sub(j.created).Seconds(),
+		Error:    j.errMsg,
+	}
+}
+
+// fleetManager owns the job table and the shared batch runner. Jobs
+// survive until deleted or pruned (oldest finished first past the
+// retention cap), so a poller that missed the completion can still
+// fetch results later.
+type fleetManager struct {
+	runner  *fleet.Runner
+	maxRuns int
+	maxJobs int
+	now     func() time.Time
+
+	ctx    context.Context // parent of every job; cancelled on Shutdown
+	cancel context.CancelFunc
+	jobs   sync.WaitGroup
+
+	mu     sync.Mutex
+	byID   map[string]*fleetJob
+	order  []*fleetJob // submission order, for pruning
+	closed bool
+
+	submitted *metrics.Counter
+	completed *metrics.Counter
+	failures  *metrics.Counter
+	cancels   *metrics.Counter
+	active    *metrics.Gauge
+}
+
+func newFleetManager(engine *protemp.Engine, maxRuns, maxJobs int, reg *metrics.Registry, now func() time.Time) *fleetManager {
+	if now == nil {
+		now = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &fleetManager{
+		runner:    fleet.NewRunner(engine, nil, reg),
+		maxRuns:   maxRuns,
+		maxJobs:   maxJobs,
+		now:       now,
+		ctx:       ctx,
+		cancel:    cancel,
+		byID:      make(map[string]*fleetJob),
+		submitted: reg.Counter("fleet_jobs_submitted"),
+		completed: reg.Counter("fleet_jobs_completed"),
+		failures:  reg.Counter("fleet_jobs_failed"),
+		cancels:   reg.Counter("fleet_jobs_cancelled"),
+		active:    reg.Gauge("fleet_jobs_active"),
+	}
+}
+
+// Submit validates the spec, registers a job and starts its runner
+// goroutine. The returned snapshot carries the job id the client polls.
+func (m *fleetManager) Submit(spec fleet.BatchSpec) (fleetJobStatus, error) {
+	runs, err := m.runner.Plan(spec)
+	if err != nil {
+		return fleetJobStatus{}, err
+	}
+	if len(runs) > m.maxRuns {
+		return fleetJobStatus{}, fmt.Errorf("fleet: batch of %d runs exceeds the limit of %d", len(runs), m.maxRuns)
+	}
+	id, err := newSessionID()
+	if err != nil {
+		return fleetJobStatus{}, err
+	}
+	jobCtx, jobCancel := context.WithCancel(m.ctx)
+	job := &fleetJob{
+		id:      id,
+		created: m.now(),
+		cancel:  jobCancel,
+		status:  jobRunning,
+		total:   len(runs),
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		jobCancel()
+		return fleetJobStatus{}, ErrDraining
+	}
+	m.pruneLocked()
+	running := 0
+	for _, j := range m.order {
+		j.mu.Lock()
+		if j.status == jobRunning {
+			running++
+		}
+		j.mu.Unlock()
+	}
+	if running >= m.maxJobs {
+		m.mu.Unlock()
+		jobCancel()
+		return fleetJobStatus{}, ErrTooManyJobs
+	}
+	m.byID[id] = job
+	m.order = append(m.order, job)
+	m.jobs.Add(1)
+	m.mu.Unlock()
+
+	m.submitted.Inc()
+	m.active.Inc()
+	go m.execute(jobCtx, jobCancel, job, spec)
+	return job.snapshot(m.now()), nil
+}
+
+// execute runs the batch and records its outcome.
+func (m *fleetManager) execute(ctx context.Context, cancel context.CancelFunc, job *fleetJob, spec fleet.BatchSpec) {
+	defer m.jobs.Done()
+	defer cancel()
+	res, err := m.runner.RunWithProgress(ctx, spec, func(done, failed, total int) {
+		job.mu.Lock()
+		job.done, job.failed = done, failed
+		job.mu.Unlock()
+	})
+
+	job.mu.Lock()
+	job.finished = m.now()
+	job.result = res
+	switch {
+	case err == nil && res != nil:
+		job.status = jobDone
+		m.completed.Inc()
+	case ctx.Err() != nil:
+		// Cancelled (by DELETE or shutdown): partial results retained.
+		job.status = jobCancelled
+		job.errMsg = ctx.Err().Error()
+		m.cancels.Inc()
+	default:
+		job.status = jobFailed
+		if err != nil {
+			job.errMsg = err.Error()
+		}
+		m.failures.Inc()
+	}
+	job.mu.Unlock()
+	m.active.Dec()
+}
+
+// pruneLocked evicts the oldest finished jobs beyond the retention cap.
+func (m *fleetManager) pruneLocked() {
+	for len(m.order) >= m.maxJobs {
+		evicted := false
+		for i, j := range m.order {
+			j.mu.Lock()
+			finished := j.status != jobRunning
+			j.mu.Unlock()
+			if finished {
+				delete(m.byID, j.id)
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // every retained job is still running; Submit enforces the cap
+		}
+	}
+}
+
+// Get looks a job up by id.
+func (m *fleetManager) Get(id string) (*fleetJob, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.byID[id]
+	if !ok {
+		return nil, ErrJobNotFound
+	}
+	return job, nil
+}
+
+// List snapshots every retained job in submission order.
+func (m *fleetManager) List() []fleetJobStatus {
+	m.mu.Lock()
+	jobs := append([]*fleetJob(nil), m.order...)
+	m.mu.Unlock()
+	now := m.now()
+	out := make([]fleetJobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot(now)
+	}
+	return out
+}
+
+// Cancel stops a running job (its partial results survive) or deletes
+// a finished one. It reports whether the job was still running.
+func (m *fleetManager) Cancel(id string) (bool, error) {
+	m.mu.Lock()
+	job, ok := m.byID[id]
+	if !ok {
+		m.mu.Unlock()
+		return false, ErrJobNotFound
+	}
+	job.mu.Lock()
+	running := job.status == jobRunning
+	job.mu.Unlock()
+	if !running {
+		delete(m.byID, id)
+		for i, j := range m.order {
+			if j == job {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+	}
+	m.mu.Unlock()
+	if running {
+		job.cancel()
+	}
+	return running, nil
+}
+
+// Shutdown refuses new jobs, cancels the running ones and waits —
+// bounded by ctx — for their goroutines to record partial results.
+func (m *fleetManager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cancel()
+	done := make(chan struct{})
+	go func() {
+		m.jobs.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ---- wire types ----
+
+// fleetSubmitRequest is the POST /v1/fleet body. It mirrors
+// fleet.BatchSpec with wire-friendly seconds instead of a Go duration.
+type fleetSubmitRequest struct {
+	Scenarios   []string          `json:"scenarios"`
+	Policies    []fleetPolicyWire `json:"policies"`
+	Seeds       []int64           `json:"seeds,omitempty"`
+	Workers     int               `json:"workers,omitempty"`
+	HorizonS    float64           `json:"horizon_s,omitempty"`
+	RunTimeoutS float64           `json:"run_timeout_s,omitempty"`
+	MaxSimTimeS float64           `json:"max_sim_time_s,omitempty"`
+}
+
+type fleetPolicyWire struct {
+	Kind       string  `json:"kind"`
+	ThresholdC float64 `json:"threshold_c,omitempty"`
+	Variant    string  `json:"variant,omitempty"`
+}
+
+// maxFleetSeconds bounds every wire-supplied duration of a fleet job
+// (horizon, sim-time cap, run timeout): trace generation and
+// simulation cost scale linearly with them, so an absurd value is a
+// CPU/memory lever, not a longer experiment.
+const maxFleetSeconds = 86400
+
+func (r fleetSubmitRequest) spec() (fleet.BatchSpec, error) {
+	for name, v := range map[string]float64{
+		"horizon_s": r.HorizonS, "run_timeout_s": r.RunTimeoutS, "max_sim_time_s": r.MaxSimTimeS,
+	} {
+		if !isFinite(v) || v < 0 || v > maxFleetSeconds {
+			return fleet.BatchSpec{}, fmt.Errorf("fleet: %s %v outside [0, %d]", name, v, maxFleetSeconds)
+		}
+	}
+	spec := fleet.BatchSpec{
+		Scenarios:  r.Scenarios,
+		Seeds:      r.Seeds,
+		Workers:    r.Workers,
+		Horizon:    r.HorizonS,
+		MaxSimTime: r.MaxSimTimeS,
+		RunTimeout: time.Duration(r.RunTimeoutS * float64(time.Second)),
+	}
+	for _, p := range r.Policies {
+		spec.Policies = append(spec.Policies, fleet.PolicySpec{
+			Kind: p.Kind, ThresholdC: p.ThresholdC, Variant: p.Variant,
+		})
+	}
+	return spec, nil
+}
+
+type fleetJobStatus struct {
+	ID       string  `json:"id"`
+	Status   string  `json:"status"`
+	Total    int     `json:"total"`
+	Done     int     `json:"done"`
+	Failed   int     `json:"failed"`
+	ElapsedS float64 `json:"elapsed_s"`
+	Error    string  `json:"error,omitempty"`
+}
+
+type fleetResultsResponse struct {
+	fleetJobStatus
+	Result      *fleet.BatchResult     `json:"result"`
+	Ranked      []fleet.RunResult      `json:"ranked,omitempty"`
+	Leaderboard []fleet.LeaderboardRow `json:"leaderboard,omitempty"`
+}
+
+type fleetScenarioInfo struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	HorizonS    float64 `json:"horizon_s"`
+	T0C         float64 `json:"t0_c,omitempty"`
+	TMaxC       float64 `json:"tmax_c,omitempty"`
+}
+
+// ---- handlers ----
+
+func (s *Server) fleetError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrJobNotFound):
+		s.writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrJobRunning):
+		s.writeError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, ErrTooManyJobs):
+		s.writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDraining):
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// handleFleetSubmit starts an asynchronous batch evaluation: the
+// request names scenarios, policies and seeds; the response carries
+// the job id to poll. 202 Accepted — the batch runs in the background
+// against the shared engine.
+func (s *Server) handleFleetSubmit(w http.ResponseWriter, r *http.Request) {
+	var req fleetSubmitRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	spec, err := req.spec()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	status, err := s.fleet.Submit(spec)
+	if err != nil {
+		s.fleetError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, status)
+}
+
+func (s *Server) handleFleetList(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"jobs": s.fleet.List()})
+}
+
+func (s *Server) handleFleetScenarios(w http.ResponseWriter, r *http.Request) {
+	all := s.fleet.runner.Scenarios().All() // already sorted by name
+	infos := make([]fleetScenarioInfo, len(all))
+	for i, sc := range all {
+		infos[i] = fleetScenarioInfo{
+			Name: sc.Name, Description: sc.Description,
+			HorizonS: sc.Horizon, T0C: sc.T0C, TMaxC: sc.TMaxC,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"scenarios": infos})
+}
+
+func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
+	job, err := s.fleet.Get(r.PathValue("id"))
+	if err != nil {
+		s.fleetError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, job.snapshot(s.fleet.now()))
+}
+
+// handleFleetResults returns the full batch result of a finished job
+// (including the partial results of a cancelled one); polling it on a
+// running job yields 409 Conflict.
+func (s *Server) handleFleetResults(w http.ResponseWriter, r *http.Request) {
+	job, err := s.fleet.Get(r.PathValue("id"))
+	if err != nil {
+		s.fleetError(w, err)
+		return
+	}
+	snap := job.snapshot(s.fleet.now())
+	if snap.Status == jobRunning {
+		s.fleetError(w, ErrJobRunning)
+		return
+	}
+	job.mu.Lock()
+	res := job.result
+	job.mu.Unlock()
+	resp := fleetResultsResponse{fleetJobStatus: snap, Result: res}
+	if res != nil {
+		resp.Ranked = fleet.Rank(res)
+		resp.Leaderboard = fleet.Leaderboard(res)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFleetDelete cancels a running job (202; its partial results
+// remain fetchable) or deletes a finished one (204).
+func (s *Server) handleFleetDelete(w http.ResponseWriter, r *http.Request) {
+	wasRunning, err := s.fleet.Cancel(r.PathValue("id"))
+	if err != nil {
+		s.fleetError(w, err)
+		return
+	}
+	if wasRunning {
+		w.WriteHeader(http.StatusAccepted)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

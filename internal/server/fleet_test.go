@@ -1,0 +1,286 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"protemp/internal/fleet"
+)
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func deleteReq(t *testing.T, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// pollFleetJob polls the status endpoint until the job leaves the
+// running state.
+func pollFleetJob(t *testing.T, baseURL, id string) fleetJobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st fleetJobStatus
+		resp := getJSON(t, baseURL+"/v1/fleet/"+id, &st)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d", resp.StatusCode)
+		}
+		if st.Status != jobRunning {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still running after 60s: %+v", id, st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFleetJobRoundTrip is the async-API e2e: submit → job id → poll
+// status → fetch ranked results, with progress counters in /metrics.
+func TestFleetJobRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, fastEngine(t))
+
+	req := fleetSubmitRequest{
+		Scenarios: []string{"mixed", "bursty", "adversarial"},
+		Policies: []fleetPolicyWire{
+			{Kind: "protemp"},
+			{Kind: "no-tc"},
+		},
+		Seeds:       []int64{1},
+		HorizonS:    2,
+		MaxSimTimeS: 6,
+	}
+	var submitted fleetJobStatus
+	resp := postJSON(t, ts.URL+"/v1/fleet", req, &submitted)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if submitted.ID == "" || submitted.Total != 6 || submitted.Status != jobRunning {
+		t.Fatalf("submit response %+v", submitted)
+	}
+
+	final := pollFleetJob(t, ts.URL, submitted.ID)
+	if final.Status != jobDone || final.Done != 6 || final.Failed != 0 {
+		t.Fatalf("final status %+v", final)
+	}
+
+	var results fleetResultsResponse
+	resp = getJSON(t, ts.URL+"/v1/fleet/"+submitted.ID+"/results", &results)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results status %d", resp.StatusCode)
+	}
+	if results.Result == nil || results.Result.Completed != 6 {
+		t.Fatalf("results payload %+v", results)
+	}
+	if len(results.Ranked) != 6 || len(results.Leaderboard) != 2 {
+		t.Fatalf("ranked %d / leaderboard %d", len(results.Ranked), len(results.Leaderboard))
+	}
+	for _, rr := range results.Result.Runs {
+		if rr.Summary == nil {
+			t.Fatalf("run %s/%s missing summary", rr.Scenario, rr.Policy)
+		}
+	}
+
+	// The job list shows it, and /metrics carries the progress
+	// counters and gauges.
+	var list struct {
+		Jobs []fleetJobStatus `json:"jobs"`
+	}
+	getJSON(t, ts.URL+"/v1/fleet", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != submitted.ID {
+		t.Fatalf("job list %+v", list)
+	}
+	var snap map[string]uint64
+	getJSON(t, ts.URL+"/metrics", &snap)
+	for key, want := range map[string]uint64{
+		"fleet_jobs_submitted":    1,
+		"fleet_jobs_completed":    1,
+		"fleet_runs_completed":    6,
+		"fleet_runs_inflight":     0,
+		"fleet_jobs_active":       0,
+		"table_cache_generations": 1,
+	} {
+		if snap[key] != want {
+			t.Errorf("metrics[%s] = %d, want %d (snapshot %v)", key, snap[key], want, snap)
+		}
+	}
+
+	// Deleting a finished job removes it.
+	if st := deleteReq(t, ts.URL+"/v1/fleet/"+submitted.ID).StatusCode; st != http.StatusNoContent {
+		t.Fatalf("delete finished job: status %d", st)
+	}
+	if st := getJSON(t, ts.URL+"/v1/fleet/"+submitted.ID, nil).StatusCode; st != http.StatusNotFound {
+		t.Fatalf("deleted job still resolvable: %d", st)
+	}
+}
+
+// TestFleetJobCancel: a long job returns 409 on early results, DELETE
+// cancels it, and the partial results stay fetchable.
+func TestFleetJobCancel(t *testing.T) {
+	_, ts := newTestServer(t, fastEngine(t))
+
+	req := fleetSubmitRequest{
+		Scenarios: []string{"compute", "diurnal", "mixed"},
+		Policies:  []fleetPolicyWire{{Kind: "no-tc"}, {Kind: "basic-dfs"}},
+		Seeds:     []int64{1, 2, 3, 4},
+		Workers:   1,
+		HorizonS:  30, // deliberately slow so the cancel lands mid-batch
+	}
+	var submitted fleetJobStatus
+	if resp := postJSON(t, ts.URL+"/v1/fleet", req, &submitted); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if st := getJSON(t, ts.URL+"/v1/fleet/"+submitted.ID+"/results", nil).StatusCode; st != http.StatusConflict {
+		t.Fatalf("early results fetch: status %d, want 409", st)
+	}
+	if st := deleteReq(t, ts.URL+"/v1/fleet/"+submitted.ID).StatusCode; st != http.StatusAccepted {
+		t.Fatalf("cancel: status %d, want 202", st)
+	}
+	final := pollFleetJob(t, ts.URL, submitted.ID)
+	if final.Status != jobCancelled {
+		t.Fatalf("status after cancel: %+v", final)
+	}
+	var results fleetResultsResponse
+	if resp := getJSON(t, ts.URL+"/v1/fleet/"+submitted.ID+"/results", &results); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cancel results: status %d", resp.StatusCode)
+	}
+	if results.Result == nil || len(results.Result.Runs) != 24 {
+		t.Fatalf("partial results %+v", results.Result)
+	}
+	if results.Result.Skipped == 0 {
+		t.Fatal("cancelled job skipped nothing — it ran to completion")
+	}
+}
+
+func TestFleetSubmitValidation(t *testing.T) {
+	srv, ts := newTestServer(t, fastEngine(t))
+
+	cases := []fleetSubmitRequest{
+		{},
+		{Scenarios: []string{"no-such"}, Policies: []fleetPolicyWire{{Kind: "no-tc"}}},
+		{Scenarios: []string{"mixed"}, Policies: []fleetPolicyWire{{Kind: "bogus"}}},
+		{Scenarios: []string{"mixed"}, Policies: []fleetPolicyWire{{Kind: "no-tc"}}, RunTimeoutS: -1},
+		{Scenarios: []string{"mixed"}, Policies: []fleetPolicyWire{{Kind: "no-tc"}}, HorizonS: 1e300},
+		{Scenarios: []string{"mixed"}, Policies: []fleetPolicyWire{{Kind: "no-tc"}}, MaxSimTimeS: maxFleetSeconds + 1},
+	}
+	for i, req := range cases {
+		if resp := postJSON(t, ts.URL+"/v1/fleet", req, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+
+	// A batch beyond the run cap is refused up front.
+	seeds := make([]int64, srv.cfg.MaxFleetRuns+1)
+	for i := range seeds {
+		seeds[i] = int64(i)
+	}
+	big := fleetSubmitRequest{
+		Scenarios: []string{"mixed"},
+		Policies:  []fleetPolicyWire{{Kind: "no-tc"}},
+		Seeds:     seeds,
+	}
+	if resp := postJSON(t, ts.URL+"/v1/fleet", big, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d, want 400", resp.StatusCode)
+	}
+
+	if st := getJSON(t, ts.URL+"/v1/fleet/doesnotexist", nil).StatusCode; st != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", st)
+	}
+
+	var scen struct {
+		Scenarios []fleetScenarioInfo `json:"scenarios"`
+	}
+	getJSON(t, ts.URL+"/v1/fleet/scenarios", &scen)
+	if len(scen.Scenarios) != len(fleet.Builtin().Names()) {
+		t.Errorf("scenario listing has %d entries, want %d", len(scen.Scenarios), len(fleet.Builtin().Names()))
+	}
+}
+
+// TestGridBounds covers the request-bounding satellite: absurd grid
+// sizes and non-finite values are rejected with 400 before any solve.
+func TestGridBounds(t *testing.T) {
+	srv, ts := newTestServer(t, fastEngine(t))
+
+	// 100×100 = 10000 points > the 4096 default cap.
+	big := tablesRequest{KeyOnly: true}
+	for i := 0; i < 100; i++ {
+		big.TStartsC = append(big.TStartsC, 40+float64(i)/2)
+		big.FTargetsHz = append(big.FTargetsHz, float64(i+1)*1e7)
+	}
+	resp := postJSON(t, ts.URL+"/v1/tables", big, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized grid: status %d, want 400", resp.StatusCode)
+	}
+
+	// Non-finite grid values cannot arrive as JSON numbers, but the
+	// server-side validation still guards other ingress paths.
+	if err := srv.validateGrid([]float64{math.NaN()}, []float64{1e8}); err == nil {
+		t.Fatal("NaN tstart accepted")
+	}
+	if err := srv.validateGrid([]float64{60}, []float64{math.Inf(1)}); err == nil {
+		t.Fatal("+Inf ftarget accepted")
+	}
+	if err := srv.validateGrid([]float64{60}, []float64{1e8}); err != nil {
+		t.Fatalf("small finite grid rejected: %v", err)
+	}
+
+	// Out-of-range JSON numbers (1e999 overflows float64) are refused
+	// at decode time with 400, never 500.
+	body := `{"tstarts_c":[1e999],"ftargets_hz":[5e8],"key_only":true}`
+	httpResp, err := http.Post(ts.URL+"/v1/tables", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("1e999 grid point: status %d, want 400", httpResp.StatusCode)
+	}
+	httpResp, err = http.Post(ts.URL+"/v1/optimize", "application/json", strings.NewReader(`{"tstart_c":1e999,"ftarget_hz":5e8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("1e999 optimize point: status %d, want 400", httpResp.StatusCode)
+	}
+
+	// A valid in-bounds request still succeeds end to end.
+	if resp := postJSON(t, ts.URL+"/v1/optimize", optimizeRequest{TStartC: 60, FTargetHz: 5e8}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid optimize rejected: %d", resp.StatusCode)
+	}
+
+	// A stream request whose synthetic duration vastly exceeds what the
+	// window cap can ever simulate is refused before trace generation.
+	sid := createSession(t, ts.URL)
+	if resp := postJSON(t, ts.URL+"/v1/sessions/"+sid+"/stream", map[string]any{
+		"windows": 5, "duration_s": 1e12,
+	}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("absurd stream duration: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"time"
 
@@ -35,6 +36,17 @@ type Config struct {
 	// StreamWindowCap bounds the windows one stream request may drive
 	// (default 10000).
 	StreamWindowCap int
+	// MaxGridPoints bounds the Phase-1 grid one /v1/tables request may
+	// ask for: len(tstarts)·len(ftargets) solves (default 4096; the
+	// paper's full grid is 180).
+	MaxGridPoints int
+	// MaxFleetRuns bounds one fleet job's expanded scenario × policy ×
+	// seed cells (default 256).
+	MaxFleetRuns int
+	// MaxFleetJobs bounds retained fleet jobs; finished jobs beyond the
+	// cap are pruned oldest-first, and submissions are refused while
+	// that many jobs are still running (default 32).
+	MaxFleetJobs int
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -46,6 +58,7 @@ type Config struct {
 type Server struct {
 	engine   *protemp.Engine
 	sessions *sessionManager
+	fleet    *fleetManager
 	reg      *metrics.Registry
 	mux      *http.ServeMux
 	cfg      Config
@@ -74,10 +87,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StreamWindowCap == 0 {
 		cfg.StreamWindowCap = 10000
 	}
+	if cfg.MaxGridPoints == 0 {
+		cfg.MaxGridPoints = 4096
+	}
+	if cfg.MaxFleetRuns == 0 {
+		cfg.MaxFleetRuns = 256
+	}
+	if cfg.MaxFleetJobs == 0 {
+		cfg.MaxFleetJobs = 32
+	}
 	reg := metrics.NewRegistry()
 	s := &Server{
 		engine:        cfg.Engine,
 		sessions:      newSessionManager(cfg.Shards, cfg.SessionTTL, cfg.ReapInterval, reg, cfg.now),
+		fleet:         newFleetManager(cfg.Engine, cfg.MaxFleetRuns, cfg.MaxFleetJobs, reg, cfg.now),
 		reg:           reg,
 		mux:           http.NewServeMux(),
 		cfg:           cfg,
@@ -94,6 +117,12 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleSessionStep)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/stream", s.handleSessionStream)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("POST /v1/fleet", s.handleFleetSubmit)
+	s.mux.HandleFunc("GET /v1/fleet", s.handleFleetList)
+	s.mux.HandleFunc("GET /v1/fleet/scenarios", s.handleFleetScenarios)
+	s.mux.HandleFunc("GET /v1/fleet/{id}", s.handleFleetStatus)
+	s.mux.HandleFunc("GET /v1/fleet/{id}/results", s.handleFleetResults)
+	s.mux.HandleFunc("DELETE /v1/fleet/{id}", s.handleFleetDelete)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
@@ -109,12 +138,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Shutdown gracefully drains the server: new sessions and steps are
-// refused, in-flight requests (including streams) run to completion
-// bounded by ctx, then all sessions are dropped. Call it after (or
-// concurrently with) http.Server.Shutdown.
+// Shutdown gracefully drains the server: new sessions, steps and fleet
+// jobs are refused, running fleet jobs are cancelled (their partial
+// results survive), in-flight requests (including streams) run to
+// completion bounded by ctx, then all sessions are dropped. Call it
+// after (or concurrently with) http.Server.Shutdown.
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.sessions.Drain(ctx)
+	ferr := s.fleet.Shutdown(ctx)
+	if err := s.sessions.Drain(ctx); err != nil {
+		return err
+	}
+	return ferr
 }
 
 // SessionCount returns the number of live sessions.
@@ -262,18 +296,32 @@ func decodeJSON(r *http.Request, v any) error {
 }
 
 func parseVariant(name string, def core.Variant) (core.Variant, error) {
-	switch name {
-	case "":
-		return def, nil
-	case "variable":
-		return core.VariantVariable, nil
-	case "uniform":
-		return core.VariantUniform, nil
-	case "gradient":
-		return core.VariantGradient, nil
-	default:
-		return 0, fmt.Errorf("unknown variant %q (want variable, uniform or gradient)", name)
+	return core.ParseVariant(name, def)
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// validateGrid rejects absurd Phase-1 grid requests before they burn
+// CPU: every grid point must be finite and the total solve count must
+// stay within the configured bound. (Each grid point is one
+// interior-point solve — an unbounded request is a denial-of-service
+// lever, not a bigger table.)
+func (s *Server) validateGrid(tstarts, ftargets []float64) error {
+	for _, t := range tstarts {
+		if !isFinite(t) {
+			return fmt.Errorf("non-finite tstart %v", t)
+		}
 	}
+	for _, f := range ftargets {
+		if !isFinite(f) {
+			return fmt.Errorf("non-finite ftarget %v", f)
+		}
+	}
+	if cells := len(tstarts) * len(ftargets); cells > s.cfg.MaxGridPoints {
+		return fmt.Errorf("grid of %d×%d = %d points exceeds the limit of %d",
+			len(tstarts), len(ftargets), cells, s.cfg.MaxGridPoints)
+	}
+	return nil
 }
 
 // sessionError maps manager errors onto HTTP statuses.
@@ -298,14 +346,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics merges the engine's counters (table cache and store)
-// with the serving counters into one flat JSON object, plus the
-// sessions_active gauge.
+// with the serving counters and gauges (active sessions, in-flight
+// fleet runs and jobs) into one flat JSON object.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	merged := s.engine.MetricsSnapshot()
 	for name, v := range s.reg.Snapshot() {
 		merged[name] = v
 	}
-	merged["sessions_active"] = uint64(s.sessions.Len())
 	// encoding/json emits map keys in sorted order — stable output
 	// for scrapers and tests.
 	w.Header().Set("Content-Type", "application/json")
@@ -324,6 +371,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	v, err := parseVariant(req.Variant, s.engine.Variant())
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !isFinite(req.TStartC) || !isFinite(req.FTargetHz) {
+		s.writeError(w, http.StatusBadRequest, "non-finite design point (tstart %v, ftarget %v)", req.TStartC, req.FTargetHz)
 		return
 	}
 	a, err := s.engine.OptimizeVariant(r.Context(), req.TStartC, req.FTargetHz, v)
@@ -369,6 +420,10 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(fs) == 0 {
 		fs = defFS
+	}
+	if err := s.validateGrid(ts, fs); err != nil {
+		s.writeError(w, http.StatusBadRequest, "table: %v", err)
+		return
 	}
 	table, err := s.engine.GenerateTableGrid(r.Context(), ts, fs, v)
 	if err != nil {
@@ -582,7 +637,22 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 
 // streamTrace builds the workload for a stream request: explicit tasks
 // when given, otherwise a synthetic mixed trace sized to the request.
+// The synthetic parameters are bounded server-side: trace generation
+// cost scales with the duration, so an absurd duration_s must be
+// rejected up front, not discovered at OOM.
 func (s *Server) streamTrace(req streamRequest, maxWindows int) (*workload.Trace, error) {
+	for name, v := range map[string]float64{
+		"duration_s": req.DurationS, "utilization": req.Utilization, "t0_c": req.T0C,
+	} {
+		if !isFinite(v) {
+			return nil, fmt.Errorf("non-finite %s %v", name, v)
+		}
+	}
+	// Arrivals past the server's hard window cap can never be served
+	// by any stream; a longer duration only burns generation time.
+	if maxDuration := float64(s.cfg.StreamWindowCap+1) * s.engine.WindowSeconds(); req.DurationS > maxDuration {
+		return nil, fmt.Errorf("duration_s %g exceeds the %d-window stream cap (%g s)", req.DurationS, s.cfg.StreamWindowCap, maxDuration)
+	}
 	if len(req.Tasks) > 0 {
 		tr := &workload.Trace{Tasks: make([]workload.Task, len(req.Tasks))}
 		for i, t := range req.Tasks {

@@ -78,6 +78,7 @@ type sessionManager struct {
 	expired *metrics.Counter
 	removed *metrics.Counter
 	steps   *metrics.Counter
+	active  *metrics.Gauge
 }
 
 // newSessionManager builds the manager and starts its reaper. ttl <= 0
@@ -99,6 +100,7 @@ func newSessionManager(shards int, ttl, reapEvery time.Duration, reg *metrics.Re
 		expired:    reg.Counter("sessions_expired"),
 		removed:    reg.Counter("sessions_removed"),
 		steps:      reg.Counter("session_steps"),
+		active:     reg.Gauge("sessions_active"),
 	}
 	for i := range m.shards {
 		m.shards[i] = &shard{sessions: make(map[string]*managedSession)}
@@ -150,6 +152,7 @@ func (m *sessionManager) Add(sess *protemp.Session, online bool) (string, error)
 	sh.sessions[id] = ms
 	sh.mu.Unlock()
 	m.created.Inc()
+	m.active.Inc()
 	return id, nil
 }
 
@@ -199,6 +202,7 @@ func (m *sessionManager) Remove(id string) bool {
 	sh.mu.Unlock()
 	if ok {
 		m.removed.Inc()
+		m.active.Dec()
 	}
 	return ok
 }
@@ -240,6 +244,7 @@ func (m *sessionManager) reap() {
 			if ms.refs == 0 && ms.lastUsed.Before(cutoff) {
 				delete(sh.sessions, id)
 				m.expired.Inc()
+				m.active.Dec()
 			}
 		}
 		sh.mu.Unlock()
@@ -280,5 +285,6 @@ func (m *sessionManager) Drain(ctx context.Context) error {
 		clear(sh.sessions)
 		sh.mu.Unlock()
 	}
+	m.active.Set(0)
 	return err
 }

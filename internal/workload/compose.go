@@ -1,0 +1,84 @@
+package workload
+
+import "fmt"
+
+// Phase is one stationary segment of a piecewise workload: the
+// building block of load curves whose intensity changes over the day
+// (a diurnal cycle: quiet overnight, a morning ramp, a sustained peak,
+// an evening tail). Zero-valued burst parameters take mild defaults
+// (BurstFactor 1.5, HighFrac 0.3, MeanBurst 1 s); a nil Mix takes
+// StandardMix.
+type Phase struct {
+	// Duration is the phase's arrival horizon in seconds.
+	Duration float64
+	// Utilization is the offered load relative to chip capacity.
+	Utilization float64
+	Mix         []Class
+	BurstFactor float64
+	HighFrac    float64
+	MeanBurst   float64
+}
+
+// GeneratePhases synthesizes one trace whose offered load follows the
+// phases in order: each phase runs its own bursty generator and the
+// segments are concatenated with arrivals offset by the preceding
+// horizons. The result is deterministic under seed — each phase derives
+// its own sub-seed, so inserting a phase does not perturb the ones
+// before it.
+func GeneratePhases(seed int64, nCores int, phases []Phase) (*Trace, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload: no phases")
+	}
+	out := &Trace{}
+	offset := 0.0
+	for i, ph := range phases {
+		g := &Generator{
+			Seed:        seed + int64(i+1)*7919, // distinct prime-strided sub-seed per phase
+			Duration:    ph.Duration,
+			NumCores:    nCores,
+			Utilization: ph.Utilization,
+			Mix:         ph.Mix,
+			BurstFactor: ph.BurstFactor,
+			HighFrac:    ph.HighFrac,
+			MeanBurst:   ph.MeanBurst,
+		}
+		if g.Mix == nil {
+			g.Mix = StandardMix()
+		}
+		if g.BurstFactor == 0 {
+			g.BurstFactor = 1.5
+		}
+		if g.HighFrac == 0 {
+			g.HighFrac = 0.3
+		}
+		if g.MeanBurst == 0 {
+			g.MeanBurst = 1
+		}
+		seg, err := g.Generate()
+		if err != nil {
+			return nil, fmt.Errorf("workload: phase %d: %w", i, err)
+		}
+		for _, t := range seg.Tasks {
+			t.ID = len(out.Tasks)
+			t.Arrival += offset
+			out.Tasks = append(out.Tasks, t)
+		}
+		offset += ph.Duration
+	}
+	return out, nil
+}
+
+// Diurnal returns the canonical day-shaped phase list over the given
+// horizon: a quiet start, a ramp, a saturated peak and a medium tail,
+// in equal quarters. The peak deliberately exceeds what the chip can
+// clear in real time (utilization 0.95), so backlog builds and the
+// thermal controller has real work during the hottest phase.
+func Diurnal(horizon float64) []Phase {
+	q := horizon / 4
+	return []Phase{
+		{Duration: q, Utilization: 0.15},
+		{Duration: q, Utilization: 0.55},
+		{Duration: q, Utilization: 0.95, Mix: ComputeMix()},
+		{Duration: q, Utilization: 0.45},
+	}
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestGeneratePhasesOrderingAndLoad(t *testing.T) {
+	phases := []Phase{
+		{Duration: 4, Utilization: 0.1},
+		{Duration: 4, Utilization: 0.9, Mix: ComputeMix()},
+		{Duration: 4, Utilization: 0.3},
+	}
+	tr, err := GeneratePhases(7, 8, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("composed trace invalid: %v", err)
+	}
+	if len(tr.Tasks) == 0 {
+		t.Fatal("empty composed trace")
+	}
+	for i, task := range tr.Tasks {
+		if task.ID != i {
+			t.Fatalf("task %d renumbered as %d", i, task.ID)
+		}
+	}
+	// Work should concentrate in the heavy middle phase.
+	var seg [3]float64
+	for _, task := range tr.Tasks {
+		idx := int(task.Arrival / 4)
+		if idx > 2 {
+			idx = 2
+		}
+		seg[idx] += task.Work
+	}
+	if !(seg[1] > seg[0] && seg[1] > seg[2]) {
+		t.Fatalf("peak phase not heaviest: %v", seg)
+	}
+	if d := tr.Duration(); d > 12 {
+		t.Fatalf("duration %g beyond summed horizons", d)
+	}
+}
+
+func TestGeneratePhasesDeterministicAndPrefixStable(t *testing.T) {
+	phases := Diurnal(8)
+	a, err := GeneratePhases(3, 8, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeneratePhases(3, 8, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different composed traces")
+	}
+	c, err := GeneratePhases(4, 8, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+	// The first phase must be unaffected by appending more phases.
+	longer, err := GeneratePhases(3, 8, append(append([]Phase(nil), phases...), Phase{Duration: 2, Utilization: 0.2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range a.Tasks {
+		if task.Arrival >= 2 {
+			break
+		}
+		if math.Abs(longer.Tasks[i].Arrival-task.Arrival) > 1e-12 || longer.Tasks[i].Work != task.Work {
+			t.Fatalf("prefix task %d perturbed by appended phase", i)
+		}
+	}
+}
+
+func TestGeneratePhasesErrors(t *testing.T) {
+	if _, err := GeneratePhases(1, 8, nil); err == nil {
+		t.Fatal("no phases accepted")
+	}
+	if _, err := GeneratePhases(1, 8, []Phase{{Duration: -1, Utilization: 0.5}}); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+}
