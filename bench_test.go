@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"protemp/internal/core"
 	"protemp/internal/experiments"
@@ -274,8 +275,10 @@ func BenchmarkGenerateTable(b *testing.B) {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			b.Logf("table: %d solves, %d feasible, %d Newton iterations",
-				tbl.Stats.Solves, tbl.Stats.Feasible, tbl.Stats.NewtonIters)
+			b.Logf("table: %d solves, %d feasible, %d Newton iterations (%d warm hits costing %d iters, ~%d saved, %v solve wall)",
+				tbl.Stats.Solves, tbl.Stats.Feasible, tbl.Stats.NewtonIters,
+				tbl.Stats.WarmHits, tbl.Stats.WarmIters, tbl.Stats.IterationsSaved(),
+				time.Duration(tbl.Stats.WallNanos).Round(time.Millisecond))
 		}
 	}
 }

@@ -52,6 +52,7 @@ func main() {
 		variant  = flag.String("variant", "variable", "model variant: variable, uniform or gradient")
 		fpPath   = flag.String("floorplan", "", "floorplan file (default built-in Niagara-8)")
 		workers  = flag.Int("workers", 0, "parallel solves (default GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "log per-point sweep progress to stderr")
 	)
 	flag.Parse()
 
@@ -67,6 +68,23 @@ func main() {
 		// The engine's write-through tier persists the generated table
 		// under its cache key — the layout protemp-serve loads from.
 		opts = append(opts, protemp.WithTableStoreDir(*storeDir))
+	}
+	if *progress {
+		sweepStart := time.Now()
+		opts = append(opts, protemp.WithSweepObserver(func(p core.SweepProgress) {
+			state := "cold"
+			if p.Warm {
+				state = "warm"
+			}
+			feas := "feasible"
+			if !p.Feasible {
+				feas = "infeasible"
+			}
+			log.Printf("progress %d/%d: (%.0f°C, %.0f MHz) %s %s, %d Newton iters, %v (total %v)",
+				p.Done, p.Total, p.TStart, p.FTarget/1e6, state, feas,
+				p.NewtonIters, p.Elapsed.Round(time.Millisecond),
+				time.Since(sweepStart).Round(time.Millisecond))
+		}))
 	}
 	if *fpPath != "" {
 		f, err := os.Open(*fpPath)
@@ -150,6 +168,11 @@ func main() {
 	}
 	log.Printf("%d points (%d feasible) in %v -> %s",
 		table.Stats.Solves, table.Stats.Feasible, elapsed.Round(time.Millisecond), *out)
+	// The paper's §5.1 cost accounting: aggregate solve wall time plus
+	// the sweep pipeline's warm-start ledger.
+	log.Printf("cost: %v solve wall, %d Newton iters, %d warm starts (~%d iters saved)",
+		time.Duration(table.Stats.WallNanos).Round(time.Millisecond),
+		table.Stats.NewtonIters, table.Stats.WarmHits, table.Stats.IterationsSaved())
 	if *storeDir != "" {
 		log.Printf("stored under key %s in %s", engine.TableKey(ts, fs, engine.Variant()), *storeDir)
 	}

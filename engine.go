@@ -63,7 +63,7 @@ func New(opts ...Option) (*Engine, error) {
 		return nil, err
 	}
 	reg := metrics.NewRegistry()
-	return &Engine{
+	e := &Engine{
 		cfg:    cfg,
 		chip:   chip,
 		model:  model,
@@ -71,7 +71,12 @@ func New(opts ...Option) (*Engine, error) {
 		window: window,
 		cache:  newTableCache(cfg.cacheSize, cfg.store, reg),
 		reg:    reg,
-	}, nil
+	}
+	// Pre-register the sweep counters by folding in an empty ledger, so
+	// a scrape of a fresh engine sees the full key set at zero and the
+	// name list cannot drift from what generations record.
+	e.recordSweep(core.TableStats{})
+	return e, nil
 }
 
 // Chip returns the modeled chip (floorplan plus power models).
@@ -157,6 +162,7 @@ func (e *Engine) tableSpec(tstarts, ftargets []float64, v core.Variant, tmax flo
 		FTargets: ftargets,
 		Variant:  v,
 		Workers:  e.cfg.workers,
+		Observer: e.cfg.observer,
 	}
 }
 
@@ -222,8 +228,25 @@ func (e *Engine) GenerateTableOverride(ctx context.Context, tstarts, ftargets []
 		return nil, err
 	}
 	return e.cache.get(ctx, spec.CacheKey(), func() (*core.Table, error) {
-		return core.GenerateTable(ctx, spec)
+		t, err := core.GenerateTable(ctx, spec)
+		if err == nil {
+			e.recordSweep(t.Stats)
+		}
+		return t, err
 	})
+}
+
+// recordSweep folds one completed Phase-1 generation's cost accounting
+// (the paper's §5.1 numbers plus the warm-start counters) into the
+// engine registry, so MetricsSnapshot — and through it a server's
+// /metrics endpoint — exposes the aggregate sweep cost of the process.
+func (e *Engine) recordSweep(s core.TableStats) {
+	e.reg.Counter("sweep_points_solved").Add(uint64(s.Solves))
+	e.reg.Counter("sweep_points_feasible").Add(uint64(s.Feasible))
+	e.reg.Counter("sweep_newton_iters").Add(uint64(s.NewtonIters))
+	e.reg.Counter("sweep_warm_hits").Add(uint64(s.WarmHits))
+	e.reg.Counter("sweep_newton_iters_saved").Add(uint64(s.IterationsSaved()))
+	e.reg.Counter("sweep_solve_nanos").Add(uint64(s.WallNanos))
 }
 
 // Controller wraps a Phase-1 table into the run-time controller.

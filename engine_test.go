@@ -335,3 +335,60 @@ func TestEngineSimulateCancelled(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// TestSweepMetricsAndObserver checks the facade observability of the
+// sweep pipeline: the sweep counters pre-register at zero, fold in one
+// generation's §5.1 accounting after GenerateTable, and do not move on
+// a cache hit; the engine-level observer sees every grid point of an
+// actual generation and nothing on a hit.
+func TestSweepMetricsAndObserver(t *testing.T) {
+	var calls int
+	var mu sync.Mutex
+	e, err := New(fastOpts(smallGrid(), WithSweepObserver(func(p core.SweepProgress) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+	}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.MetricsSnapshot()
+	for _, name := range []string{
+		"sweep_points_solved", "sweep_points_feasible", "sweep_newton_iters",
+		"sweep_warm_hits", "sweep_newton_iters_saved", "sweep_solve_nanos",
+	} {
+		if v, ok := snap[name]; !ok || v != 0 {
+			t.Errorf("fresh engine: %s = %d, %v; want present at 0", name, v, ok)
+		}
+	}
+
+	tbl, err := e.GenerateTable(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 6 {
+		t.Errorf("observer saw %d points, want 6", calls)
+	}
+	snap = e.MetricsSnapshot()
+	if got := snap["sweep_points_solved"]; got != uint64(tbl.Stats.Solves) {
+		t.Errorf("sweep_points_solved = %d, want %d", got, tbl.Stats.Solves)
+	}
+	if got := snap["sweep_newton_iters"]; got != uint64(tbl.Stats.NewtonIters) {
+		t.Errorf("sweep_newton_iters = %d, want %d", got, tbl.Stats.NewtonIters)
+	}
+	if snap["sweep_solve_nanos"] == 0 {
+		t.Error("sweep_solve_nanos did not accumulate")
+	}
+
+	// A cache hit reruns nothing: counters and observer stay put.
+	if _, err := e.GenerateTable(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 6 {
+		t.Errorf("observer fired on a cache hit (%d calls)", calls)
+	}
+	after := e.MetricsSnapshot()
+	if after["sweep_points_solved"] != snap["sweep_points_solved"] {
+		t.Error("sweep counters moved on a cache hit")
+	}
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"protemp/internal/linalg"
 	"protemp/internal/solver"
 )
@@ -68,176 +66,44 @@ func (s *Spec) startTemps(nb int) linalg.Vector {
 
 // tempRows assembles the affine temperature maps for every window step
 // k = 1..m and every constrained block, folding the fixed (uncore)
-// power and the ambient drive into c0.
+// power and the ambient drive into c0. It delegates to compileRows —
+// the same assembly the sweep compiles — evaluated at this spec's
+// exact starting temperatures.
 func (s *Spec) tempRows() ([]tempRow, error) {
-	chip := s.Chip
-	fp := chip.Floorplan()
-	nb := fp.NumBlocks()
-	if s.Window.Dt() <= 0 {
-		return nil, fmt.Errorf("core: invalid window")
+	nb := s.Chip.Floorplan().NumBlocks()
+	compiled, err := compileRows(s.Chip, s.Window, s.ConstrainAllBlocks, s.startTemps(nb))
+	if err != nil {
+		return nil, err
 	}
-	t0 := s.startTemps(nb)
-	fixed := chip.FixedPower()
-
-	var blocks []int
-	if s.ConstrainAllBlocks {
-		for i := 0; i < nb; i++ {
-			blocks = append(blocks, i)
-		}
-	} else {
-		blocks = fp.CoreIndices()
-	}
-
-	n := chip.NumCores()
-	m := s.Window.Steps()
-	rows := make([]tempRow, 0, m*len(blocks))
-	for k := 1; k <= m; k++ {
-		for _, bi := range blocks {
-			base, gain, err := s.Window.Affine(k, bi, t0)
-			if err != nil {
-				return nil, err
-			}
-			c0 := base + gain.Dot(fixed)
-			coef := linalg.NewVector(n)
-			for j := 0; j < n; j++ {
-				g := gain[chip.CoreBlockIndex(j)]
-				if g < 0 {
-					return nil, fmt.Errorf("core: negative heat gain at step %d block %d", k, bi)
-				}
-				coef[j] = g * chip.CoreModelOf(j).PMax
-			}
-			rows = append(rows, tempRow{step: k, block: bi, c0: c0, coef: coef})
-		}
+	rows := make([]tempRow, len(compiled))
+	for i, r := range compiled {
+		rows[i] = tempRow{step: r.step, block: r.block, c0: r.c0Base, coef: r.coef}
 	}
 	return rows, nil
 }
 
-// build assembles the solver.Problem for the spec.
+// build assembles the solver.Problem for the spec by compiling a
+// single-point sweep plan and instantiating it at (TStart, FTarget) —
+// the same assembly GenerateTable's warm-started sweep uses, so the
+// cold per-point path and the sweep cannot drift apart. See
+// compileSweep for the constraint layout (the paper's Eqs. 2-5).
 func (s *Spec) build() (*solver.Problem, layout, []tempRow, error) {
-	n := s.Chip.NumCores()
-	lay := newLayout(s.Variant, n)
-	rows, err := s.tempRows()
+	lay := newLayout(s.Variant, s.Chip.NumCores())
+	ts := TableSpec{
+		Chip: s.Chip, Window: s.Window, TMax: s.TMax,
+		TStarts: []float64{s.TStart}, FTargets: []float64{s.FTarget},
+		Variant: s.Variant, GradWeight: s.GradWeight, GradStride: s.GradStride,
+		ConstrainAllBlocks: s.ConstrainAllBlocks,
+	}
+	var t0 linalg.Vector
+	if s.T0 != nil {
+		t0 = linalg.VectorOf(s.T0...)
+	}
+	pl, err := compileSweep(ts, t0)
 	if err != nil {
 		return nil, lay, nil, err
 	}
-
-	p := &solver.Problem{}
-
-	// Objective: Σ_j pmax_j·pn_j (+ w·g for the gradient variant) — the
-	// paper's min Σ p_i (Eq. 3) and min Σ p_i + tgrad (Eq. 5).
-	objA := linalg.NewVector(lay.dim)
-	for j := 0; j < n; j++ {
-		// In the uniform variant pIdx(j) is the single shared power
-		// variable, which therefore accumulates every core's pmax.
-		objA[lay.pIdx(j)] += s.Chip.CoreModelOf(j).PMax
-	}
-	if s.Variant == VariantGradient {
-		objA[lay.gIdx()] = s.gradWeight()
-	}
-	p.Objective = &solver.Affine{A: objA}
-
-	// Temperature limits at every sub-step: Σ coef_j·pn_j + c0 − tmax <= 0.
-	for _, r := range rows {
-		a := linalg.NewVector(lay.dim)
-		if s.Variant == VariantUniform {
-			a[lay.pIdx(0)] = r.coef.Sum()
-		} else {
-			for j := 0; j < n; j++ {
-				a[lay.pIdx(j)] = r.coef[j]
-			}
-		}
-		p.Constraints = append(p.Constraints, solver.NewSparseAffine(a, r.c0-s.TMax))
-	}
-
-	// Power-frequency coupling (their Eq. 2 as a convex inequality):
-	// idle + (1−idle)·fn_j² − pn_j <= 0.
-	couplings := n
-	if s.Variant == VariantUniform {
-		couplings = 1
-	}
-	for j := 0; j < couplings; j++ {
-		model := s.Chip.CoreModelOf(j)
-		d := linalg.NewVector(lay.dim)
-		d[lay.fIdx(j)] = 1 - model.IdleFrac
-		a := linalg.NewVector(lay.dim)
-		a[lay.pIdx(j)] = -1
-		q, err := solver.NewDiagQuadratic(d, a, model.IdleFrac)
-		if err != nil {
-			return nil, lay, nil, err
-		}
-		p.Constraints = append(p.Constraints, q)
-	}
-
-	// Workload constraint: Σ fn_j >= n·φ, φ = FTarget/fmax.
-	phi := s.FTarget / s.Chip.FMax()
-	{
-		a := linalg.NewVector(lay.dim)
-		if s.Variant == VariantUniform {
-			a[lay.fIdx(0)] = -1
-			p.Constraints = append(p.Constraints, solver.NewSparseAffine(a, phi))
-		} else {
-			for j := 0; j < n; j++ {
-				a[lay.fIdx(j)] = -1
-			}
-			p.Constraints = append(p.Constraints, solver.NewSparseAffine(a, float64(n)*phi))
-		}
-	}
-
-	// Box constraints: 0 <= fn <= 1, pn <= 1 (pn >= fn² implies pn >= 0).
-	vars := 1
-	if s.Variant != VariantUniform {
-		vars = n
-	}
-	for j := 0; j < vars; j++ {
-		lo := linalg.NewVector(lay.dim)
-		lo[lay.fIdx(j)] = -1
-		hi := linalg.NewVector(lay.dim)
-		hi[lay.fIdx(j)] = 1
-		pu := linalg.NewVector(lay.dim)
-		pu[lay.pIdx(j)] = 1
-		p.Constraints = append(p.Constraints,
-			solver.NewSparseAffine(lo, 0),
-			solver.NewSparseAffine(hi, -1),
-			solver.NewSparseAffine(pu, -1),
-		)
-	}
-
-	// Spatial-gradient bounds (their Eq. 4): t_{k,i} − t_{k,j} <= g for
-	// every ordered core pair, at strided sub-steps plus the last.
-	if s.Variant == VariantGradient {
-		isCore := make(map[int]bool)
-		for _, bi := range s.Chip.Floorplan().CoreIndices() {
-			isCore[bi] = true
-		}
-		byStep := make(map[int][]tempRow)
-		for _, r := range rows {
-			if isCore[r.block] { // Eq. 4 bounds gradients across the cores
-				byStep[r.step] = append(byStep[r.step], r)
-			}
-		}
-		stride := s.gradStride()
-		m := s.Window.Steps()
-		for k := 1; k <= m; k++ {
-			if k%stride != 0 && k != m {
-				continue
-			}
-			stepRows := byStep[k]
-			for i := 0; i < len(stepRows); i++ {
-				for j := 0; j < len(stepRows); j++ {
-					if i == j {
-						continue
-					}
-					ri, rj := stepRows[i], stepRows[j]
-					a := linalg.NewVector(lay.dim)
-					for c := 0; c < n; c++ {
-						a[lay.pIdx(c)] = ri.coef[c] - rj.coef[c]
-					}
-					a[lay.gIdx()] = -1
-					p.Constraints = append(p.Constraints, solver.NewSparseAffine(a, ri.c0-rj.c0))
-				}
-			}
-		}
-	}
-
-	return p, lay, rows, nil
+	in := pl.instance()
+	in.set(s.TStart, s.FTarget)
+	return in.prob, pl.lay, in.rows, nil
 }

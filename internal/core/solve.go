@@ -33,41 +33,73 @@ func SolveContext(ctx context.Context, s *Spec) (*Assignment, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	n := s.Chip.NumCores()
-	phi := s.FTarget / s.Chip.FMax()
-
 	// Degenerate target: the only candidate is full speed on all cores.
-	if phi >= fullSpeedPhi {
-		return solveFullSpeed(s)
+	if s.FTarget/s.Chip.FMax() >= fullSpeedPhi {
+		rows, err := s.tempRows()
+		if err != nil {
+			return nil, err
+		}
+		return fullSpeedAssignment(s, rows)
 	}
 
 	prob, lay, rows, err := s.build()
 	if err != nil {
 		return nil, err
 	}
+	a, _, _, err := solveLadder(ctx, s, prob, lay, rows, nil, 0, nil)
+	return a, err
+}
 
+// solveLadder solves a prebuilt problem through the start ladder: the
+// warm seed (a re-centered neighboring optimum) when one is supplied,
+// then the cheap feasibility heuristics, then the physics-guided
+// rebalance, then the generic Phase-I auxiliary program. It is the
+// single solve path shared by SolveContext (cold, no workspace) and the
+// table sweep (warm-seeded, per-worker workspace), so both produce
+// interchangeable assignments. It returns the assignment, the raw
+// normalized optimum for seeding the next grid point (nil when
+// infeasible), and whether the warm seed carried the solve.
+func solveLadder(ctx context.Context, s *Spec, prob *solver.Problem, lay layout, rows []tempRow, warmSeed linalg.Vector, warmGap float64, ws *solver.Workspace) (*Assignment, linalg.Vector, bool, error) {
+	n := s.Chip.NumCores()
+	phi := s.FTarget / s.Chip.FMax()
 	opts := solver.DefaultOptions()
 	opts.Tol = 1e-7
 	opts.Interrupt = ctx.Err
 
-	start := heuristicStart(s, lay, rows, phi)
-	if start == nil {
-		// Near the capacity boundary only a non-uniform assignment is
-		// feasible; a physics-guided rebalance finds one directly where
-		// the generic Phase-I auxiliary problem converges too slowly.
-		start = rebalanceStart(s, lay, rows, phi)
-	}
 	var res *solver.Result
-	if start != nil {
-		res, err = solver.Barrier(prob, start, opts)
-	} else {
-		res, err = solver.Solve(prob, neutralStart(lay, phi), opts)
+	var err error
+	warm := false
+	if warmSeed != nil {
+		res, err = solver.WarmStart(prob, warmSeed, nil, warmGap, opts, ws)
+		if err == nil {
+			warm = true
+		} else if ctx.Err() != nil {
+			return nil, nil, false, ctx.Err()
+		} else {
+			// A warm seed that cannot be re-centered or that stalls the
+			// barrier is not a verdict on the problem; fall back cold.
+			res, err = nil, nil
+		}
+	}
+	if res == nil {
+		start := heuristicStart(s, lay, rows, phi)
+		if start == nil {
+			// Near the capacity boundary only a non-uniform assignment is
+			// feasible; a physics-guided rebalance finds one directly where
+			// the generic Phase-I auxiliary problem converges too slowly.
+			start = rebalanceStart(s, lay, rows, phi)
+		}
+		if start != nil {
+			res, err = solver.BarrierWS(prob, start, opts, ws)
+		} else {
+			res, err = solver.SolveWS(prob, neutralStart(lay, phi), opts, ws)
+		}
 	}
 	if err != nil {
 		if errors.Is(err, solver.ErrInfeasible) {
-			return &Assignment{}, nil
+			return &Assignment{}, nil, warm, nil
 		}
-		return nil, fmt.Errorf("core: solve (%s, tstart=%g, ftarget=%g): %w",
+		return nil, nil, warm, fmt.Errorf("core: solve (%s, tstart=%g, ftarget=%g): %w",
 			s.Variant, s.TStart, s.FTarget, err)
 	}
 
@@ -91,7 +123,7 @@ func SolveContext(ctx context.Context, s *Spec) (*Assignment, error) {
 		a.TGrad = res.X[lay.gIdx()]
 	}
 	a.PeakTemp = peakTemp(s, a.Powers)
-	return a, nil
+	return a, res.X, warm, nil
 }
 
 // SolveUniformBisect solves the uniform-frequency problem by direct
@@ -162,12 +194,9 @@ func uniformPeak(s *Spec, rows []tempRow, fn float64) float64 {
 	return peak
 }
 
-// solveFullSpeed evaluates the single candidate point f = fmax.
-func solveFullSpeed(s *Spec) (*Assignment, error) {
-	rows, err := s.tempRows()
-	if err != nil {
-		return nil, err
-	}
+// fullSpeedAssignment evaluates the single candidate point f = fmax
+// against prebuilt temperature rows.
+func fullSpeedAssignment(s *Spec, rows []tempRow) (*Assignment, error) {
 	if uniformPeak(s, rows, 1) > s.TMax {
 		return &Assignment{}, nil
 	}

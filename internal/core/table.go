@@ -12,8 +12,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"protemp/internal/linalg"
 	"protemp/internal/power"
+	"protemp/internal/solver"
 	"protemp/internal/thermal"
 )
 
@@ -31,11 +35,40 @@ type TableSpec struct {
 	// GradWeight / GradStride forward to Spec for VariantGradient.
 	GradWeight float64
 	GradStride int
-	// Workers bounds parallel solves; zero means GOMAXPROCS.
+	// Workers bounds parallel solves; zero means GOMAXPROCS. The sweep
+	// parallelizes over TStart rows (each row is one warm-start chain),
+	// so effective parallelism is additionally capped at len(TStarts).
 	Workers int
 	// ConstrainAllBlocks forwards to Spec.
 	ConstrainAllBlocks bool
+	// Observer, if non-nil, is invoked after every grid-point solve with
+	// sweep progress. Calls are serialized but may come from any worker
+	// goroutine; a slow observer slows the sweep. Like Workers it
+	// changes cost, not content, so it is excluded from CacheKey.
+	Observer SweepObserver
 }
+
+// SweepProgress reports one completed grid point of a Phase-1 sweep.
+type SweepProgress struct {
+	// Done counts completed points, Total the full grid size.
+	Done, Total int
+	// TI/FI locate the point; TStart (°C) and FTarget (Hz) are its
+	// coordinates.
+	TI, FI  int
+	TStart  float64
+	FTarget float64
+	// Feasible reports the point's outcome; Warm whether the solve was
+	// carried by a neighbor-seeded warm start.
+	Feasible bool
+	Warm     bool
+	// NewtonIters is the point's Newton-iteration cost; Elapsed its
+	// solve wall time.
+	NewtonIters int
+	Elapsed     time.Duration
+}
+
+// SweepObserver receives per-point progress during GenerateTable.
+type SweepObserver func(SweepProgress)
 
 // DefaultTStarts is the paper's starting-temperature sweep (Figs. 9-10
 // run 27 °C to 97 °C in 10 °C steps) extended to the 100 °C limit so
@@ -107,11 +140,42 @@ type Table struct {
 	Stats    TableStats `json:"stats"`
 }
 
-// TableStats records Phase-1 cost, the paper's §5.1 accounting.
+// TableStats records Phase-1 cost, the paper's §5.1 accounting,
+// extended with the warm-start bookkeeping of the sweep pipeline. The
+// new fields are omitted from JSON when zero, so tables written by
+// earlier versions load unchanged.
 type TableStats struct {
 	Solves      int `json:"solves"`
 	Feasible    int `json:"feasible"`
 	NewtonIters int `json:"newton_iters"`
+	// WarmHits counts solves carried by a neighbor-seeded warm start;
+	// WarmIters is their share of NewtonIters.
+	WarmHits  int `json:"warm_hits,omitempty"`
+	WarmIters int `json:"warm_newton_iters,omitempty"`
+	// WallNanos is the summed per-point solve wall time across all
+	// workers (it exceeds the sweep's elapsed wall clock when solves run
+	// in parallel) — the paper's §5.1 "a few hours with CVX" number.
+	WallNanos int64 `json:"wall_nanos,omitempty"`
+}
+
+// IterationsSaved estimates the Newton iterations warm starting avoided:
+// the warm-started solves priced at the sweep's own average cold cost,
+// minus what they actually spent. A warm-seeded solve always ends
+// feasible (the seed is a feasible point), so the comparable cold
+// population is the feasible cold solves — infeasible points certify
+// through Phase I and report zero optimizer iterations. Zero when
+// nothing warm-started or when warm solves were no cheaper.
+func (s TableStats) IterationsSaved() int {
+	coldFeasible := s.Feasible - s.WarmHits
+	if coldFeasible <= 0 || s.WarmHits == 0 {
+		return 0
+	}
+	avgCold := float64(s.NewtonIters-s.WarmIters) / float64(coldFeasible)
+	saved := int(avgCold*float64(s.WarmHits)) - s.WarmIters
+	if saved < 0 {
+		return 0
+	}
+	return saved
 }
 
 // CacheKey returns a stable fingerprint of everything that determines
@@ -161,16 +225,34 @@ func (ts TableSpec) CacheKey() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// GenerateTable runs Phase 1: one convex solve per grid point, in
-// parallel. A solver error at any point aborts the generation. The
-// context is honored down through the per-grid-point solver workers:
-// cancellation stops job dispatch, interrupts in-flight solves at their
-// next Newton iteration, and makes GenerateTable return ctx.Err().
+// GenerateTable runs Phase 1 as a warm-started sweep: the TableSpec's
+// convex program is compiled once (constraint coefficients, layouts,
+// objective — everything independent of the grid point), then each
+// TStart row is walked in ascending-FTarget order, seeding every solve
+// from its feasible lower-frequency neighbor's optimum with the
+// heuristic/rebalance/Phase-I ladder as fallback. Rows are dispatched
+// to parallel workers, each owning one problem instance and one solver
+// workspace, so the per-point cost is offset rewrites plus Newton
+// iterations — not problem assembly or allocation. Because a row is one
+// warm-start chain, parallelism tops out at len(TStarts) regardless of
+// Workers.
+//
+// A solver error at any point aborts the generation and stops the
+// dispatch of remaining rows. The context is honored down through the
+// workers: cancellation stops dispatch, interrupts in-flight solves at
+// their next Newton iteration, and makes GenerateTable return
+// ctx.Err(). The produced tables are entry-equivalent (within solver
+// tolerance) to solving every point cold, and CacheKey semantics are
+// unchanged.
 func GenerateTable(ctx context.Context, ts TableSpec) (*Table, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	plan, err := compileSweep(ts, nil)
+	if err != nil {
 		return nil, err
 	}
 	nT, nF := len(ts.TStarts), len(ts.FTargets)
@@ -187,49 +269,94 @@ func GenerateTable(ctx context.Context, ts TableSpec) (*Table, error) {
 		tbl.Entries[i] = make([]Entry, nF)
 	}
 
-	type job struct{ ti, fi int }
-	jobs := make(chan job)
 	workers := ts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > nT {
+		workers = nT
+	}
 
 	var (
-		mu       sync.Mutex
+		errMu    sync.Mutex
 		firstErr error
+		aborted  atomic.Bool
+		done     atomic.Int64
+		obsMu    sync.Mutex
+		statsMu  sync.Mutex
 		wg       sync.WaitGroup
 	)
+	fail := func(ti, fi int, err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("core: table point (%.0f°C, %.0f MHz): %w",
+				ts.TStarts[ti], ts.FTargets[fi]/1e6, err)
+		}
+		errMu.Unlock()
+		aborted.Store(true)
+	}
+
+	rows := make(chan int)
+	total := nT * nF
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				if ctx.Err() != nil {
-					continue // drain remaining jobs without solving
-				}
-				spec := &Spec{
-					Chip:               ts.Chip,
-					Window:             ts.Window,
-					TStart:             ts.TStarts[j.ti],
-					TMax:               ts.TMax,
-					FTarget:            ts.FTargets[j.fi],
-					Variant:            ts.Variant,
-					GradWeight:         ts.GradWeight,
-					GradStride:         ts.GradStride,
-					ConstrainAllBlocks: ts.ConstrainAllBlocks,
-				}
-				a, err := SolveContext(ctx, spec)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("core: table point (%.0f°C, %.0f MHz): %w",
-						ts.TStarts[j.ti], ts.FTargets[j.fi]/1e6, err)
-				}
-				if err == nil {
-					tbl.Stats.Solves++
-					tbl.Stats.NewtonIters += a.NewtonIters
+			inst := plan.instance()
+			ws := solver.NewWorkspace(plan.lay.dim)
+			var local TableStats
+			defer func() {
+				statsMu.Lock()
+				tbl.Stats.Solves += local.Solves
+				tbl.Stats.Feasible += local.Feasible
+				tbl.Stats.NewtonIters += local.NewtonIters
+				tbl.Stats.WarmHits += local.WarmHits
+				tbl.Stats.WarmIters += local.WarmIters
+				tbl.Stats.WallNanos += local.WallNanos
+				statsMu.Unlock()
+			}()
+			for ti := range rows {
+				// Each worker owns its rows outright, so Entries[ti]
+				// writes below need no lock; per-worker stats fold in
+				// once at exit, and the sweep mutexes guard only the
+				// first error and the observer.
+				var prevX linalg.Vector
+				for fi := 0; fi < nF; fi++ {
+					if aborted.Load() || ctx.Err() != nil {
+						break
+					}
+					spec := inst.set(ts.TStarts[ti], ts.FTargets[fi])
+					start := time.Now()
+					var (
+						a    *Assignment
+						x    linalg.Vector
+						warm bool
+						err  error
+					)
+					if spec.FTarget/ts.Chip.FMax() >= fullSpeedPhi {
+						a, err = fullSpeedAssignment(spec, inst.rows)
+					} else {
+						seed, gap := inst.warmSeed(spec, prevX)
+						a, x, warm, err = solveLadder(ctx, spec, inst.prob, plan.lay, inst.rows, seed, gap, ws)
+					}
+					elapsed := time.Since(start)
+					if err != nil {
+						if ctx.Err() == nil {
+							fail(ti, fi, err)
+						}
+						break
+					}
+					local.Solves++
+					local.NewtonIters += a.NewtonIters
+					local.WallNanos += elapsed.Nanoseconds()
+					if warm {
+						local.WarmHits++
+						local.WarmIters += a.NewtonIters
+					}
 					if a.Feasible {
-						tbl.Stats.Feasible++
-						tbl.Entries[j.ti][j.fi] = Entry{
+						local.Feasible++
+						prevX = x
+						tbl.Entries[ti][fi] = Entry{
 							Feasible:   true,
 							Freqs:      a.Freqs,
 							AvgFreq:    a.AvgFreq,
@@ -237,23 +364,49 @@ func GenerateTable(ctx context.Context, ts TableSpec) (*Table, error) {
 							PeakTemp:   a.PeakTemp,
 							TGrad:      a.TGrad,
 						}
+					} else {
+						// Feasibility is monotone in FTarget along a row:
+						// past the capacity boundary every higher target
+						// is infeasible too, but each point is still
+						// solved so the table records the full mask.
+						prevX = nil
+					}
+					if ts.Observer != nil {
+						// The counter increments inside the observer
+						// lock so Done values arrive in order.
+						obsMu.Lock()
+						ts.Observer(SweepProgress{
+							Done:        int(done.Add(1)),
+							Total:       total,
+							TI:          ti,
+							FI:          fi,
+							TStart:      ts.TStarts[ti],
+							FTarget:     ts.FTargets[fi],
+							Feasible:    a.Feasible,
+							Warm:        warm,
+							NewtonIters: a.NewtonIters,
+							Elapsed:     elapsed,
+						})
+						obsMu.Unlock()
+					} else {
+						done.Add(1)
 					}
 				}
-				mu.Unlock()
 			}
 		}()
 	}
 dispatch:
 	for ti := 0; ti < nT; ti++ {
-		for fi := 0; fi < nF; fi++ {
-			select {
-			case jobs <- job{ti, fi}:
-			case <-ctx.Done():
-				break dispatch
-			}
+		if aborted.Load() {
+			break // a fatal solver error: stop dispatching rows
+		}
+		select {
+		case rows <- ti:
+		case <-ctx.Done():
+			break dispatch
 		}
 	}
-	close(jobs)
+	close(rows)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err

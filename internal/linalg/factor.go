@@ -156,11 +156,33 @@ type CholFactor struct {
 // Cholesky factors a symmetric positive definite matrix. Only the lower
 // triangle of a is read; the input is not modified.
 func Cholesky(a *Matrix) (*CholFactor, error) {
+	f := &CholFactor{}
+	if err := CholeskyInto(f, a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// CholeskyInto factors a into dst, reusing dst's factor buffer when its
+// shape already matches (the hot path of an iterative solver that
+// factors one Hessian per Newton step). A fresh or mismatched dst is
+// (re)allocated. On error dst's contents are unspecified and dst must
+// be refactored before use. Only the lower triangle of a is read; the
+// input is not modified.
+func CholeskyInto(dst *CholFactor, a *Matrix) error {
 	n := a.Rows()
 	if a.Cols() != n {
-		return nil, fmt.Errorf("%w: Cholesky of %dx%d matrix", ErrDimension, a.Rows(), a.Cols())
+		return fmt.Errorf("%w: Cholesky of %dx%d matrix", ErrDimension, a.Rows(), a.Cols())
 	}
-	l := NewMatrix(n, n)
+	l := dst.l
+	if l == nil || l.rows != n || l.cols != n {
+		l = NewMatrix(n, n)
+		dst.l = l
+	} else {
+		for i := range l.data {
+			l.data[i] = 0
+		}
+	}
 	for j := 0; j < n; j++ {
 		d := a.At(j, j)
 		for k := 0; k < j; k++ {
@@ -168,7 +190,7 @@ func Cholesky(a *Matrix) (*CholFactor, error) {
 			d -= ljk * ljk
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, fmt.Errorf("%w: leading minor %d", ErrNotPositiveDefinite, j+1)
+			return fmt.Errorf("%w: leading minor %d", ErrNotPositiveDefinite, j+1)
 		}
 		dj := math.Sqrt(d)
 		l.Set(j, j, dj)
@@ -180,16 +202,32 @@ func Cholesky(a *Matrix) (*CholFactor, error) {
 			l.Set(i, j, s/dj)
 		}
 	}
-	return &CholFactor{l: l}, nil
+	return nil
 }
 
 // Solve solves Ax = b using the factorization.
 func (c *CholFactor) Solve(b Vector) (Vector, error) {
+	x := NewVector(c.l.Rows())
+	if err := c.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves Ax = b into the caller-owned x, allocating nothing.
+// x may alias b (the solve is then in place); otherwise b is not
+// modified.
+func (c *CholFactor) SolveInto(x, b Vector) error {
 	n := c.l.Rows()
 	if len(b) != n {
-		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrDimension, len(b), n)
+		return fmt.Errorf("%w: rhs length %d, want %d", ErrDimension, len(b), n)
 	}
-	x := b.Clone()
+	if len(x) != n {
+		return fmt.Errorf("%w: solution length %d, want %d", ErrDimension, len(x), n)
+	}
+	if n > 0 && &x[0] != &b[0] {
+		copy(x, b)
+	}
 	// Ly = b.
 	for i := 0; i < n; i++ {
 		var s float64
@@ -206,7 +244,7 @@ func (c *CholFactor) Solve(b Vector) (Vector, error) {
 		}
 		x[i] = (x[i] - s) / c.l.At(i, i)
 	}
-	return x, nil
+	return nil
 }
 
 // L returns the lower-triangular factor (aliasing internal storage).

@@ -204,3 +204,94 @@ func TestSolveMatrixShapeMismatch(t *testing.T) {
 		t.Fatalf("err = %v, want ErrDimension", err)
 	}
 }
+
+// TestCholeskyIntoReusesBuffer factors a sequence of same-shaped SPD
+// matrices into one CholFactor and checks every factorization matches a
+// fresh Cholesky — the workspace path the Newton solver hammers.
+func TestCholeskyIntoReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var f CholFactor
+	for trial := 0; trial < 20; trial++ {
+		a := randomSPD(rng, 6)
+		if err := CholeskyInto(&f, a); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.L().Equal(fresh.L(), 0) {
+			t.Fatalf("trial %d: reused factor differs from fresh", trial)
+		}
+	}
+	// A shape change reallocates transparently.
+	if err := CholeskyInto(&f, randomSPD(rng, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if f.L().Rows() != 3 {
+		t.Fatalf("factor not resized: %d rows", f.L().Rows())
+	}
+}
+
+// TestCholeskyIntoFailureThenReuse: a failed factorization leaves the
+// buffer reusable for the next matrix.
+func TestCholeskyIntoFailureThenReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var f CholFactor
+	notSPD := Diag(VectorOf(1, -1, 1))
+	if err := CholeskyInto(&f, notSPD); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+	a := randomSPD(rng, 3)
+	if err := CholeskyInto(&f, a); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := Cholesky(a)
+	if !f.L().Equal(fresh.L(), 0) {
+		t.Fatal("factor after failure differs from fresh")
+	}
+}
+
+// TestCholeskySolveInto checks the allocation-free solve, including the
+// aliased (in-place) form.
+func TestCholeskySolveInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(7)
+		a := randomSPD(rng, n)
+		b := NewVector(n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		f, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := NewVector(n)
+		if err := f.SolveInto(x, b); err != nil {
+			t.Fatal(err)
+		}
+		if !x.Equal(want, 0) {
+			t.Fatalf("trial %d: SolveInto %v != Solve %v", trial, x, want)
+		}
+		// Aliased: solve in place over the right-hand side.
+		inPlace := b.Clone()
+		if err := f.SolveInto(inPlace, inPlace); err != nil {
+			t.Fatal(err)
+		}
+		if !inPlace.Equal(want, 0) {
+			t.Fatalf("trial %d: aliased SolveInto %v != %v", trial, inPlace, want)
+		}
+	}
+	f, _ := Cholesky(Identity(2))
+	if err := f.SolveInto(NewVector(3), NewVector(2)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("bad dst err = %v, want ErrDimension", err)
+	}
+	if err := f.SolveInto(NewVector(2), NewVector(3)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("bad rhs err = %v, want ErrDimension", err)
+	}
+}

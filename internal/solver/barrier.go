@@ -50,30 +50,69 @@ func DefaultOptions() Options {
 	}
 }
 
+// Validate rejects nonsensical tunings loudly. A zero field always
+// selects the default; any explicitly set field must be usable as
+// given — an unusual-but-legitimate tuning such as Mu = 1.0001 is
+// accepted verbatim, never silently replaced.
+func (o Options) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Mu", o.Mu}, {"Tol", o.Tol}, {"NewtonTol", o.NewtonTol},
+		{"Alpha", o.Alpha}, {"Beta", o.Beta}, {"T0", o.T0},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("solver: non-finite %s = %v", f.name, f.v)
+		}
+	}
+	switch {
+	case o.Mu != 0 && o.Mu <= 1:
+		return fmt.Errorf("solver: barrier multiplier Mu = %v must exceed 1 (zero selects the default %v)", o.Mu, DefaultOptions().Mu)
+	case o.Tol < 0:
+		return fmt.Errorf("solver: negative duality-gap tolerance %v", o.Tol)
+	case o.NewtonTol < 0:
+		return fmt.Errorf("solver: negative Newton tolerance %v", o.NewtonTol)
+	case o.MaxNewton < 0:
+		return fmt.Errorf("solver: negative MaxNewton %d", o.MaxNewton)
+	case o.MaxOuter < 0:
+		return fmt.Errorf("solver: negative MaxOuter %d", o.MaxOuter)
+	case o.Alpha != 0 && (o.Alpha <= 0 || o.Alpha >= 0.5):
+		return fmt.Errorf("solver: line-search Alpha = %v outside (0, 0.5) (zero selects the default)", o.Alpha)
+	case o.Beta != 0 && (o.Beta <= 0 || o.Beta >= 1):
+		return fmt.Errorf("solver: line-search Beta = %v outside (0, 1) (zero selects the default)", o.Beta)
+	case o.T0 < 0:
+		return fmt.Errorf("solver: negative initial barrier weight %v", o.T0)
+	}
+	return nil
+}
+
+// withDefaults fills zero fields with DefaultOptions. It assumes the
+// options passed Validate, so non-zero fields are kept verbatim.
 func (o Options) withDefaults() Options {
 	d := DefaultOptions()
-	if o.Mu <= 1 {
+	if o.Mu == 0 {
 		o.Mu = d.Mu
 	}
-	if o.Tol <= 0 {
+	if o.Tol == 0 {
 		o.Tol = d.Tol
 	}
-	if o.NewtonTol <= 0 {
+	if o.NewtonTol == 0 {
 		o.NewtonTol = d.NewtonTol
 	}
-	if o.MaxNewton <= 0 {
+	if o.MaxNewton == 0 {
 		o.MaxNewton = d.MaxNewton
 	}
-	if o.MaxOuter <= 0 {
+	if o.MaxOuter == 0 {
 		o.MaxOuter = d.MaxOuter
 	}
-	if o.Alpha <= 0 || o.Alpha >= 0.5 {
+	if o.Alpha == 0 {
 		o.Alpha = d.Alpha
 	}
-	if o.Beta <= 0 || o.Beta >= 1 {
+	if o.Beta == 0 {
 		o.Beta = d.Beta
 	}
-	if o.T0 <= 0 {
+	if o.T0 == 0 {
 		o.T0 = d.T0
 	}
 	return o
@@ -113,9 +152,21 @@ func (r *Result) KKTResidual(p *Problem) float64 {
 
 // Barrier minimizes the problem from the strictly feasible start x0
 // using the log-barrier interior-point method (Boyd & Vandenberghe,
-// Algorithm 11.1). It returns ErrNumerical if centering stalls.
+// Algorithm 11.1). It returns ErrNumerical if centering stalls and a
+// plain error for options that fail Validate.
 func Barrier(p *Problem, x0 linalg.Vector, opts Options) (*Result, error) {
+	return BarrierWS(p, x0, opts, nil)
+}
+
+// BarrierWS is Barrier with a caller-owned Workspace: all per-iteration
+// scratch (gradient, Hessian, Newton direction, factorization) lives in
+// ws, so a caller solving many same-shaped problems amortizes every
+// allocation. A nil ws allocates a private workspace.
+func BarrierWS(p *Problem, x0 linalg.Vector, opts Options, ws *Workspace) (*Result, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	o := opts.withDefaults()
@@ -126,6 +177,11 @@ func Barrier(p *Problem, x0 linalg.Vector, opts Options) (*Result, error) {
 	if !p.IsStrictlyFeasible(x0) {
 		return nil, fmt.Errorf("solver: start is not strictly feasible (max violation %v); run PhaseI first", p.MaxViolation(x0))
 	}
+	if ws == nil {
+		ws = NewWorkspace(n)
+	} else {
+		ws.ensure(n)
+	}
 
 	x := x0.Clone()
 	t := o.T0
@@ -134,7 +190,7 @@ func Barrier(p *Problem, x0 linalg.Vector, opts Options) (*Result, error) {
 
 	for outer := 0; outer < o.MaxOuter; outer++ {
 		res.OuterIters++
-		iters, stopped, err := center(p, x, t, o)
+		iters, stopped, err := center(p, x, t, o, ws)
 		res.NewtonIters += iters
 		if err != nil {
 			return nil, err
@@ -163,16 +219,22 @@ func Barrier(p *Problem, x0 linalg.Vector, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// machEps is the double-precision unit round-off.
+const machEps = 2.220446049250313e-16
+
+// maxPolish bounds the consecutive pure-Newton polish steps a centering
+// takes once the predicted decrement drops below the barrier value's
+// round-off resolution (see center); quadratic convergence makes more
+// than a few pointless.
+const maxPolish = 6
+
 // center minimizes t·f0(x) + φ(x) over the strictly feasible set by
-// damped Newton, updating x in place. It returns the iteration count
-// and whether StopEarly fired.
-func center(p *Problem, x linalg.Vector, t float64, o Options) (int, bool, error) {
-	n := p.Dim()
-	grad := linalg.NewVector(n)
-	gi := linalg.NewVector(n)
-	hess := linalg.NewMatrix(n, n)
-	dx := linalg.NewVector(n)
-	xTrial := linalg.NewVector(n)
+// damped Newton, updating x in place and drawing all scratch from ws.
+// It returns the iteration count and whether StopEarly fired.
+func center(p *Problem, x linalg.Vector, t float64, o Options, ws *Workspace) (int, bool, error) {
+	grad, gi, hess := ws.grad, ws.gi, ws.hess
+	dx, xTrial := ws.dx, ws.xTrial
+	polish, lastPolish := 0, math.Inf(1)
 
 	for iter := 1; iter <= o.MaxNewton; iter++ {
 		if o.Interrupt != nil {
@@ -190,7 +252,7 @@ func center(p *Problem, x linalg.Vector, t float64, o Options) (int, bool, error
 		}
 
 		// Newton direction: solve H dx = -grad, regularizing if needed.
-		if !newtonDirection(hess, grad, dx) {
+		if !newtonDirection(ws, grad, dx) {
 			return iter, false, fmt.Errorf("%w: KKT system unsolvable", ErrNumerical)
 		}
 
@@ -203,6 +265,28 @@ func center(p *Problem, x linalg.Vector, t float64, o Options) (int, bool, error
 		if lambda2/2 <= o.NewtonTol {
 			return iter, false, nil
 		}
+		// Below the barrier value's double-precision resolution the
+		// Armijo test compares round-off noise: at large t the value is
+		// t·f0 ~ 1e10 while the predicted decrement is ~1e-6, and the
+		// backtracking loop would grind to MaxNewton without converging.
+		// In that regime the decrement is far inside the quadratic
+		// region, so take pure (undamped) Newton steps while they stay
+		// strictly feasible and keep shrinking the decrement; a handful
+		// suffices for the decrement to collapse below NewtonTol.
+		if floor := 16 * machEps * math.Abs(val); lambda2/2 <= floor {
+			if polish >= maxPolish || lambda2 >= lastPolish {
+				return iter, false, nil
+			}
+			polish++
+			lastPolish = lambda2
+			xTrial.Add(x, dx)
+			if !p.IsStrictlyFeasible(xTrial) {
+				return iter, false, nil
+			}
+			copy(x, xTrial)
+			continue
+		}
+		polish, lastPolish = 0, math.Inf(1)
 
 		// Backtracking line search on t·f0 + φ, keeping strict feasibility.
 		step := 1.0
@@ -300,24 +384,28 @@ func barrierValue(p *Problem, x linalg.Vector, t float64) (float64, bool) {
 }
 
 // newtonDirection solves H dx = -g by Cholesky, retrying with a growing
-// diagonal regularizer when H is numerically singular. Returns false
-// only if even heavy regularization fails.
-func newtonDirection(h *linalg.Matrix, g, dx linalg.Vector) bool {
+// diagonal regularizer when H is numerically singular. All scratch —
+// the right-hand side, the regularized copy and the factor — lives in
+// ws, so the hot path (no regularization needed) factors straight into
+// the reused buffer without allocating. Returns false only if even
+// heavy regularization fails.
+func newtonDirection(ws *Workspace, g, dx linalg.Vector) bool {
+	h := ws.hess
 	n := len(g)
-	rhs := linalg.NewVector(n).Scale(-1, g)
+	rhs := ws.rhs.Scale(-1, g)
 	reg := 0.0
 	scale := 1 + h.MaxAbs()
 	for attempt := 0; attempt < 8; attempt++ {
 		trial := h
 		if reg > 0 {
-			trial = h.Clone()
+			trial = ws.reg
+			trial.CopyFrom(h)
 			for i := 0; i < n; i++ {
 				trial.AddAt(i, i, reg)
 			}
 		}
-		if f, err := linalg.Cholesky(trial); err == nil {
-			if sol, err := f.Solve(rhs); err == nil && sol.AllFinite() {
-				copy(dx, sol)
+		if err := linalg.CholeskyInto(&ws.chol, trial); err == nil {
+			if err := ws.chol.SolveInto(dx, rhs); err == nil && dx.AllFinite() {
 				return true
 			}
 		}

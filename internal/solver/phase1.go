@@ -18,6 +18,14 @@ import (
 // should bound x for bounded s (Pro-Temp's frequency box constraints
 // do), otherwise the auxiliary problem may wander.
 func PhaseI(p *Problem, x0 linalg.Vector, opts Options) (linalg.Vector, error) {
+	return PhaseIWS(p, x0, opts, nil)
+}
+
+// PhaseIWS is PhaseI with a caller-owned Workspace. The auxiliary
+// problem has one extra slack dimension, so the workspace is resized on
+// entry; a sweep that rarely needs Phase I still amortizes everything
+// else.
+func PhaseIWS(p *Problem, x0 linalg.Vector, opts Options, ws *Workspace) (linalg.Vector, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -54,7 +62,7 @@ func PhaseI(p *Problem, x0 linalg.Vector, opts Options) (linalg.Vector, error) {
 	o := opts
 	o.StopEarly = func(z linalg.Vector) bool { return z[len(z)-1] < -margin }
 
-	res, err := Barrier(aug, z0, o)
+	res, err := BarrierWS(aug, z0, o, ws)
 	if err != nil {
 		return nil, fmt.Errorf("solver: phase I: %w", err)
 	}
@@ -67,15 +75,21 @@ func PhaseI(p *Problem, x0 linalg.Vector, opts Options) (linalg.Vector, error) {
 
 // Solve runs PhaseI if needed, then Barrier.
 func Solve(p *Problem, x0 linalg.Vector, opts Options) (*Result, error) {
+	return SolveWS(p, x0, opts, nil)
+}
+
+// SolveWS is Solve with a caller-owned Workspace threaded through both
+// the Phase-I detour and the main barrier solve.
+func SolveWS(p *Problem, x0 linalg.Vector, opts Options, ws *Workspace) (*Result, error) {
 	start := x0
 	if !p.IsStrictlyFeasible(x0) {
-		feasible, err := PhaseI(p, x0, opts)
+		feasible, err := PhaseIWS(p, x0, opts, ws)
 		if err != nil {
 			return nil, err
 		}
 		start = feasible
 	}
-	return Barrier(p, start, opts)
+	return BarrierWS(p, start, opts, ws)
 }
 
 // slackShifted wraps f(x) as g(x, s) = f(x) − s for Phase I.

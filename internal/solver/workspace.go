@@ -1,0 +1,51 @@
+package solver
+
+import "protemp/internal/linalg"
+
+// Workspace holds every scratch buffer a barrier solve needs: the
+// gradient, per-constraint gradient, Hessian, Newton direction, line
+// search trial point, regularized-Hessian copy, right-hand side and
+// Cholesky factor. A sweep that solves thousands of same-shaped
+// problems allocates one Workspace per worker and threads it through
+// BarrierWS/WarmStart, turning the per-Newton-iteration clone+factor
+// of the naive path into in-place work on caller-owned memory.
+//
+// A Workspace is resized on demand, so one instance can serve problems
+// of different dimensions (a Phase-I detour adds a slack variable);
+// resizing reallocates, matching stays allocation-free. It must not be
+// used from more than one solve at a time.
+type Workspace struct {
+	n      int
+	grad   linalg.Vector
+	gi     linalg.Vector
+	dx     linalg.Vector
+	xTrial linalg.Vector
+	rhs    linalg.Vector
+	hess   *linalg.Matrix
+	reg    *linalg.Matrix // regularized Hessian for factorization retries
+	chol   linalg.CholFactor
+}
+
+// NewWorkspace returns a workspace pre-sized for dimension-n problems.
+func NewWorkspace(n int) *Workspace {
+	w := &Workspace{}
+	w.ensure(n)
+	return w
+}
+
+// ensure sizes the buffers for dimension n, reallocating only when the
+// dimension actually changes.
+func (w *Workspace) ensure(n int) {
+	if w.n == n && w.hess != nil {
+		return
+	}
+	w.n = n
+	w.grad = linalg.NewVector(n)
+	w.gi = linalg.NewVector(n)
+	w.dx = linalg.NewVector(n)
+	w.xTrial = linalg.NewVector(n)
+	w.rhs = linalg.NewVector(n)
+	w.hess = linalg.NewMatrix(n, n)
+	w.reg = linalg.NewMatrix(n, n)
+	w.chol = linalg.CholFactor{}
+}

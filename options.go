@@ -33,6 +33,7 @@ type engineConfig struct {
 	workers       int
 	cacheSize     int
 	store         TableStore
+	observer      core.SweepObserver
 }
 
 func defaultEngineConfig() engineConfig {
@@ -151,6 +152,31 @@ func WithTableGrid(tstarts, ftargets []float64) Option {
 		}
 		c.tstarts = append([]float64(nil), tstarts...)
 		c.ftargets = append([]float64(nil), ftargets...)
+		return nil
+	}
+}
+
+// SweepProgress reports one completed grid point of a Phase-1 sweep;
+// SweepObserver receives it. Aliased from internal/core so external
+// modules can name the types the observer API trades in.
+type (
+	SweepProgress = core.SweepProgress
+	SweepObserver = core.SweepObserver
+)
+
+// WithSweepObserver installs a progress callback invoked after every
+// grid-point solve of a Phase-1 sweep run by this engine — the hook a
+// CLI progress display or a job status endpoint taps. Calls are
+// serialized but may come from any sweep worker goroutine, and only
+// actual generations report progress: table-cache or store hits never
+// invoke the observer. A nil observer is rejected; simply omit the
+// option instead.
+func WithSweepObserver(fn SweepObserver) Option {
+	return func(c *engineConfig) error {
+		if fn == nil {
+			return fmt.Errorf("protemp: nil sweep observer")
+		}
+		c.observer = fn
 		return nil
 	}
 }
