@@ -242,6 +242,104 @@ func BenchmarkFleetRunner(b *testing.B) {
 	}
 }
 
+// stepBenchEngine builds the engine the online-step benchmarks share:
+// quick fidelity (1 ms steps, 100 ms windows), the paper's chip.
+func stepBenchEngine(b *testing.B) *Engine {
+	b.Helper()
+	e, err := New(WithWindow(1e-3, 100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// stepBenchState returns the i-th window's observed state: a mildly
+// non-uniform thermal map and a slowly wandering target, the shape of
+// consecutive windows on a live stream (close enough for warm starts
+// to engage, different enough that every offset rewrite is real).
+func stepBenchState(e *Engine, i int) State {
+	nb := e.Floorplan().NumBlocks()
+	m := make([]float64, nb)
+	base := 58 + 3*float64(i%5)
+	for j := range m {
+		m[j] = base + 2*float64(j%4)
+	}
+	return State{
+		MaxCoreTemp:  base + 6,
+		RequiredFreq: (0.45 + 0.02*float64(i%6)) * e.Chip().FMax(),
+		BlockTemps:   m,
+	}
+}
+
+// BenchmarkSessionStep measures the online MPC hot path — one Step per
+// DFS window — along the two axes that bound a control plane's
+// sessions-per-node: warm-started per-session solver state versus the
+// cold per-window path (a fresh problem build plus the cold start
+// ladder, what Step cost before the warm state existed), and one
+// session versus GOMAXPROCS concurrent independent sessions.
+func BenchmarkSessionStep(b *testing.B) {
+	ctx := context.Background()
+	b.Run("cold/sessions1", func(b *testing.B) {
+		e := stepBenchEngine(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st := stepBenchState(e, i)
+			a, err := core.Solve(&core.Spec{
+				Chip: e.Chip(), Window: e.Window(), TMax: e.TMax(),
+				FTarget: st.RequiredFreq, T0: st.BlockTemps,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !a.Feasible {
+				b.Fatal("benchmark state unexpectedly infeasible")
+			}
+		}
+	})
+	b.Run("warm/sessions1", func(b *testing.B) {
+		e := stepBenchEngine(b)
+		s, err := e.NewOnlineSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Prime the warm chain so the measured steady state is the
+		// serving path, not the first cold solve.
+		if _, err := s.Step(ctx, stepBenchState(e, 0)); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Step(ctx, stepBenchState(e, i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if hits, _ := s.WarmStats(); b.N > 4 && hits == 0 {
+			b.Fatal("warm benchmark never warm-started")
+		}
+	})
+	b.Run("warm/sessionsN", func(b *testing.B) {
+		e := stepBenchEngine(b)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			// One session per goroutine: sessions are the unit of solve
+			// parallelism (a shared session serializes on its warm state).
+			s, err := e.NewOnlineSession()
+			if err != nil {
+				b.Fatal(err)
+			}
+			i := 0
+			for pb.Next() {
+				if _, err := s.Step(ctx, stepBenchState(e, i)); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+}
+
 // BenchmarkSolveSinglePoint times one Phase-1 convex solve — the
 // paper's §5.1 "less than 2 minutes with CVX" data point.
 func BenchmarkSolveSinglePoint(b *testing.B) {

@@ -1,0 +1,148 @@
+// Command protemp-benchdiff compares two `go test -json` benchmark
+// outputs and fails when any benchmark shared by both regresses in
+// ns/op beyond a threshold — the CI guard that keeps the warm-started
+// hot paths from quietly getting slower.
+//
+// Usage:
+//
+//	protemp-benchdiff -base BENCH_main.json -head BENCH_head.json [-max-regress 25]
+//
+// Benchmarks present in only one file are reported and skipped (new
+// benchmarks must not fail the build that introduces them). The exit
+// status is 1 only for a regression beyond the threshold; unreadable
+// inputs are an error (exit 2) so a broken pipeline cannot pass as
+// "no regressions".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the test2json stream the parser consumes.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches a gotest benchmark result line, e.g.
+// "BenchmarkSessionStep/warm-8     100     6471399 ns/op    33704 B/op".
+// The -NN GOMAXPROCS suffix is stripped so results compare across
+// machines with different core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts benchmark name → ns/op from a `go test -json`
+// stream. test2json splits one terminal line across several output
+// events (the benchmark name flushes as its own fragment before the
+// iteration counts arrive), so the fragments are reassembled into
+// lines before matching. A benchmark that appears several times
+// (-count > 1) reports the mean of its runs.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON noise (panic traces, tee artifacts)
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		sums[m[1]] += ns
+		counts[m[1]]++
+	}
+	out := make(map[string]float64, len(sums))
+	for name, sum := range sums {
+		out[name] = sum / float64(counts[name])
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		basePath   = flag.String("base", "", "baseline go test -json output (required)")
+		headPath   = flag.String("head", "", "candidate go test -json output (required)")
+		maxRegress = flag.Float64("max-regress", 25, "maximum allowed ns/op regression in percent")
+	)
+	flag.Parse()
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "protemp-benchdiff: -base and -head are required")
+		os.Exit(2)
+	}
+	base, err := parseBench(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "protemp-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	head, err := parseBench(*headPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "protemp-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 {
+		// An empty baseline is a skip, not a pass/fail: first run on a
+		// fresh branch, or the artifact expired.
+		fmt.Printf("no baseline benchmarks in %s; skipping comparison\n", *basePath)
+		return
+	}
+
+	names := make([]string, 0, len(head))
+	for name := range head {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		hv := head[name]
+		bv, ok := base[name]
+		if !ok {
+			fmt.Printf("NEW   %-60s %14.0f ns/op\n", name, hv)
+			continue
+		}
+		delta := (hv - bv) / bv * 100
+		mark := "ok   "
+		if delta > *maxRegress {
+			mark = "FAIL "
+			failed = true
+		}
+		fmt.Printf("%s %-60s %14.0f -> %14.0f ns/op  (%+.1f%%)\n", mark, name, bv, hv, delta)
+	}
+	for name := range base {
+		if _, ok := head[name]; !ok {
+			fmt.Printf("GONE  %-60s (present only in baseline)\n", name)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "protemp-benchdiff: ns/op regression beyond %.0f%%\n", *maxRegress)
+		os.Exit(1)
+	}
+}

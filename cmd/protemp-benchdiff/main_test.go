@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeBench writes a minimal go test -json stream containing the
+// given benchmark result lines.
+func writeBench(t *testing.T, dir, name string, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	var body []byte
+	for _, l := range lines {
+		body = append(body, []byte(`{"Action":"output","Output":"`+l+`\n"}`+"\n")...)
+	}
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBench(t *testing.T) {
+	dir := t.TempDir()
+	path := writeBench(t, dir, "b.json",
+		`BenchmarkSessionStep/warm/sessions1-8         \t     100\t   6471399 ns/op\t   33704 B/op\t     217 allocs/op`,
+		`BenchmarkGenerateTable-4 \t 1\t1010000000 ns/op`,
+		`some unrelated output`,
+	)
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if got["BenchmarkSessionStep/warm/sessions1"] != 6471399 {
+		t.Fatalf("warm ns/op = %v", got["BenchmarkSessionStep/warm/sessions1"])
+	}
+	if got["BenchmarkGenerateTable"] != 1010000000 {
+		t.Fatalf("table ns/op = %v", got["BenchmarkGenerateTable"])
+	}
+}
+
+// TestParseBenchFragmentedOutput mirrors the real test2json stream
+// shape: the benchmark name flushes as its own output event before the
+// iteration counts arrive in a second one, so the parser must
+// reassemble fragments into lines before matching.
+func TestParseBenchFragmentedOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "frag.json")
+	content := `{"Action":"start"}
+{"Action":"output","Output":"BenchmarkSolveSinglePoint \t"}
+{"Action":"output","Output":"       1\t   7958316 ns/op\n"}
+{"Action":"output","Output":"BenchmarkSessionStep/warm/sessions1-8 \t"}
+{"Action":"output","Output":"     100\t   6471399 ns/op\t   33704 B/op\n"}
+{"Action":"output","Output":"PASS\n"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if got["BenchmarkSolveSinglePoint"] != 7958316 {
+		t.Fatalf("single point ns/op = %v", got["BenchmarkSolveSinglePoint"])
+	}
+	if got["BenchmarkSessionStep/warm/sessions1"] != 6471399 {
+		t.Fatalf("warm ns/op = %v", got["BenchmarkSessionStep/warm/sessions1"])
+	}
+}
+
+// TestParseBenchAveragesRepeatedRuns checks -count > 1 streams report
+// the mean, which is what makes the CI gate robust to single-run
+// noise.
+func TestParseBenchAveragesRepeatedRuns(t *testing.T) {
+	dir := t.TempDir()
+	path := writeBench(t, dir, "rep.json",
+		`BenchmarkX-8 \t 10\t 400 ns/op`,
+		`BenchmarkX-8 \t 10\t 600 ns/op`,
+	)
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"] != 500 {
+		t.Fatalf("mean ns/op = %v, want 500", got["BenchmarkX"])
+	}
+}
+
+func TestParseBenchToleratesGarbageLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "noisy.json")
+	content := `{"Action":"output","Output":"BenchmarkX-8 \t 10\t 500 ns/op\n"}
+this line is not json at all
+{"Action":"run","Test":"TestY"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"] != 500 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	protemp-fleet [-scenarios mixed,bursty,adversarial,diurnal]
-//	              [-policies protemp,basic-dfs,no-tc] [-seeds 1,2]
+//	              [-policies protemp,protemp-online,basic-dfs,no-tc] [-seeds 1,2]
 //	              [-workers 0] [-horizon 0] [-max-sim 0] [-run-timeout 0]
 //	              [-grid paper|coarse] [-dt 0.0004] [-steps 250]
 //	              [-tmax 100] [-store DIR] [-json FILE] [-csv FILE]
@@ -37,7 +37,7 @@ func main() {
 
 	var (
 		scenarios  = flag.String("scenarios", "mixed,bursty,adversarial,diurnal", "comma-separated scenario names (see -list)")
-		policies   = flag.String("policies", "protemp,basic-dfs,no-tc", "comma-separated policies: protemp[/variant], basic-dfs[@°C], no-tc")
+		policies   = flag.String("policies", "protemp,basic-dfs,no-tc", "comma-separated policies: protemp[/variant], protemp-online[/variant], basic-dfs[@°C], no-tc")
 		seeds      = flag.String("seeds", "1", "comma-separated workload seeds")
 		workers    = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
 		horizon    = flag.Float64("horizon", 0, "override scenario arrival horizons in seconds (0 = defaults)")
@@ -151,12 +151,15 @@ func main() {
 	}
 }
 
-// parsePolicy parses the CLI policy syntax: "protemp", "protemp/uniform",
+// parsePolicy parses the CLI policy syntax: "protemp",
+// "protemp/uniform", "protemp-online", "protemp-online/gradient",
 // "basic-dfs", "basic-dfs@92.5", "no-tc".
 func parsePolicy(s string) (protemp.FleetPolicy, error) {
 	switch {
-	case s == "protemp" || s == "basic-dfs" || s == "no-tc":
+	case s == "protemp" || s == "protemp-online" || s == "basic-dfs" || s == "no-tc":
 		return protemp.FleetPolicy{Kind: s}, nil
+	case strings.HasPrefix(s, "protemp-online/"):
+		return protemp.FleetPolicy{Kind: "protemp-online", Variant: strings.TrimPrefix(s, "protemp-online/")}, nil
 	case strings.HasPrefix(s, "protemp/"):
 		return protemp.FleetPolicy{Kind: "protemp", Variant: strings.TrimPrefix(s, "protemp/")}, nil
 	case strings.HasPrefix(s, "basic-dfs@"):
@@ -166,7 +169,7 @@ func parsePolicy(s string) (protemp.FleetPolicy, error) {
 		}
 		return protemp.FleetPolicy{Kind: "basic-dfs", ThresholdC: threshold}, nil
 	default:
-		return protemp.FleetPolicy{}, fmt.Errorf("unknown policy %q (want protemp[/variant], basic-dfs[@°C] or no-tc)", s)
+		return protemp.FleetPolicy{}, fmt.Errorf("unknown policy %q (want protemp[/variant], protemp-online[/variant], basic-dfs[@°C] or no-tc)", s)
 	}
 }
 

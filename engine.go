@@ -3,6 +3,7 @@ package protemp
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"protemp/internal/core"
 	"protemp/internal/floorplan"
@@ -76,6 +77,12 @@ func New(opts ...Option) (*Engine, error) {
 	// a scrape of a fresh engine sees the full key set at zero and the
 	// name list cannot drift from what generations record.
 	e.recordSweep(core.TableStats{})
+	// Likewise the online-step instruments, registered (not observed) so
+	// /metrics exposes the step_* schema at zero before the first Step.
+	e.reg.Histogram("step_solve_nanos")
+	for _, name := range []string{"step_solves", "step_warm_hits", "step_warm_rejects", "step_solve_errors"} {
+		e.reg.Counter(name)
+	}
 	return e, nil
 }
 
@@ -122,8 +129,10 @@ func (e *Engine) TableGrid() (tstarts, ftargets []float64) {
 func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }
 
 // MetricsSnapshot returns the current value of every engine-level
-// metrics counter (table cache and store activity), keyed by counter
-// name — the payload a serving layer merges into its metrics endpoint.
+// instrument — table cache and store counters, Phase-1 sweep cost, and
+// the online-step latency histogram (step_solve_nanos_p50/p95/p99 with
+// step_warm_hits/step_warm_rejects) — keyed by instrument name: the
+// payload a serving layer merges into its metrics endpoint.
 func (e *Engine) MetricsSnapshot() map[string]uint64 { return e.reg.Snapshot() }
 
 // TableKey returns the cache/store key for the table the given grids
@@ -247,6 +256,24 @@ func (e *Engine) recordSweep(s core.TableStats) {
 	e.reg.Counter("sweep_warm_hits").Add(uint64(s.WarmHits))
 	e.reg.Counter("sweep_newton_iters_saved").Add(uint64(s.IterationsSaved()))
 	e.reg.Counter("sweep_solve_nanos").Add(uint64(s.WallNanos))
+}
+
+// observeStepSolve folds one online Step solve into the engine
+// registry: its wall time into the step_solve_nanos histogram (whose
+// p50/p95/p99 are the serving-latency SLO signals) and its warm-start
+// outcome into the step_* counters. Sessions call it once per solve.
+func (e *Engine) observeStepSolve(d time.Duration, st core.OnlineStepStats, err error) {
+	e.reg.Histogram("step_solve_nanos").ObserveDuration(d.Nanoseconds())
+	e.reg.Counter("step_solves").Inc()
+	if st.Warm {
+		e.reg.Counter("step_warm_hits").Inc()
+	}
+	if st.WarmRejected {
+		e.reg.Counter("step_warm_rejects").Inc()
+	}
+	if err != nil {
+		e.reg.Counter("step_solve_errors").Inc()
+	}
 }
 
 // Controller wraps a Phase-1 table into the run-time controller.

@@ -273,7 +273,10 @@ func TestOnlineSessionStep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := e.NewOnlineSession()
+	s, err := e.NewOnlineSession()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !s.Online() || s.Table() != nil {
 		t.Fatal("online session misreports itself")
 	}

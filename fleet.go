@@ -15,8 +15,8 @@ import (
 type (
 	// FleetSpec describes one batch: scenarios × policies × seeds.
 	FleetSpec = fleet.BatchSpec
-	// FleetPolicy names one policy cell ("protemp", "basic-dfs",
-	// "no-tc") with its parameters.
+	// FleetPolicy names one policy cell ("protemp", "protemp-online",
+	// "basic-dfs", "no-tc") with its parameters.
 	FleetPolicy = fleet.PolicySpec
 	// FleetResult aggregates a batch; FleetResult.Runs is in
 	// deterministic scenario-major order.

@@ -71,13 +71,18 @@ func solveLadder(ctx context.Context, s *Spec, prob *solver.Problem, lay layout,
 	warm := false
 	if warmSeed != nil {
 		res, err = solver.WarmStart(prob, warmSeed, nil, warmGap, opts, ws)
-		if err == nil {
+		switch {
+		case err == nil && res.Centered:
 			warm = true
-		} else if ctx.Err() != nil {
+		case ctx.Err() != nil:
 			return nil, nil, false, ctx.Err()
-		} else {
-			// A warm seed that cannot be re-centered or that stalls the
-			// barrier is not a verdict on the problem; fall back cold.
+		default:
+			// A warm seed that cannot be re-centered, that stalls the
+			// barrier, or whose final centering exhausted its iteration
+			// budget (Result.Centered false — the duality-gap bound is
+			// then not a certificate) is not a verdict on the problem;
+			// fall back cold so warm results stay interchangeable with
+			// cold ones.
 			res, err = nil, nil
 		}
 	}

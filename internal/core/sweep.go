@@ -53,6 +53,12 @@ type planRow struct {
 	t0Gain      float64 // ∂c0/∂TStart (row sum of A^step over the chip)
 	c0Base      float64 // TStart-independent part: drive + fixed power
 	coef        linalg.Vector
+	// t0Row is the per-block initial-state row of A^step (aliases the
+	// window response), so an explicit thermal map T0 instantiates as
+	// c0 = t0Row·T0 + c0Base — the online MPC path's per-window rewrite.
+	// It is nil when the plan was compiled with a pinned T0 (offsets
+	// folded into c0Base outright).
+	t0Row linalg.Vector
 }
 
 // compileRows is the single assembly of the temperature-row structure,
@@ -84,34 +90,26 @@ func compileRows(chip *power.Chip, window *thermal.WindowResponse, allBlocks boo
 		blocks = fp.CoreIndices()
 	}
 
-	zeros := linalg.NewVector(nb)
-	ones := linalg.Constant(nb, 1)
 	fixed := chip.FixedPower()
 	m := window.Steps()
 	rows := make([]planRow, 0, m*len(blocks))
 	for k := 1; k <= m; k++ {
 		for _, bi := range blocks {
 			row := planRow{step: k, block: bi}
-			var gain linalg.Vector
+			t0Row, drive, gain, err := window.AffineRows(k, bi)
+			if err != nil {
+				return nil, err
+			}
 			if t0 != nil {
-				base, g, err := window.Affine(k, bi, t0)
-				if err != nil {
-					return nil, err
-				}
-				gain = g
-				row.c0Base = base + gain.Dot(fixed)
+				// Pinned starting map: the whole offset is known now.
+				row.c0Base = t0Row.Dot(t0) + drive + gain.Dot(fixed)
 			} else {
-				base0, g, err := window.Affine(k, bi, zeros)
-				if err != nil {
-					return nil, err
-				}
-				base1, _, err := window.Affine(k, bi, ones)
-				if err != nil {
-					return nil, err
-				}
-				gain = g
-				row.t0Gain = base1 - base0
-				row.c0Base = base0 + gain.Dot(fixed)
+				// Deferred: c0(TStart) = t0Gain·TStart + c0Base for the
+				// uniform sweep, or c0(T0) = t0Row·T0 + c0Base for an
+				// explicit per-block map (instance.setMap).
+				row.t0Row = t0Row
+				row.t0Gain = t0Row.Sum()
+				row.c0Base = drive + gain.Dot(fixed)
 			}
 			coef := linalg.NewVector(n)
 			for j := 0; j < n; j++ {
@@ -366,6 +364,43 @@ func (in *sweepInstance) set(tstart, ftarget float64) *Spec {
 		GradWeight:         pl.ts.GradWeight,
 		GradStride:         pl.ts.GradStride,
 		ConstrainAllBlocks: pl.ts.ConstrainAllBlocks,
+	}
+}
+
+// setMap instantiates the compiled problem at an explicit per-block
+// starting map instead of a uniform TStart: every temperature offset is
+// rewritten as c0 = t0Row·t0 + c0Base (one short dot product per row),
+// the gradient-pair and workload offsets follow, and the equivalent
+// per-point Spec is returned for the start heuristics and the forward
+// check. Only valid on plans compiled with a nil t0 (compileSweep's
+// deferred mode); the returned Spec aliases t0, which must stay
+// unmodified for the duration of the solve. This is the online MPC hot
+// path: each control window observes a fresh thermal map, and the
+// rewrite replaces the full problem rebuild the cold path pays.
+func (in *sweepInstance) setMap(t0 linalg.Vector, ftarget float64) *Spec {
+	pl := in.plan
+	// Poison the uniform-TStart memo: NaN never compares equal, so a
+	// later set() always refreshes the offsets this call overwrites.
+	in.curTStart = math.NaN()
+	for i := range in.rows {
+		c0 := pl.rows[i].t0Row.Dot(t0) + pl.rows[i].c0Base
+		in.rows[i].c0 = c0
+		in.temp[i].B = c0 - pl.ts.TMax
+	}
+	for i, gp := range pl.gradPairs {
+		in.grad[i].B = in.rows[gp.ri].c0 - in.rows[gp.rj].c0
+	}
+	in.work.B = pl.workScale * ftarget / pl.ts.Chip.FMax()
+	return &Spec{
+		Chip:               pl.ts.Chip,
+		Window:             pl.ts.Window,
+		TMax:               pl.ts.TMax,
+		FTarget:            ftarget,
+		Variant:            pl.ts.Variant,
+		GradWeight:         pl.ts.GradWeight,
+		GradStride:         pl.ts.GradStride,
+		ConstrainAllBlocks: pl.ts.ConstrainAllBlocks,
+		T0:                 t0,
 	}
 }
 

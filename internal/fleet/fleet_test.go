@@ -88,6 +88,52 @@ func TestFleetSmoke(t *testing.T) {
 	}
 }
 
+// TestFleetOnlinePolicy runs the warm-started online MPC policy as a
+// fleet cell: no Phase-1 table is generated, the Summary carries the
+// per-window solve accounting, and warm starts actually engage over
+// the run.
+func TestFleetOnlinePolicy(t *testing.T) {
+	eng := fastEngine(t)
+	r := fleet.NewRunner(eng, nil, nil)
+	spec := quickSpec(
+		[]string{"mixed"},
+		[]fleet.PolicySpec{{Kind: "protemp-online"}},
+		1,
+	)
+	res, err := r.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("completed %d of 1 (failed %d)", res.Completed, res.Failed)
+	}
+	s := res.Runs[0].Summary
+	if s == nil {
+		t.Fatalf("no summary: %q", res.Runs[0].Error)
+	}
+	if res.Runs[0].Policy != "protemp-online" {
+		t.Fatalf("policy label %q", res.Runs[0].Policy)
+	}
+	if s.TableKey != "" {
+		t.Fatalf("online run carries table key %q, want none", s.TableKey)
+	}
+	if gen := eng.CacheStats().Generations; gen != 0 {
+		t.Fatalf("online policy triggered %d Phase-1 generations, want 0", gen)
+	}
+	if s.PeakTempC > s.TMaxC+0.01 {
+		t.Fatalf("online policy violated the guarantee: peak %.2f > tmax %.2f", s.PeakTempC, s.TMaxC)
+	}
+	if s.StepSolves == 0 {
+		t.Fatal("summary records no online solves")
+	}
+	if s.StepWarmHits == 0 {
+		t.Fatal("no warm hits across the run — the warm chain never engaged")
+	}
+	if s.StepSolveP50Ns == 0 || s.StepSolveP99Ns < s.StepSolveP50Ns {
+		t.Fatalf("implausible latency quantiles: p50=%d p99=%d", s.StepSolveP50Ns, s.StepSolveP99Ns)
+	}
+}
+
 // TestFleetCancellation checks the ISSUE's cancellation semantics:
 // cancel mid-batch returns the partial results accumulated so far,
 // marks the rest skipped/failed, and leaks no goroutines.

@@ -24,6 +24,7 @@ import (
 type Engine interface {
 	Chip() *power.Chip
 	Disc() *thermal.Discrete
+	Window() *thermal.WindowResponse
 	WindowSeconds() float64
 	TMax() float64
 	Variant() core.Variant
@@ -33,26 +34,27 @@ type Engine interface {
 
 // PolicySpec names one control policy of a batch.
 type PolicySpec struct {
-	// Kind is "protemp", "basic-dfs" or "no-tc".
+	// Kind is "protemp", "protemp-online", "basic-dfs" or "no-tc".
 	Kind string `json:"kind"`
 	// ThresholdC is the Basic-DFS shutdown trigger in °C; zero derives
 	// the paper's margin (TMax − 10).
 	ThresholdC float64 `json:"threshold_c,omitempty"`
-	// Variant selects the Pro-Temp table variant ("variable", "uniform"
-	// or "gradient"; empty = engine default).
+	// Variant selects the Pro-Temp model variant ("variable", "uniform"
+	// or "gradient"; empty = engine default). Applies to both the
+	// table-driven and the online kinds.
 	Variant string `json:"variant,omitempty"`
 }
 
 // Validate checks the spec against the engine-independent rules.
 func (p PolicySpec) Validate() error {
 	switch p.Kind {
-	case "protemp":
+	case "protemp", "protemp-online":
 		if _, err := core.ParseVariant(p.Variant, core.VariantVariable); err != nil {
 			return err
 		}
 	case "basic-dfs", "no-tc":
 	default:
-		return fmt.Errorf("fleet: unknown policy kind %q (want protemp, basic-dfs or no-tc)", p.Kind)
+		return fmt.Errorf("fleet: unknown policy kind %q (want protemp, protemp-online, basic-dfs or no-tc)", p.Kind)
 	}
 	// The negated comparison also rejects NaN, which would otherwise
 	// slip through every range check and disable throttling entirely.
@@ -62,15 +64,15 @@ func (p PolicySpec) Validate() error {
 	return nil
 }
 
-// Label returns the display/report name, e.g. "protemp/gradient" or
-// "basic-dfs@90".
+// Label returns the display/report name, e.g. "protemp/gradient",
+// "protemp-online" or "basic-dfs@90".
 func (p PolicySpec) Label() string {
 	switch p.Kind {
-	case "protemp":
+	case "protemp", "protemp-online":
 		if p.Variant != "" {
-			return "protemp/" + p.Variant
+			return p.Kind + "/" + p.Variant
 		}
-		return "protemp"
+		return p.Kind
 	case "basic-dfs":
 		if p.ThresholdC > 0 {
 			return fmt.Sprintf("basic-dfs@%g", p.ThresholdC)
@@ -130,6 +132,17 @@ type Summary struct {
 	FreqSwitches   uint64  `json:"freq_switches"`
 	EnergyJ        float64 `json:"energy_j"`
 	TableKey       string  `json:"table_key,omitempty"`
+
+	// Online-policy solve accounting (protemp-online only; zero
+	// otherwise): per-window convex-solve count, warm-start outcomes
+	// and solve-latency quantiles in nanoseconds — the serving-latency
+	// view of the run.
+	StepSolves      uint64 `json:"step_solves,omitempty"`
+	StepWarmHits    uint64 `json:"step_warm_hits,omitempty"`
+	StepWarmRejects uint64 `json:"step_warm_rejects,omitempty"`
+	StepSolveP50Ns  uint64 `json:"step_solve_p50_ns,omitempty"`
+	StepSolveP95Ns  uint64 `json:"step_solve_p95_ns,omitempty"`
+	StepSolveP99Ns  uint64 `json:"step_solve_p99_ns,omitempty"`
 }
 
 // RunResult is one run's outcome: a summary, an error, or a skip mark
@@ -435,6 +448,16 @@ func (r *Runner) simulate(ctx context.Context, spec BatchSpec, run Run) (*Summar
 	// multiplying back by cores × sim-time recovers the absolute
 	// violation duration in core-seconds.
 	s.ViolationCoreS = simRes.ViolationFrac * simRes.SimTime * float64(r.eng.Chip().NumCores())
+	if po, ok := policy.(*sim.ProTempOnline); ok {
+		s.StepSolves = uint64(po.Solves)
+		s.StepWarmHits = uint64(po.WarmHits)
+		s.StepWarmRejects = uint64(po.WarmRejects)
+		if po.SolveNanos != nil {
+			s.StepSolveP50Ns = po.SolveNanos.Quantile(50)
+			s.StepSolveP95Ns = po.SolveNanos.Quantile(95)
+			s.StepSolveP99Ns = po.SolveNanos.Quantile(99)
+		}
+	}
 	return s, nil
 }
 
@@ -455,6 +478,22 @@ func (r *Runner) buildPolicy(ctx context.Context, p PolicySpec, tmax float64) (s
 			return nil, "", fmt.Errorf("fleet: basic-dfs threshold %g outside (0, %g]", threshold, tmax)
 		}
 		return &sim.BasicDFS{NumCores: chip.NumCores(), FMax: chip.FMax(), Threshold: threshold}, "", nil
+	case "protemp-online":
+		v, err := core.ParseVariant(p.Variant, r.eng.Variant())
+		if err != nil {
+			return nil, "", err
+		}
+		// No Phase-1 table: the policy compiles its problem once on
+		// first Decide and warm-starts every window's solve from the
+		// previous optimum; the histogram feeds the Summary's latency
+		// quantiles.
+		return &sim.ProTempOnline{
+			Chip:       chip,
+			Window:     r.eng.Window(),
+			TMax:       tmax,
+			Variant:    v,
+			SolveNanos: &metrics.Histogram{},
+		}, "", nil
 	case "protemp":
 		v, err := core.ParseVariant(p.Variant, r.eng.Variant())
 		if err != nil {

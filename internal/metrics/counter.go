@@ -24,13 +24,15 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
-// Registry is a named set of counters and gauges: components register
-// instruments once and a metrics endpoint snapshots them all. Safe for
-// concurrent use; registration is idempotent per name.
+// Registry is a named set of counters, gauges and histograms:
+// components register instruments once and a metrics endpoint snapshots
+// them all. Safe for concurrent use; registration is idempotent per
+// name.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -51,13 +53,32 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Snapshot returns the current value of every registered counter and
-// gauge. Gauge levels below zero are reported as zero: the snapshot's
-// wire format is unsigned.
+// Histogram returns the histogram registered under name, creating it
+// on first use. Histograms share the registry's snapshot namespace
+// with counters and gauges (a histogram named h exports h_count, h_sum
+// and h_p50/p95/p99), so a name must not be reused across kinds.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot returns the current value of every registered counter,
+// gauge and histogram. Gauge levels below zero are reported as zero:
+// the snapshot's wire format is unsigned. Each histogram h contributes
+// h_count, h_sum and the latency quantiles h_p50 / h_p95 / h_p99.
 func (r *Registry) Snapshot() map[string]uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]uint64, len(r.counters)+len(r.gauges))
+	out := make(map[string]uint64, len(r.counters)+len(r.gauges)+5*len(r.histograms))
 	for name, c := range r.counters {
 		out[name] = c.Value()
 	}
@@ -67,6 +88,13 @@ func (r *Registry) Snapshot() map[string]uint64 {
 		} else {
 			out[name] = 0
 		}
+	}
+	for name, h := range r.histograms {
+		out[name+"_count"] = h.Count()
+		out[name+"_sum"] = h.Sum()
+		out[name+"_p50"] = h.Quantile(50)
+		out[name+"_p95"] = h.Quantile(95)
+		out[name+"_p99"] = h.Quantile(99)
 	}
 	return out
 }

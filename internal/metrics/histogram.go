@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is one bucket per power of two of the observed value
+// (bits.Len64 of the sample), plus bucket 0 for exact zeros. 64-bit
+// values span 64 octaves.
+const histBuckets = 65
+
+// Histogram is a lock-free, fixed-bucket distribution accumulator for
+// the latency-style quantities a serving layer reports as quantiles —
+// per-window solve times, request durations. Values land in
+// power-of-two buckets (one per octave), and quantiles interpolate
+// linearly within the winning bucket, so estimates are exact at octave
+// boundaries and within the octave's width inside. That resolution is
+// the point: a p99 that answers "hundreds of microseconds or tens of
+// milliseconds?" without the unbounded memory of exact percentile
+// tracking (contrast WaitStats, which records every sample for the
+// paper's offline figures).
+//
+// The zero value is ready to use; a Histogram must not be copied after
+// first use. All methods are safe for concurrent use. Snapshots taken
+// while observations are in flight are not atomic across buckets — a
+// scrape may see a count the sum does not include yet — which is the
+// standard monitoring trade-off, not data corruption.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// ObserveDuration records a duration-like sample, clamping negatives to
+// zero so a clock step backwards cannot wrap to a 2^64-scale outlier.
+func (h *Histogram) ObserveDuration(nanos int64) {
+	if nanos < 0 {
+		nanos = 0
+	}
+	h.Observe(uint64(nanos))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the p-th percentile (p in [0, 100]) of the
+// observed distribution: the target rank's bucket is found by
+// cumulative count and the value interpolated linearly across the
+// bucket's range. Returns 0 when nothing was observed.
+func (h *Histogram) Quantile(p float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if math.IsNaN(p) || p <= 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	// Rank in [1, total]: the k-th smallest observation.
+	rank := uint64(math.Ceil(p / 100 * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for b := 0; b < histBuckets; b++ {
+		c := h.buckets[b].Load()
+		if c == 0 {
+			continue
+		}
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		lo, hi := bucketBounds(b)
+		// Position of the target rank inside this bucket, in (0, 1].
+		frac := float64(rank-cum) / float64(c)
+		return lo + uint64(frac*float64(hi-lo))
+	}
+	// Racing observations moved counts between loads; report the top.
+	_, hi := bucketBounds(histBuckets - 1)
+	return hi
+}
+
+// bucketBounds returns the value range [lo, hi] covered by bucket b.
+func bucketBounds(b int) (lo, hi uint64) {
+	if b == 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << (b - 1)
+	if b == 64 {
+		return lo, math.MaxUint64
+	}
+	return lo, uint64(1)<<b - 1
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatalf("zero-value histogram not empty: count=%d sum=%d mean=%g", h.Count(), h.Sum(), h.Mean())
+	}
+	for _, p := range []float64{0, 50, 95, 99, 100} {
+		if q := h.Quantile(p); q != 0 {
+			t.Fatalf("empty histogram p%g = %d, want 0", p, q)
+		}
+	}
+}
+
+func TestHistogramCountSumMean(t *testing.T) {
+	var h Histogram
+	var want uint64
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+		want += v
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d, want 100", h.Count())
+	}
+	if h.Sum() != want {
+		t.Fatalf("sum %d, want %d", h.Sum(), want)
+	}
+	if got := h.Mean(); math.Abs(got-float64(want)/100) > 1e-9 {
+		t.Fatalf("mean %g, want %g", got, float64(want)/100)
+	}
+}
+
+// TestHistogramQuantileAccuracy checks quantile estimates against the
+// exact order statistics of a known distribution: with power-of-two
+// buckets and in-bucket interpolation, an estimate must land within
+// one octave of the true value.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	// 1000 samples uniform on [1, 1000].
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{
+		{50, 500}, {95, 950}, {99, 990}, {100, 1000},
+	} {
+		got := float64(h.Quantile(tc.p))
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Errorf("p%g = %g, want within an octave of %g", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantileSingleValue(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(4096)
+	}
+	// Every sample sits in the [4096, 8191] bucket; any quantile must
+	// resolve inside it.
+	for _, p := range []float64{1, 50, 99} {
+		if q := h.Quantile(p); q < 4096 || q > 8191 {
+			t.Fatalf("p%g = %d outside the sample's bucket [4096, 8191]", p, q)
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(7)
+	if q := h.Quantile(math.NaN()); q > 7 {
+		t.Fatalf("NaN percentile = %d, want a clamped in-range answer", q)
+	}
+	if q := h.Quantile(-5); q != 0 {
+		t.Fatalf("p<0 = %d, want the minimum bucket (0)", q)
+	}
+	if q := h.Quantile(200); q < 4 || q > 7 {
+		t.Fatalf("p>100 = %d, want inside the top sample's bucket [4, 7]", q)
+	}
+}
+
+func TestHistogramObserveDurationClampsNegative(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(-42)
+	if h.Sum() != 0 || h.Count() != 1 {
+		t.Fatalf("negative duration observed as sum=%d count=%d, want 0/1", h.Sum(), h.Count())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(uint64(g*each + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*each {
+		t.Fatalf("count %d, want %d", h.Count(), goroutines*each)
+	}
+}
+
+func TestRegistryHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("step_solve_nanos")
+	if r.Histogram("step_solve_nanos") != h {
+		t.Fatal("histogram registration not idempotent")
+	}
+	// A fresh histogram must still export its full key set at zero, so
+	// scrapers see a stable schema.
+	snap := r.Snapshot()
+	for _, k := range []string{
+		"step_solve_nanos_count", "step_solve_nanos_sum",
+		"step_solve_nanos_p50", "step_solve_nanos_p95", "step_solve_nanos_p99",
+	} {
+		if v, ok := snap[k]; !ok || v != 0 {
+			t.Fatalf("fresh snapshot %s = %d, %v; want 0, true", k, v, ok)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1 << 20) // ~1 ms in nanos
+	}
+	snap = r.Snapshot()
+	if snap["step_solve_nanos_count"] != 100 {
+		t.Fatalf("count key %d, want 100", snap["step_solve_nanos_count"])
+	}
+	if p50 := snap["step_solve_nanos_p50"]; p50 < 1<<20 || p50 > 1<<21 {
+		t.Fatalf("p50 key %d outside the observed bucket", p50)
+	}
+}

@@ -208,6 +208,10 @@ type sessionInfoResponse struct {
 	Downgrades uint64  `json:"downgrades"`
 	Idles      uint64  `json:"idles"`
 	Solves     uint64  `json:"solves"`
+	// WarmHits / WarmRejects report an online session's warm-start
+	// effectiveness (always zero for table sessions).
+	WarmHits    uint64 `json:"warm_hits"`
+	WarmRejects uint64 `json:"warm_rejects"`
 }
 
 type stepRequest struct {
@@ -451,7 +455,13 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		err  error
 	)
 	if req.Online {
-		sess = s.engine.NewOnlineSession()
+		// Compiles the session's persistent online problem; a failure
+		// here is an engine-configuration problem, not a client one.
+		sess, err = s.engine.NewOnlineSession()
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "session: %v", err)
+			return
+		}
 	} else {
 		// Table generation (or cache/store hit) happens here, under
 		// the request context: a cancelled create aborts the sweep.
@@ -474,15 +484,18 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) sessionInfo(id string, sess *protemp.Session, online bool) sessionInfoResponse {
 	steps, downgrades, idles, solves := sess.Stats()
+	warmHits, warmRejects := sess.WarmStats()
 	return sessionInfoResponse{
-		ID:         id,
-		Online:     online,
-		NumCores:   s.engine.Chip().NumCores(),
-		WindowS:    s.engine.WindowSeconds(),
-		Steps:      steps,
-		Downgrades: downgrades,
-		Idles:      idles,
-		Solves:     solves,
+		ID:          id,
+		Online:      online,
+		NumCores:    s.engine.Chip().NumCores(),
+		WindowS:     s.engine.WindowSeconds(),
+		Steps:       steps,
+		Downgrades:  downgrades,
+		Idles:       idles,
+		Solves:      solves,
+		WarmHits:    warmHits,
+		WarmRejects: warmRejects,
 	}
 }
 

@@ -1,10 +1,13 @@
 package sim
 
 import (
+	"context"
 	"math"
+	"time"
 
 	"protemp/internal/core"
 	"protemp/internal/linalg"
+	"protemp/internal/metrics"
 	"protemp/internal/power"
 	"protemp/internal/thermal"
 )
@@ -16,17 +19,38 @@ import (
 // (the Spec.T0 extension in internal/core). It carries the same
 // guarantee — the solved trajectory respects tmax at every sub-step —
 // while recovering the headroom the conservative max-temperature
-// rounding gives away, at the cost of run-time compute (one
-// interior-point solve per 100 ms window; the paper's table lookup is
-// O(log n)).
+// rounding gives away, at the cost of run-time compute.
+//
+// That run-time compute is warm-started: the policy compiles its
+// problem structure once on first Decide and seeds each window's
+// barrier from the previous window's optimum (core.OnlineSolver), so
+// the steady-state per-window cost is an offset rewrite plus a short
+// warm centering, not a full problem assembly plus the cold start
+// ladder. A policy is not safe for concurrent use (sim drives one
+// policy per run).
 type ProTempOnline struct {
 	Chip   *power.Chip
 	Window *thermal.WindowResponse
 	TMax   float64
+	// Variant selects the optimization model; the zero value is the
+	// paper's per-core VariantVariable.
+	Variant core.Variant
 
 	// Solves and Infeasible count run-time optimizer activity.
 	Solves     int
 	Infeasible int
+	// WarmHits / WarmRejects count warm-start outcomes across solves;
+	// SolveNanosTotal accumulates solve wall time.
+	WarmHits        int
+	WarmRejects     int
+	SolveNanosTotal int64
+	// SolveNanos, when non-nil, additionally receives every solve's
+	// wall time — callers wanting p50/p95/p99 (the fleet runner) supply
+	// a histogram; nil skips the per-solve observation.
+	SolveNanos *metrics.Histogram
+
+	ol       *core.OnlineSolver
+	compiled bool // compile attempted; ol == nil afterwards means solve cold
 }
 
 // Name implements Policy.
@@ -45,15 +69,7 @@ func (p *ProTempOnline) Decide(st WindowState) linalg.Vector {
 		required = 0.1 * p.Chip.FMax()
 	}
 
-	spec := &core.Spec{
-		Chip:    p.Chip,
-		Window:  p.Window,
-		TMax:    p.TMax,
-		FTarget: required,
-		T0:      st.BlockTemps,
-	}
-	p.Solves++
-	a, err := core.Solve(spec)
+	a, err := p.solve(st.MaxCoreTemp, st.BlockTemps, required)
 	if err == nil && a.Feasible {
 		return linalg.VectorOf(a.Freqs...)
 	}
@@ -63,14 +79,62 @@ func (p *ProTempOnline) Decide(st WindowState) linalg.Vector {
 	// largest supportable uniform target cheaply, then re-solve the full
 	// program just inside it (the run-time analogue of the paper's
 	// "next lower frequency point" fallback).
+	spec := &core.Spec{
+		Chip:    p.Chip,
+		Window:  p.Window,
+		TMax:    p.TMax,
+		TStart:  st.MaxCoreTemp,
+		FTarget: required,
+		Variant: p.Variant,
+		T0:      st.BlockTemps,
+	}
 	maxF, _, err := core.SolveUniformBisect(spec)
 	if err != nil || maxF <= 0 {
 		return linalg.NewVector(n)
 	}
-	spec.FTarget = math.Min(required, 0.98*maxF)
-	a, err = core.Solve(spec)
+	a, err = p.solve(st.MaxCoreTemp, st.BlockTemps, math.Min(required, 0.98*maxF))
 	if err != nil || !a.Feasible {
 		return linalg.NewVector(n)
 	}
 	return linalg.VectorOf(a.Freqs...)
+}
+
+// solve runs one timed, warm-capable solve, compiling the online
+// problem on first use. If the compile ever fails (a structurally
+// invalid configuration) the policy degrades to per-window cold solves
+// rather than panicking mid-simulation.
+func (p *ProTempOnline) solve(tstart float64, t0 []float64, ftarget float64) (*core.Assignment, error) {
+	if !p.compiled {
+		p.compiled = true
+		p.ol, _ = core.NewOnlineSolver(core.OnlineSpec{
+			Chip: p.Chip, Window: p.Window, TMax: p.TMax, Variant: p.Variant,
+		})
+	}
+	p.Solves++
+	start := time.Now()
+	var (
+		a     *core.Assignment
+		stats core.OnlineStepStats
+		err   error
+	)
+	if p.ol != nil {
+		a, stats, err = p.ol.Solve(context.Background(), tstart, t0, ftarget)
+	} else {
+		a, err = core.Solve(&core.Spec{
+			Chip: p.Chip, Window: p.Window, TMax: p.TMax,
+			TStart: tstart, FTarget: ftarget, Variant: p.Variant, T0: t0,
+		})
+	}
+	elapsed := time.Since(start).Nanoseconds()
+	p.SolveNanosTotal += elapsed
+	if p.SolveNanos != nil {
+		p.SolveNanos.ObserveDuration(elapsed)
+	}
+	if stats.Warm {
+		p.WarmHits++
+	}
+	if stats.WarmRejected {
+		p.WarmRejects++
+	}
+	return a, err
 }

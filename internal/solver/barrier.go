@@ -134,6 +134,12 @@ type Result struct {
 	OuterIters int
 	// StoppedEarly reports whether Options.StopEarly ended the solve.
 	StoppedEarly bool
+	// Centered reports whether the final centering stage actually
+	// reached its Newton-decrement (or round-off polish) exit. When
+	// false the stage exhausted MaxNewton and X may sit far from the
+	// central path, so Gap is not a trustworthy certificate — warm-start
+	// callers treat such a result as a miss and re-solve cold.
+	Centered bool
 }
 
 // KKTResidual returns ‖∇f0(X) + Σ λ_i ∇fi(X)‖∞, the stationarity
@@ -190,8 +196,9 @@ func BarrierWS(p *Problem, x0 linalg.Vector, opts Options, ws *Workspace) (*Resu
 
 	for outer := 0; outer < o.MaxOuter; outer++ {
 		res.OuterIters++
-		iters, stopped, err := center(p, x, t, o, ws)
+		iters, stopped, converged, err := center(p, x, t, o, ws)
 		res.NewtonIters += iters
+		res.Centered = converged
 		if err != nil {
 			return nil, err
 		}
@@ -230,8 +237,11 @@ const maxPolish = 6
 
 // center minimizes t·f0(x) + φ(x) over the strictly feasible set by
 // damped Newton, updating x in place and drawing all scratch from ws.
-// It returns the iteration count and whether StopEarly fired.
-func center(p *Problem, x linalg.Vector, t float64, o Options, ws *Workspace) (int, bool, error) {
+// It returns the iteration count, whether StopEarly fired, and whether
+// the stage converged (reached a decrement/polish/descent exit rather
+// than exhausting MaxNewton — the condition under which the iterate
+// certifiably sits near the central path).
+func center(p *Problem, x linalg.Vector, t float64, o Options, ws *Workspace) (int, bool, bool, error) {
 	grad, gi, hess := ws.grad, ws.gi, ws.hess
 	dx, xTrial := ws.dx, ws.xTrial
 	polish, lastPolish := 0, math.Inf(1)
@@ -239,21 +249,21 @@ func center(p *Problem, x linalg.Vector, t float64, o Options, ws *Workspace) (i
 	for iter := 1; iter <= o.MaxNewton; iter++ {
 		if o.Interrupt != nil {
 			if err := o.Interrupt(); err != nil {
-				return iter - 1, false, err
+				return iter - 1, false, false, err
 			}
 		}
 		if o.StopEarly != nil && o.StopEarly(x) {
-			return iter - 1, true, nil
+			return iter - 1, true, true, nil
 		}
 		// Assemble gradient and Hessian of t·f0 + φ.
 		val, ok := assemble(p, x, t, grad, gi, hess)
 		if !ok {
-			return iter, false, fmt.Errorf("%w: iterate left the domain", ErrNumerical)
+			return iter, false, false, fmt.Errorf("%w: iterate left the domain", ErrNumerical)
 		}
 
 		// Newton direction: solve H dx = -grad, regularizing if needed.
 		if !newtonDirection(ws, grad, dx) {
-			return iter, false, fmt.Errorf("%w: KKT system unsolvable", ErrNumerical)
+			return iter, false, false, fmt.Errorf("%w: KKT system unsolvable", ErrNumerical)
 		}
 
 		// Newton decrement: λ² = -gradᵀdx (dx solves H dx = -grad).
@@ -263,7 +273,7 @@ func center(p *Problem, x linalg.Vector, t float64, o Options, ws *Workspace) (i
 			lambda2 = 0
 		}
 		if lambda2/2 <= o.NewtonTol {
-			return iter, false, nil
+			return iter, false, true, nil
 		}
 		// Below the barrier value's double-precision resolution the
 		// Armijo test compares round-off noise: at large t the value is
@@ -275,13 +285,13 @@ func center(p *Problem, x linalg.Vector, t float64, o Options, ws *Workspace) (i
 		// suffices for the decrement to collapse below NewtonTol.
 		if floor := 16 * machEps * math.Abs(val); lambda2/2 <= floor {
 			if polish >= maxPolish || lambda2 >= lastPolish {
-				return iter, false, nil
+				return iter, false, true, nil
 			}
 			polish++
 			lastPolish = lambda2
 			xTrial.Add(x, dx)
 			if !p.IsStrictlyFeasible(xTrial) {
-				return iter, false, nil
+				return iter, false, true, nil
 			}
 			copy(x, xTrial)
 			continue
@@ -306,12 +316,12 @@ func center(p *Problem, x linalg.Vector, t float64, o Options, ws *Workspace) (i
 			// No descent at the smallest step: declare convergence if the
 			// decrement is already tiny, otherwise report failure.
 			if lambda2/2 <= math.Sqrt(o.NewtonTol) {
-				return iter, false, nil
+				return iter, false, true, nil
 			}
-			return iter, false, fmt.Errorf("%w: line search failed (decrement %v)", ErrNumerical, lambda2/2)
+			return iter, false, false, fmt.Errorf("%w: line search failed (decrement %v)", ErrNumerical, lambda2/2)
 		}
 	}
-	return o.MaxNewton, false, nil
+	return o.MaxNewton, false, false, nil
 }
 
 // assemble computes value, gradient and Hessian of t·f0 + φ at x.

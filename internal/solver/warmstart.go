@@ -56,7 +56,15 @@ func WarmStart(p *Problem, xPrev, anchor linalg.Vector, gapEst float64, opts Opt
 		return nil, fmt.Errorf("solver: warm anchor has dim %d, want %d", len(anchor), n)
 	}
 
-	start := recenter(p, xPrev, anchor)
+	// The blend point draws on the workspace when one is supplied, so a
+	// hot loop re-solving every control window warm-starts without
+	// allocating; BarrierWS clones its start before using any buffer.
+	var blend linalg.Vector
+	if ws != nil {
+		ws.ensure(n)
+		blend = ws.warm
+	}
+	start := recenter(p, xPrev, anchor, blend)
 	if start == nil {
 		return nil, fmt.Errorf("%w (max violation %v)", ErrWarmStart, p.MaxViolation(xPrev))
 	}
@@ -79,15 +87,19 @@ func WarmStart(p *Problem, xPrev, anchor linalg.Vector, gapEst float64, opts Opt
 
 // recenter returns a strictly feasible (with margin) point on the
 // segment from anchor to xPrev, as close to xPrev as the margin allows,
-// or nil when no blend qualifies. theta = 1 is xPrev itself.
-func recenter(p *Problem, xPrev, anchor linalg.Vector) linalg.Vector {
+// or nil when no blend qualifies. theta = 1 is xPrev itself. A non-nil
+// scratch vector (same length as xPrev) is used for the blend point;
+// nil allocates.
+func recenter(p *Problem, xPrev, anchor, blend linalg.Vector) linalg.Vector {
 	if p.MaxViolation(xPrev) < -warmMargin {
 		return xPrev
 	}
 	if anchor == nil {
 		return nil
 	}
-	blend := linalg.NewVector(len(xPrev))
+	if blend == nil {
+		blend = linalg.NewVector(len(xPrev))
+	}
 	for _, theta := range []float64{0.995, 0.95, 0.8, 0.5, 0.2, 0} {
 		for i := range blend {
 			blend[i] = anchor[i] + theta*(xPrev[i]-anchor[i])

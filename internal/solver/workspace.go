@@ -21,6 +21,7 @@ type Workspace struct {
 	dx     linalg.Vector
 	xTrial linalg.Vector
 	rhs    linalg.Vector
+	warm   linalg.Vector // WarmStart's re-centering blend point
 	hess   *linalg.Matrix
 	reg    *linalg.Matrix // regularized Hessian for factorization retries
 	chol   linalg.CholFactor
@@ -45,6 +46,7 @@ func (w *Workspace) ensure(n int) {
 	w.dx = linalg.NewVector(n)
 	w.xTrial = linalg.NewVector(n)
 	w.rhs = linalg.NewVector(n)
+	w.warm = linalg.NewVector(n)
 	w.hess = linalg.NewMatrix(n, n)
 	w.reg = linalg.NewMatrix(n, n)
 	w.chol = linalg.CholFactor{}

@@ -93,6 +93,30 @@ func (w *WindowResponse) Affine(k, i int, t0 linalg.Vector) (base float64, gain 
 	return base, w.s[k].Row(i), nil
 }
 
+// AffineRows returns, for step k and node i, the full affine
+// decomposition of the temperature in both the initial state and the
+// power vector:
+//
+//	t_{k,i} = t0Row·t0 + drive + gain·p
+//
+// with t0Row the i-th row of A^k, drive = dsum_k[i] the accumulated
+// ambient forcing, and gain the i-th row of S_k. Unlike Affine, no
+// initial state is needed: callers that re-solve the same program on a
+// fresh thermal map every control window hoist t0Row and drive once
+// and reduce the per-window offset rewrite to one dot product per
+// constraint row. Both returned vectors alias internal storage and
+// must not be modified.
+func (w *WindowResponse) AffineRows(k, i int) (t0Row linalg.Vector, drive float64, gain linalg.Vector, err error) {
+	if k < 0 || k > w.m {
+		return nil, 0, nil, fmt.Errorf("thermal: step %d outside window [0,%d]", k, w.m)
+	}
+	n := w.disc.NumNodes()
+	if i < 0 || i >= n {
+		return nil, 0, nil, fmt.Errorf("thermal: node %d outside [0,%d)", i, n)
+	}
+	return w.ak[k].Row(i), w.dsum[k][i], w.s[k].Row(i), nil
+}
+
 // MaxGain returns the largest entry of any S_k — useful for scaling
 // tolerances in tests and solver preconditioning.
 func (w *WindowResponse) MaxGain() float64 {

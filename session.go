@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"protemp/internal/core"
 	"protemp/internal/linalg"
@@ -32,15 +33,28 @@ type State struct {
 // window — from any number of goroutines. A table session answers from
 // the cached Phase-1 table in O(log n); an online session solves the
 // convex program on the observed thermal map each step.
+//
+// An online session owns warm solver state — a problem compiled once
+// at NewOnlineSession, a reusable solver workspace, and the previous
+// window's optimum as the next window's barrier seed — so concurrent
+// Step calls remain safe but serialize their solves on the session;
+// callers needing solve parallelism open one session per stream.
 type Session struct {
 	engine *Engine
 	ctrl   *core.Controller // table-driven when non-nil
 
-	mu         sync.Mutex
-	steps      uint64
-	downgrades uint64
-	idles      uint64
-	solves     uint64 // online only
+	// solveMu serializes online solves: the compiled problem instance,
+	// workspace and warm state all mutate in place.
+	solveMu sync.Mutex
+	online  *core.OnlineSolver // online (MPC) when non-nil
+
+	mu          sync.Mutex
+	steps       uint64
+	downgrades  uint64
+	idles       uint64
+	solves      uint64 // online only
+	warmHits    uint64 // online solves carried by the previous optimum
+	warmRejects uint64 // online solves where the warm seed fell back cold
 }
 
 // NewSession opens a table-driven control session on the engine's
@@ -72,9 +86,22 @@ func (e *Engine) NewSessionFromTable(table *core.Table) (*Session, error) {
 
 // NewOnlineSession opens a model-predictive session that solves the
 // convex program at every Step on the full thermal map — no Phase-1
-// table, one interior-point solve per window.
-func (e *Engine) NewOnlineSession() *Session {
-	return &Session{engine: e}
+// table, one interior-point solve per window. The problem structure is
+// compiled here, once: every Step after that rewrites only the
+// state-dependent constraint offsets and warm-starts the barrier from
+// the previous window's optimum (cold ladder as fallback), which is
+// what makes the per-window solve cheap enough to serve live traffic.
+func (e *Engine) NewOnlineSession() (*Session, error) {
+	ol, err := core.NewOnlineSolver(core.OnlineSpec{
+		Chip:    e.chip,
+		Window:  e.window,
+		TMax:    e.cfg.tmax,
+		Variant: e.cfg.variant,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{engine: e, online: ol}, nil
 }
 
 // Online reports whether the session solves online (true) or answers
@@ -98,6 +125,17 @@ func (s *Session) Stats() (steps, downgrades, idles, solves uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.steps, s.downgrades, s.idles, s.solves
+}
+
+// WarmStats reports an online session's warm-start effectiveness:
+// solves carried by the previous window's re-centered optimum versus
+// solves where a previous optimum existed but the seed was rejected
+// and the cold start ladder ran. Both are zero for table sessions and
+// for a session's first solve (nothing to seed from).
+func (s *Session) WarmStats() (hits, rejects uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.warmHits, s.warmRejects
 }
 
 // Step decides the per-core frequency command (Hz, length NumCores)
@@ -133,7 +171,10 @@ func (s *Session) stepTable(st State) []float64 {
 // stepOnline mirrors sim.ProTempOnline's decision rule with context
 // plumbed through: solve at the (floored) required target, and if that
 // is unsupportable from the observed map, bisect the largest
-// supportable uniform target and re-solve just inside it.
+// supportable uniform target and re-solve just inside it. Solves run
+// on the session's persistent warm state under solveMu; a cancelled or
+// failed solve invalidates that state (never the session), so the next
+// Step under a live context performs a correct cold solve.
 func (s *Session) stepOnline(ctx context.Context, st State) ([]float64, error) {
 	e := s.engine
 	n := e.chip.NumCores()
@@ -148,21 +189,19 @@ func (s *Session) stepOnline(ctx context.Context, st State) ([]float64, error) {
 	if required > 0 && required < 0.1*fmax {
 		required = 0.1 * fmax
 	}
-	spec := e.spec(st.MaxCoreTemp, required, e.cfg.variant)
-	if st.BlockTemps != nil {
-		if len(st.BlockTemps) != e.cfg.fp.NumBlocks() {
-			return nil, fmt.Errorf("protemp: state has %d block temps for %d blocks",
-				len(st.BlockTemps), e.cfg.fp.NumBlocks())
-		}
-		spec.T0 = st.BlockTemps
+	if st.BlockTemps != nil && len(st.BlockTemps) != e.cfg.fp.NumBlocks() {
+		return nil, fmt.Errorf("protemp: state has %d block temps for %d blocks",
+			len(st.BlockTemps), e.cfg.fp.NumBlocks())
 	}
 
 	s.mu.Lock()
 	s.steps++
-	s.solves++
 	s.mu.Unlock()
 
-	a, err := core.SolveContext(ctx, spec)
+	s.solveMu.Lock()
+	defer s.solveMu.Unlock()
+
+	a, err := s.solveOnline(ctx, st.MaxCoreTemp, st.BlockTemps, required)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +215,9 @@ func (s *Session) stepOnline(ctx context.Context, st State) ([]float64, error) {
 	// fails. The bisection honors ctx too: a session cancelled at any
 	// point inside Step returns promptly and remains safe to Step
 	// again under a live context — no counter is left inconsistent and
-	// no lock is held across a solve.
+	// the warm state is invalidated, never corrupted.
+	spec := e.spec(st.MaxCoreTemp, required, e.cfg.variant)
+	spec.T0 = st.BlockTemps
 	maxF, _, err := core.SolveUniformBisectContext(ctx, spec)
 	if err != nil {
 		return nil, err
@@ -186,12 +227,10 @@ func (s *Session) stepOnline(ctx context.Context, st State) ([]float64, error) {
 		s.noteIdle()
 		return idle, nil
 	}
-	spec.FTarget = math.Min(required, 0.98*maxF)
 	s.mu.Lock()
-	s.solves++
 	s.downgrades++
 	s.mu.Unlock()
-	a, err = core.SolveContext(ctx, spec)
+	a, err = s.solveOnline(ctx, st.MaxCoreTemp, st.BlockTemps, math.Min(required, 0.98*maxF))
 	if err != nil {
 		return nil, err
 	}
@@ -200,6 +239,26 @@ func (s *Session) stepOnline(ctx context.Context, st State) ([]float64, error) {
 		return idle, nil
 	}
 	return a.Freqs, nil
+}
+
+// solveOnline runs one warm-capable solve (caller holds solveMu),
+// folding its latency and warm-start outcome into the session counters
+// and the engine's step_* instruments.
+func (s *Session) solveOnline(ctx context.Context, tstart float64, t0 []float64, ftarget float64) (*core.Assignment, error) {
+	start := time.Now()
+	a, stats, err := s.online.Solve(ctx, tstart, t0, ftarget)
+	elapsed := time.Since(start)
+	s.mu.Lock()
+	s.solves++
+	if stats.Warm {
+		s.warmHits++
+	}
+	if stats.WarmRejected {
+		s.warmRejects++
+	}
+	s.mu.Unlock()
+	s.engine.observeStepSolve(elapsed, stats, err)
+	return a, err
 }
 
 func (s *Session) noteIdle() {

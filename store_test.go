@@ -178,7 +178,10 @@ func TestSessionStepCancelledMidStepIsReusable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := e.NewOnlineSession()
+	s, err := e.NewOnlineSession()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// A hot start with a near-fmax target forces the expensive path:
 	// infeasible main solve, bisection fallback, downgraded re-solve.
