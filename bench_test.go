@@ -21,6 +21,7 @@ import (
 	"protemp/internal/core"
 	"protemp/internal/experiments"
 	"protemp/internal/linalg"
+	"protemp/internal/sense"
 	"protemp/internal/sim"
 	"protemp/internal/solver"
 	"protemp/internal/thermal"
@@ -338,6 +339,57 @@ func BenchmarkSessionStep(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkSensedStep times one DFS window through the measurement
+// path at its three service levels: perfect sensing (the plain Stepper,
+// the pre-observer baseline), noisy sensors served raw, and noisy
+// sensors reconstructed by the steady-state Kalman filter. The spread
+// between the first and last case is the per-window price of the whole
+// sense→estimate chain — the budget an online deployment pays to
+// tolerate imperfect sensors.
+func BenchmarkSensedStep(b *testing.B) {
+	s := setupBench(b)
+	noisy := []sense.Config{sense.DefaultNoisy()}
+	for _, tc := range []struct {
+		name    string
+		sensing *sim.Sensing
+	}{
+		{"perfect", nil},
+		{"noisy/raw", &sim.Sensing{Sensors: noisy, Seed: 1}},
+		{"noisy/kalman", &sim.Sensing{Sensors: noisy, Seed: 1, Estimator: "kalman"}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := sim.Config{
+				Chip:    s.Chip,
+				Disc:    s.Disc,
+				Policy:  &sim.NoTC{NumCores: s.Chip.NumCores(), FMax: s.Chip.FMax()},
+				Trace:   s.Heavy,
+				TMax:    experiments.TMax,
+				Sensing: tc.sensing,
+			}
+			mk := func() sim.WindowStepper {
+				st, err := sim.NewWindowStepper(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return st
+			}
+			stepper := mk()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if stepper.Done() {
+					b.StopTimer()
+					stepper = mk()
+					b.StartTimer()
+				}
+				if err := stepper.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSolveSinglePoint times one Phase-1 convex solve — the

@@ -9,6 +9,7 @@
 //
 //	protemp-fleet [-scenarios mixed,bursty,adversarial,diurnal]
 //	              [-policies protemp,protemp-online,basic-dfs,no-tc] [-seeds 1,2]
+//	              [-scenarios sensor-dropout -policies protemp-online,protemp-online+kalman]
 //	              [-workers 0] [-horizon 0] [-max-sim 0] [-run-timeout 0]
 //	              [-grid paper|coarse] [-dt 0.0004] [-steps 250]
 //	              [-tmax 100] [-store DIR] [-json FILE] [-csv FILE]
@@ -29,6 +30,7 @@ import (
 
 	"protemp"
 	"protemp/internal/fleet"
+	"protemp/internal/sim"
 )
 
 func main() {
@@ -37,7 +39,7 @@ func main() {
 
 	var (
 		scenarios  = flag.String("scenarios", "mixed,bursty,adversarial,diurnal", "comma-separated scenario names (see -list)")
-		policies   = flag.String("policies", "protemp,basic-dfs,no-tc", "comma-separated policies: protemp[/variant], protemp-online[/variant], basic-dfs[@°C], no-tc")
+		policies   = flag.String("policies", "protemp,basic-dfs,no-tc", "comma-separated policies: protemp[/variant], protemp-online[/variant], basic-dfs[@°C], no-tc; append +kalman or +luenberger to run behind a state estimator")
 		seeds      = flag.String("seeds", "1", "comma-separated workload seeds")
 		workers    = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
 		horizon    = flag.Float64("horizon", 0, "override scenario arrival horizons in seconds (0 = defaults)")
@@ -62,6 +64,9 @@ func main() {
 			}
 			if sc.TMaxC != 0 {
 				fmt.Printf(", TMax %g°C", sc.TMaxC)
+			}
+			if d := sensingDesc(sc.Sensing); d != "" {
+				fmt.Printf(", sensing: %s", d)
 			}
 			fmt.Println(")")
 		}
@@ -151,10 +156,79 @@ func main() {
 	}
 }
 
+// sensingDesc renders a scenario's measurement-path defects for -list:
+// which sensor faults are injected and which observer (if any) the
+// scenario itself mandates. Policies may still bring their own
+// estimator via the +kalman / +luenberger suffix.
+func sensingDesc(sn *sim.Sensing) string {
+	if sn == nil {
+		return ""
+	}
+	var parts []string
+	for i, c := range sn.Sensors {
+		var defects []string
+		if c.NoiseSigma > 0 {
+			defects = append(defects, fmt.Sprintf("±%g°C noise", c.NoiseSigma))
+		}
+		if c.QuantStep > 0 {
+			defects = append(defects, fmt.Sprintf("%g°C ADC", c.QuantStep))
+		}
+		if c.DelayWindows > 0 {
+			defects = append(defects, fmt.Sprintf("%d-window delay", c.DelayWindows))
+		}
+		if c.DropoutProb > 0 {
+			defects = append(defects, fmt.Sprintf("%g%% dropout", c.DropoutProb*100))
+		}
+		if c.StuckProb > 0 {
+			defects = append(defects, fmt.Sprintf("%g%% stuck", c.StuckProb*100))
+		}
+		if c.DriftRate != 0 {
+			defects = append(defects, fmt.Sprintf("%+g°C/s drift", c.DriftRate))
+		}
+		if len(defects) == 0 {
+			continue
+		}
+		d := strings.Join(defects, " + ")
+		if len(sn.Sensors) > 1 {
+			d = fmt.Sprintf("core%d %s", i, d)
+		}
+		parts = append(parts, d)
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "perfect sensors")
+	}
+	if sn.Estimator != "" && sn.Estimator != "none" {
+		parts = append(parts, sn.Estimator+" observer")
+	}
+	if sn.ModelErr != 0 && sn.ModelErr != 1 {
+		parts = append(parts, fmt.Sprintf("observer model ×%g", sn.ModelErr))
+	}
+	return strings.Join(parts, ", ")
+}
+
 // parsePolicy parses the CLI policy syntax: "protemp",
 // "protemp/uniform", "protemp-online", "protemp-online/gradient",
-// "basic-dfs", "basic-dfs@92.5", "no-tc".
+// "basic-dfs", "basic-dfs@92.5", "no-tc". Any policy may carry a
+// "+kalman" or "+luenberger" suffix to run it behind that state
+// estimator on sensing scenarios (e.g. "protemp-online+kalman").
 func parsePolicy(s string) (protemp.FleetPolicy, error) {
+	var estimator string
+	if i := strings.LastIndex(s, "+"); i >= 0 {
+		estimator = s[i+1:]
+		s = s[:i]
+	}
+	pol, err := parseBasePolicy(s)
+	if err != nil {
+		return pol, err
+	}
+	pol.Estimator = estimator
+	if err := pol.Validate(); err != nil {
+		return protemp.FleetPolicy{}, err
+	}
+	return pol, nil
+}
+
+func parseBasePolicy(s string) (protemp.FleetPolicy, error) {
 	switch {
 	case s == "protemp" || s == "protemp-online" || s == "basic-dfs" || s == "no-tc":
 		return protemp.FleetPolicy{Kind: s}, nil

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"protemp/internal/core"
+	"protemp/internal/estimate"
 	"protemp/internal/linalg"
 	"protemp/internal/metrics"
 	"protemp/internal/power"
@@ -43,6 +44,12 @@ type PolicySpec struct {
 	// or "gradient"; empty = engine default). Applies to both the
 	// table-driven and the online kinds.
 	Variant string `json:"variant,omitempty"`
+	// Estimator equips the policy with a state observer for scenarios
+	// with degraded sensing: "kalman" or "luenberger" reconstructs the
+	// thermal map from the readings, "" or "none" consumes them raw.
+	// On a perfect-sensing scenario a non-empty value still routes the
+	// run through the sensed path (perfect readings into the observer).
+	Estimator string `json:"estimator,omitempty"`
 }
 
 // Validate checks the spec against the engine-independent rules.
@@ -61,26 +68,36 @@ func (p PolicySpec) Validate() error {
 	if !(p.ThresholdC >= 0) || math.IsInf(p.ThresholdC, 0) {
 		return fmt.Errorf("fleet: invalid threshold %g", p.ThresholdC)
 	}
+	if p.Estimator != "" && p.Estimator != "none" {
+		if _, err := estimate.ParseKind(p.Estimator, estimate.Kalman); err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
+	}
 	return nil
 }
 
 // Label returns the display/report name, e.g. "protemp/gradient",
-// "protemp-online" or "basic-dfs@90".
+// "protemp-online+kalman" or "basic-dfs@90".
 func (p PolicySpec) Label() string {
+	var base string
 	switch p.Kind {
 	case "protemp", "protemp-online":
+		base = p.Kind
 		if p.Variant != "" {
-			return p.Kind + "/" + p.Variant
+			base += "/" + p.Variant
 		}
-		return p.Kind
 	case "basic-dfs":
+		base = "basic-dfs"
 		if p.ThresholdC > 0 {
-			return fmt.Sprintf("basic-dfs@%g", p.ThresholdC)
+			base = fmt.Sprintf("basic-dfs@%g", p.ThresholdC)
 		}
-		return "basic-dfs"
 	default:
-		return p.Kind
+		base = p.Kind
 	}
+	if p.Estimator != "" && p.Estimator != "none" {
+		base += "+" + p.Estimator
+	}
+	return base
 }
 
 // BatchSpec describes one fleet evaluation: the cross product of
@@ -143,6 +160,19 @@ type Summary struct {
 	StepSolveP50Ns  uint64 `json:"step_solve_p50_ns,omitempty"`
 	StepSolveP95Ns  uint64 `json:"step_solve_p95_ns,omitempty"`
 	StepSolveP99Ns  uint64 `json:"step_solve_p99_ns,omitempty"`
+
+	// Imperfect-sensing accounting (sensed runs only; zero otherwise):
+	// injected-defect counters, the observer used, its estimate-vs-truth
+	// RMS error and innovation-magnitude quantiles in °C.
+	SenseWindows  uint64  `json:"sense_windows,omitempty"`
+	SenseDropouts uint64  `json:"sense_dropouts,omitempty"`
+	SenseStuck    uint64  `json:"sense_stuck_sensors,omitempty"`
+	SenseDegraded uint64  `json:"sense_degraded_windows,omitempty"`
+	Estimator     string  `json:"estimator,omitempty"`
+	EstimateRMSC  float64 `json:"estimate_rms_c,omitempty"`
+	InnovP50C     float64 `json:"innov_p50_c,omitempty"`
+	InnovP95C     float64 `json:"innov_p95_c,omitempty"`
+	InnovP99C     float64 `json:"innov_p99_c,omitempty"`
 }
 
 // RunResult is one run's outcome: a summary, an error, or a skip mark
@@ -180,6 +210,15 @@ type Runner struct {
 	completed *metrics.Counter
 	failed    *metrics.Counter
 	inflight  *metrics.Gauge
+
+	// Imperfect-sensing aggregates across all sensed runs: injected
+	// dropouts, latched stuck-at faults, fully blind windows, and the
+	// per-window estimator innovation ∞-norm in milli-°C — the fleet's
+	// sensor-health view on a server's /metrics endpoint.
+	senseDropouts *metrics.Counter
+	senseStuck    *metrics.Counter
+	senseDegraded *metrics.Counter
+	senseInnov    *metrics.Histogram
 }
 
 // NewRunner builds a Runner. scenarios nil selects the builtin
@@ -192,13 +231,17 @@ func NewRunner(eng Engine, scenarios *Registry, reg *metrics.Registry) *Runner {
 		reg = metrics.NewRegistry()
 	}
 	return &Runner{
-		eng:       eng,
-		scenarios: scenarios,
-		batches:   reg.Counter("fleet_batches"),
-		started:   reg.Counter("fleet_runs_started"),
-		completed: reg.Counter("fleet_runs_completed"),
-		failed:    reg.Counter("fleet_runs_failed"),
-		inflight:  reg.Gauge("fleet_runs_inflight"),
+		eng:           eng,
+		scenarios:     scenarios,
+		batches:       reg.Counter("fleet_batches"),
+		started:       reg.Counter("fleet_runs_started"),
+		completed:     reg.Counter("fleet_runs_completed"),
+		failed:        reg.Counter("fleet_runs_failed"),
+		inflight:      reg.Gauge("fleet_runs_inflight"),
+		senseDropouts: reg.Counter("fleet_sense_dropouts"),
+		senseStuck:    reg.Counter("fleet_sense_stuck_sensors"),
+		senseDegraded: reg.Counter("fleet_sense_degraded_windows"),
+		senseInnov:    reg.Histogram("fleet_sense_innov_milli_c"),
 	}
 }
 
@@ -419,6 +462,7 @@ func (r *Runner) simulate(ctx context.Context, spec BatchSpec, run Run) (*Summar
 		TMax:    tmax,
 		T0:      sc.T0C,
 		MaxTime: spec.MaxSimTime,
+		Sensing: cellSensing(sc, run),
 	})
 	if err != nil {
 		return nil, err
@@ -458,7 +502,44 @@ func (r *Runner) simulate(ctx context.Context, spec BatchSpec, run Run) (*Summar
 			s.StepSolveP99Ns = po.SolveNanos.Quantile(99)
 		}
 	}
+	if sr := simRes.Sense; sr != nil {
+		s.SenseWindows = sr.Windows
+		s.SenseDropouts = sr.Dropouts
+		s.SenseStuck = sr.StuckSensors
+		s.SenseDegraded = sr.DegradedWindows
+		s.Estimator = sr.Estimator
+		s.EstimateRMSC = sr.EstimateRMSC
+		if h := sr.Innovation; h != nil && h.Count() > 0 {
+			s.InnovP50C = float64(h.Quantile(50)) / 1000
+			s.InnovP95C = float64(h.Quantile(95)) / 1000
+			s.InnovP99C = float64(h.Quantile(99)) / 1000
+			r.senseInnov.Merge(h)
+		}
+		r.senseDropouts.Add(sr.Dropouts)
+		r.senseStuck.Add(sr.StuckSensors)
+		r.senseDegraded.Add(sr.DegradedWindows)
+	}
 	return s, nil
+}
+
+// cellSensing resolves one cell's measurement path: the scenario
+// supplies the fault environment, the policy its observer, the cell's
+// workload seed the defect sequence. A perfect-sensing scenario with a
+// raw policy bypasses the sensed path entirely.
+func cellSensing(sc Scenario, run Run) *sim.Sensing {
+	est := run.Policy.Estimator
+	if sc.Sensing == nil && (est == "" || est == "none") {
+		return nil
+	}
+	sn := &sim.Sensing{}
+	if sc.Sensing != nil {
+		*sn = *sc.Sensing
+	}
+	sn.Seed = run.Seed
+	if est != "" {
+		sn.Estimator = est
+	}
+	return sn
 }
 
 // buildPolicy instantiates the control policy for one run. Pro-Temp

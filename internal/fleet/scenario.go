@@ -18,6 +18,8 @@ import (
 	"sort"
 	"sync"
 
+	"protemp/internal/sense"
+	"protemp/internal/sim"
 	"protemp/internal/workload"
 )
 
@@ -39,6 +41,13 @@ type Scenario struct {
 	// Pro-Temp table and violation accounting. Zero keeps the engine
 	// default.
 	TMaxC float64
+	// Sensing, when non-nil, degrades the measurement path: policies
+	// observe sensor readings with these defects instead of the true
+	// temperatures. The runner overrides its Seed with the cell's
+	// workload seed so runs replay bit-identically, and a policy's
+	// Estimator choice overrides the scenario's (the scenario is the
+	// fault environment, the policy brings its own observer).
+	Sensing *sim.Sensing
 	// Build synthesizes the trace for a seed, core count and horizon
 	// (horizon <= 0 selects the scenario's default). It must be
 	// deterministic under seed.
@@ -76,6 +85,9 @@ func (r *Registry) Register(s Scenario) error {
 		return fmt.Errorf("fleet: scenario %q has non-positive horizon %g", s.Name, s.Horizon)
 	case s.TMaxC < 0:
 		return fmt.Errorf("fleet: scenario %q has negative TMax %g", s.Name, s.TMaxC)
+	}
+	if err := s.Sensing.Validate(); err != nil {
+		return fmt.Errorf("fleet: scenario %q: %w", s.Name, err)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -197,6 +209,49 @@ func Builtin() *Registry {
 		Horizon:     20,
 		T0C:         85,
 		Build:       mixedAt,
+	})
+	// Imperfect-sensing families: same thermal stress as ambient-hot
+	// (controllers must actually work near the limit for sensing quality
+	// to matter) with progressively nastier measurement paths. Policies
+	// race raw against estimator-assisted by setting PolicySpec.Estimator.
+	r.mustRegister(Scenario{
+		Name:        "noisy-sensors",
+		Description: "hot-start mixed load read through the reference noisy diode (0.5 °C noise, 0.25 °C ADC, 1% dropout)",
+		Horizon:     20,
+		T0C:         85,
+		Sensing:     &sim.Sensing{Sensors: []sense.Config{sense.DefaultNoisy()}},
+		Build:       mixedAt,
+	})
+	r.mustRegister(Scenario{
+		Name:        "sensor-dropout",
+		Description: "hot-start mixed load with unreliable sensors: 30% per-window dropouts, occasional fully blind windows",
+		Horizon:     20,
+		T0C:         85,
+		Sensing: &sim.Sensing{Sensors: []sense.Config{{
+			NoiseSigma: 0.5, QuantStep: 0.25, DropoutProb: 0.3,
+		}}},
+		Build: mixedAt,
+	})
+	r.mustRegister(Scenario{
+		Name:        "ambient-drift",
+		Description: "hot-start mixed load with under-reporting sensors: −0.5 °C/s calibration drift on top of read noise",
+		Horizon:     20,
+		T0C:         85,
+		Sensing: &sim.Sensing{Sensors: []sense.Config{{
+			NoiseSigma: 0.25, DriftRate: -0.5,
+		}}},
+		Build: mixedAt,
+	})
+	r.mustRegister(Scenario{
+		Name:        "model-mismatch",
+		Description: "noisy sensors plus a wrong-RC observer: the estimator's thermal model carries a 40% gain error",
+		Horizon:     20,
+		T0C:         85,
+		Sensing: &sim.Sensing{
+			Sensors:  []sense.Config{sense.DefaultNoisy()},
+			ModelErr: 1.4,
+		},
+		Build: mixedAt,
 	})
 	return r
 }

@@ -49,6 +49,23 @@ func (h *Histogram) ObserveDuration(nanos int64) {
 	h.Observe(uint64(nanos))
 }
 
+// Merge folds another histogram's observations into h — how per-run
+// distributions (a fleet cell's innovation magnitudes) roll up into a
+// process-wide instrument. Like a scrape, a merge concurrent with
+// observations on o is not atomic across buckets.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o == h {
+		return
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	for b := range o.buckets {
+		if c := o.buckets[b].Load(); c != 0 {
+			h.buckets[b].Add(c)
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

@@ -1,0 +1,248 @@
+// Package sense models the imperfect measurement path between the
+// simulated (true) chip temperatures and what a controller actually
+// observes. The paper's run-time phase assumes exact knowledge of
+// every node temperature; production thermal sensors are noisy,
+// quantized, delayed by the sensor-network readout, occasionally
+// silent, and sometimes latch a stale value permanently. A Bank
+// applies those defects — per sensor, from one deterministic seeded
+// RNG — so a fleet batch replays bit-identically under a fixed seed.
+//
+// The pipeline per sensor and control window is
+//
+//	y = Q( T_true(t − delay) + drift·t + ν ),  ν ~ N(0, σ²)
+//
+// with Q the mid-tread quantizer of step q, followed by a Bernoulli
+// dropout (no reading this window) and a Bernoulli permanent stuck-at
+// latch (the sensor keeps reporting its last value forever).
+package sense
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"protemp/internal/linalg"
+)
+
+// Config describes one sensor's defect model. The zero value is a
+// perfect sensor.
+type Config struct {
+	// NoiseSigma is the Gaussian read-noise standard deviation in °C.
+	NoiseSigma float64 `json:"noise_sigma_c,omitempty"`
+	// QuantStep is the ADC quantization step in °C (0 = continuous).
+	QuantStep float64 `json:"quant_step_c,omitempty"`
+	// DelayWindows delays readings by whole control windows: the value
+	// reported at window k was sampled at window k − DelayWindows.
+	DelayWindows int `json:"delay_windows,omitempty"`
+	// DropoutProb is the per-window probability that the sensor
+	// returns no reading at all.
+	DropoutProb float64 `json:"dropout_prob,omitempty"`
+	// StuckProb is the per-window probability that the sensor latches
+	// its current reading permanently (a stuck-at fault). A stuck
+	// sensor still "reads" — it just never changes again.
+	StuckProb float64 `json:"stuck_prob,omitempty"`
+	// DriftRate is a slow calibration drift in °C per simulated
+	// second, added to every reading (ambient-coupled reference
+	// error). Negative drift under-reports — the dangerous direction.
+	DriftRate float64 `json:"drift_c_per_s,omitempty"`
+}
+
+// Validate rejects configurations no physical sensor could have.
+func (c Config) Validate() error {
+	for name, v := range map[string]float64{
+		"noise sigma": c.NoiseSigma, "quant step": c.QuantStep,
+		"dropout prob": c.DropoutProb, "stuck prob": c.StuckProb,
+		"drift rate": c.DriftRate,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("sense: non-finite %s %v", name, v)
+		}
+	}
+	if c.NoiseSigma < 0 {
+		return fmt.Errorf("sense: negative noise sigma %g", c.NoiseSigma)
+	}
+	if c.QuantStep < 0 {
+		return fmt.Errorf("sense: negative quantization step %g", c.QuantStep)
+	}
+	if c.DelayWindows < 0 {
+		return fmt.Errorf("sense: negative delay %d windows", c.DelayWindows)
+	}
+	if c.DropoutProb < 0 || c.DropoutProb > 1 {
+		return fmt.Errorf("sense: dropout probability %g outside [0,1]", c.DropoutProb)
+	}
+	if c.StuckProb < 0 || c.StuckProb > 1 {
+		return fmt.Errorf("sense: stuck probability %g outside [0,1]", c.StuckProb)
+	}
+	return nil
+}
+
+// Perfect reports whether the config models an ideal sensor, in which
+// case the whole measurement path is the identity.
+func (c Config) Perfect() bool { return c == Config{} }
+
+// Uniform replicates one config across n sensors — the common case of
+// a chip instrumented with identical diodes.
+func Uniform(n int, c Config) []Config {
+	out := make([]Config, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+// DefaultNoisy is the reference imperfect sensor: half-degree Gaussian
+// noise on a quarter-degree ADC with a 1% chance of a missed reading —
+// roughly a production on-die thermal diode.
+func DefaultNoisy() Config {
+	return Config{NoiseSigma: 0.5, QuantStep: 0.25, DropoutProb: 0.01}
+}
+
+// Reading is one sensor's output for one control window.
+type Reading struct {
+	// Value is the reported temperature in °C; meaningless when Valid
+	// is false.
+	Value float64
+	// Valid is false when the sensor dropped out this window.
+	Valid bool
+	// Stuck reports a latched sensor: Value is stale and will never
+	// change again. Callers that can detect stuck sensors (e.g. by
+	// watching for a flatlined reading) may discount it; the Bank
+	// itself keeps reporting it as a valid measurement, which is
+	// exactly what makes stuck-at faults dangerous.
+	Stuck bool
+}
+
+// Stats counts the defects a Bank has injected so far.
+type Stats struct {
+	// Windows is the number of Observe calls served.
+	Windows uint64
+	// Dropouts counts individual missing readings.
+	Dropouts uint64
+	// StuckSensors is the number of sensors currently latched.
+	StuckSensors uint64
+	// DegradedWindows counts windows in which every sensor dropped
+	// out — the full-outage bursts that must invalidate warm solver
+	// state downstream.
+	DegradedWindows uint64
+}
+
+// Bank transforms true temperatures into sensor readings. One Bank
+// serves one run: it owns the delay lines, the stuck latches and a
+// deterministic seeded RNG, so equal (configs, seed, input sequence)
+// produce equal readings. A Bank is single-goroutine state, like the
+// sim.Stepper it decorates.
+type Bank struct {
+	cfgs []Config
+	rng  *rand.Rand
+
+	// delay[i] is sensor i's ring buffer of past true temperatures;
+	// head is the slot the next sample lands in.
+	delay [][]float64
+	head  []int
+	seen  []int // samples pushed so far, to serve the pre-fill window
+
+	stuck    []bool
+	stuckVal []float64
+
+	stats Stats
+}
+
+// NewBank validates the per-sensor configs and builds the bank. The
+// seed fixes the entire defect sequence; two banks with equal configs
+// and seeds observing equal inputs produce equal readings.
+func NewBank(cfgs []Config, seed int64) (*Bank, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("sense: no sensors")
+	}
+	for i, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("sensor %d: %w", i, err)
+		}
+	}
+	b := &Bank{
+		cfgs:     append([]Config(nil), cfgs...),
+		rng:      rand.New(rand.NewPCG(uint64(seed), 0x9e3779b97f4a7c15)),
+		delay:    make([][]float64, len(cfgs)),
+		head:     make([]int, len(cfgs)),
+		seen:     make([]int, len(cfgs)),
+		stuck:    make([]bool, len(cfgs)),
+		stuckVal: make([]float64, len(cfgs)),
+	}
+	for i, c := range cfgs {
+		if c.DelayWindows > 0 {
+			b.delay[i] = make([]float64, c.DelayWindows+1)
+		}
+	}
+	return b, nil
+}
+
+// NumSensors returns the number of sensors in the bank.
+func (b *Bank) NumSensors() int { return len(b.cfgs) }
+
+// Stats returns a snapshot of the defect counters.
+func (b *Bank) Stats() Stats { return b.stats }
+
+// Observe produces one window's readings from the true temperatures
+// (one per sensor, °C) at simulated time t (seconds). The readings
+// slice is freshly allocated per call when dst is nil; passing a
+// previous result recycles it.
+func (b *Bank) Observe(dst []Reading, t float64, truth linalg.Vector) ([]Reading, error) {
+	if len(truth) != len(b.cfgs) {
+		return nil, fmt.Errorf("sense: %d temperatures for %d sensors", len(truth), len(b.cfgs))
+	}
+	if cap(dst) < len(b.cfgs) {
+		dst = make([]Reading, len(b.cfgs))
+	}
+	dst = dst[:len(b.cfgs)]
+	b.stats.Windows++
+	degraded := true
+	for i, c := range b.cfgs {
+		// One fixed draw schedule per sensor per window — noise, stuck,
+		// dropout — regardless of which defects are enabled, so enabling
+		// a defect on one sensor never perturbs another's sequence.
+		noise := b.rng.NormFloat64()
+		stuckDraw := b.rng.Float64()
+		dropDraw := b.rng.Float64()
+
+		// Delay line: push the fresh sample, read the delayed one.
+		sample := truth[i]
+		if ring := b.delay[i]; ring != nil {
+			ring[b.head[i]] = sample
+			oldest := (b.head[i] + 1) % len(ring)
+			b.head[i] = oldest
+			if b.seen[i] < len(ring) {
+				b.seen[i]++
+				// Before the line fills, report the oldest sample we
+				// actually have (a sensor network warming up).
+				oldest = 0
+			}
+			sample = ring[oldest]
+		}
+
+		v := sample + c.DriftRate*t + c.NoiseSigma*noise
+		if c.QuantStep > 0 {
+			v = math.Round(v/c.QuantStep) * c.QuantStep
+		}
+
+		if b.stuck[i] {
+			v = b.stuckVal[i]
+		} else if c.StuckProb > 0 && stuckDraw < c.StuckProb {
+			b.stuck[i] = true
+			b.stuckVal[i] = v
+			b.stats.StuckSensors++
+		}
+
+		r := Reading{Value: v, Valid: true, Stuck: b.stuck[i]}
+		if c.DropoutProb > 0 && dropDraw < c.DropoutProb {
+			r = Reading{}
+			b.stats.Dropouts++
+		} else {
+			degraded = false
+		}
+		dst[i] = r
+	}
+	if degraded {
+		b.stats.DegradedWindows++
+	}
+	return dst, nil
+}

@@ -1,0 +1,232 @@
+package sense
+
+import (
+	"math"
+	"testing"
+
+	"protemp/internal/linalg"
+)
+
+func observe(t *testing.T, b *Bank, tm float64, truth linalg.Vector) []Reading {
+	t.Helper()
+	r, err := b.Observe(nil, tm, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{NoiseSigma: -1},
+		{QuantStep: -0.1},
+		{DelayWindows: -2},
+		{DropoutProb: 1.5},
+		{DropoutProb: -0.1},
+		{StuckProb: 2},
+		{NoiseSigma: math.NaN()},
+		{DriftRate: math.Inf(1)},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v validated", c)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+	if !(Config{}).Perfect() {
+		t.Error("zero config not Perfect")
+	}
+	if DefaultNoisy().Perfect() {
+		t.Error("DefaultNoisy reported Perfect")
+	}
+}
+
+// A perfect bank is the identity: readings equal the truth exactly.
+func TestPerfectBankIsIdentity(t *testing.T) {
+	b, err := NewBank(Uniform(3, Config{}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := linalg.VectorOf(51.25, 72.5, 99.9)
+	for w := 0; w < 10; w++ {
+		for i, r := range observe(t, b, float64(w)*0.1, truth) {
+			if !r.Valid || r.Stuck || r.Value != truth[i] {
+				t.Fatalf("window %d sensor %d: %+v, want exact %g", w, i, r, truth[i])
+			}
+		}
+	}
+	if s := b.Stats(); s.Dropouts != 0 || s.StuckSensors != 0 || s.DegradedWindows != 0 || s.Windows != 10 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// Equal configs and seed must replay bit-identically — the fleet's
+// reproducibility contract.
+func TestDeterministicUnderSeed(t *testing.T) {
+	cfg := Uniform(4, Config{NoiseSigma: 1.5, QuantStep: 0.25, DropoutProb: 0.2, StuckProb: 0.05, DriftRate: -0.1})
+	mk := func(seed int64) [][]Reading {
+		b, err := NewBank(cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]Reading
+		for w := 0; w < 50; w++ {
+			truth := linalg.VectorOf(60, 70, 80, 90)
+			out = append(out, append([]Reading(nil), observe(t, b, float64(w)*0.1, truth)...))
+		}
+		return out
+	}
+	a, b2 := mk(7), mk(7)
+	for w := range a {
+		for i := range a[w] {
+			if a[w][i] != b2[w][i] {
+				t.Fatalf("window %d sensor %d diverged: %+v vs %+v", w, i, a[w][i], b2[w][i])
+			}
+		}
+	}
+	c := mk(8)
+	same := true
+	for w := range a {
+		for i := range a[w] {
+			if a[w][i] != c[w][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical defect sequences")
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	b, err := NewBank([]Config{{QuantStep: 0.5}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := observe(t, b, 0, linalg.VectorOf(71.3))[0]
+	if r.Value != 71.5 {
+		t.Fatalf("quantized reading %g, want 71.5", r.Value)
+	}
+}
+
+func TestDelayLine(t *testing.T) {
+	b, err := NewBank([]Config{{DelayWindows: 2}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truth ramps 100, 101, 102, ...; a 2-window delay reports the
+	// first sample until the line fills, then lags by exactly 2.
+	want := []float64{100, 100, 100, 101, 102, 103}
+	for w, exp := range want {
+		r := observe(t, b, float64(w)*0.1, linalg.VectorOf(100+float64(w)))[0]
+		if r.Value != exp {
+			t.Fatalf("window %d: reading %g, want %g", w, r.Value, exp)
+		}
+	}
+}
+
+func TestDriftAccumulates(t *testing.T) {
+	b, err := NewBank([]Config{{DriftRate: -0.5}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := observe(t, b, 0, linalg.VectorOf(80))[0]
+	r1 := observe(t, b, 10, linalg.VectorOf(80))[0]
+	if r0.Value != 80 || r1.Value != 75 {
+		t.Fatalf("drifted readings %g, %g, want 80, 75", r0.Value, r1.Value)
+	}
+}
+
+// Dropout frequency tracks the configured probability, and a
+// certain-dropout sensor makes every window a degraded one.
+func TestDropoutRateAndDegradedWindows(t *testing.T) {
+	b, err := NewBank([]Config{{DropoutProb: 0.3}}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for w := 0; w < n; w++ {
+		observe(t, b, float64(w)*0.1, linalg.VectorOf(70))
+	}
+	frac := float64(b.Stats().Dropouts) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("dropout fraction %.3f, want ≈0.30", frac)
+	}
+
+	all, err := NewBank(Uniform(2, Config{DropoutProb: 1}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 5; w++ {
+		for _, r := range observe(t, all, 0, linalg.VectorOf(70, 71)) {
+			if r.Valid {
+				t.Fatal("certain dropout produced a valid reading")
+			}
+		}
+	}
+	if got := all.Stats().DegradedWindows; got != 5 {
+		t.Fatalf("degraded windows %d, want 5", got)
+	}
+}
+
+// A stuck sensor latches its current reading permanently.
+func TestStuckLatchesForever(t *testing.T) {
+	b, err := NewBank([]Config{{StuckProb: 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := observe(t, b, 0, linalg.VectorOf(66))[0]
+	if !first.Stuck || first.Value != 66 {
+		t.Fatalf("first reading %+v, want stuck at 66", first)
+	}
+	for w := 1; w < 10; w++ {
+		r := observe(t, b, float64(w), linalg.VectorOf(90+float64(w)))[0]
+		if !r.Stuck || r.Value != 66 {
+			t.Fatalf("window %d: %+v, want stuck at 66", w, r)
+		}
+	}
+	if s := b.Stats().StuckSensors; s != 1 {
+		t.Fatalf("stuck sensors %d, want 1", s)
+	}
+}
+
+func TestBankRejectsBadShapes(t *testing.T) {
+	if _, err := NewBank(nil, 1); err == nil {
+		t.Fatal("empty bank accepted")
+	}
+	if _, err := NewBank([]Config{{NoiseSigma: -1}}, 1); err == nil {
+		t.Fatal("invalid sensor accepted")
+	}
+	b, err := NewBank(Uniform(2, Config{}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Observe(nil, 0, linalg.VectorOf(1, 2, 3)); err == nil {
+		t.Fatal("mismatched truth length accepted")
+	}
+}
+
+// Gaussian noise is unbiased and has roughly the configured sigma.
+func TestNoiseStatistics(t *testing.T) {
+	b, err := NewBank([]Config{{NoiseSigma: 2}}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	var sum, sumSq float64
+	for w := 0; w < n; w++ {
+		v := observe(t, b, 0, linalg.VectorOf(50))[0].Value - 50
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	sigma := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.1 {
+		t.Fatalf("noise mean %.3f, want ≈0", mean)
+	}
+	if sigma < 1.9 || sigma > 2.1 {
+		t.Fatalf("noise sigma %.3f, want ≈2", sigma)
+	}
+}

@@ -66,8 +66,11 @@ type Server struct {
 	requests      *metrics.Counter
 	errorsCount   *metrics.Counter
 	streamWindows *metrics.Counter
-	tableRequests *metrics.Counter
-	optimizes     *metrics.Counter
+	// streamDegraded counts fully blind sensor windows served across
+	// all sensed streams — the sensor-health alarm signal.
+	streamDegraded *metrics.Counter
+	tableRequests  *metrics.Counter
+	optimizes      *metrics.Counter
 }
 
 // New builds a Server and starts its session reaper.
@@ -104,11 +107,12 @@ func New(cfg Config) (*Server, error) {
 		reg:           reg,
 		mux:           http.NewServeMux(),
 		cfg:           cfg,
-		requests:      reg.Counter("http_requests"),
-		errorsCount:   reg.Counter("http_errors"),
-		streamWindows: reg.Counter("stream_windows"),
-		tableRequests: reg.Counter("table_requests"),
-		optimizes:     reg.Counter("optimize_requests"),
+		requests:       reg.Counter("http_requests"),
+		errorsCount:    reg.Counter("http_errors"),
+		streamWindows:  reg.Counter("stream_windows"),
+		streamDegraded: reg.Counter("stream_degraded_windows"),
+		tableRequests:  reg.Counter("table_requests"),
+		optimizes:      reg.Counter("optimize_requests"),
 	}
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/tables", s.handleTables)
@@ -218,6 +222,11 @@ type stepRequest struct {
 	MaxCoreTempC   float64   `json:"max_core_temp_c"`
 	RequiredFreqHz float64   `json:"required_freq_hz"`
 	BlockTempsC    []float64 `json:"block_temps_c,omitempty"`
+	// SensingDegraded marks the observed state as pure prediction or
+	// held-over readings (a fully blind sensor window): an online
+	// session drops its warm solver state so the blind window's optimum
+	// never seeds the next real solve.
+	SensingDegraded bool `json:"sensing_degraded,omitempty"`
 }
 
 type stepResponse struct {
@@ -239,6 +248,11 @@ type streamRequest struct {
 	Utilization float64 `json:"utilization,omitempty"`
 	// T0C is the uniform initial temperature (default model ambient).
 	T0C float64 `json:"t0_c,omitempty"`
+	// Sensing, when present, interposes the imperfect measurement path:
+	// the session observes degraded sensor readings (optionally filtered
+	// through the configured estimator) instead of the true
+	// temperatures, and the closing summary reports the sense counters.
+	Sensing *sim.Sensing `json:"sensing,omitempty"`
 }
 
 type streamTask struct {
@@ -254,7 +268,11 @@ type streamWindow struct {
 	RequiredFreqHz float64   `json:"required_freq_hz"`
 	FreqsHz        []float64 `json:"freqs_hz"`
 	QueueLen       int       `json:"queue_len"`
-	Done           bool      `json:"done"`
+	// SensingDegraded marks a fully blind sensor window (sensed streams
+	// only): the reported temperatures are predictions or held-over
+	// readings, and the session's warm solver state was invalidated.
+	SensingDegraded bool `json:"sensing_degraded,omitempty"`
+	Done            bool `json:"done"`
 }
 
 // streamSummary is the final NDJSON line.
@@ -267,6 +285,9 @@ type streamSummary struct {
 		MaxCoreTempC  float64 `json:"max_core_temp_c"`
 		ViolationFrac float64 `json:"violation_frac"`
 		EnergyJ       float64 `json:"energy_j"`
+		// Sense carries the imperfect-sensing counters and estimator
+		// accuracy of a sensed stream (absent otherwise).
+		Sense *sim.SenseSummary `json:"sense,omitempty"`
 	} `json:"summary"`
 }
 
@@ -530,9 +551,10 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	freqs, err := ms.sess.Step(r.Context(), protemp.State{
-		MaxCoreTemp:  req.MaxCoreTempC,
-		RequiredFreq: req.RequiredFreqHz,
-		BlockTemps:   req.BlockTempsC,
+		MaxCoreTemp:     req.MaxCoreTempC,
+		RequiredFreq:    req.RequiredFreqHz,
+		BlockTemps:      req.BlockTempsC,
+		SensingDegraded: req.SensingDegraded,
 	})
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -574,7 +596,7 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
-	stepper, err := sim.NewStepper(sim.Config{
+	stepper, err := sim.NewWindowStepper(sim.Config{
 		Chip:    s.engine.Chip(),
 		Disc:    s.engine.Disc(),
 		Policy:  ms.sess.Policy(ctx),
@@ -583,6 +605,7 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 		TMax:    s.engine.TMax(),
 		T0:      req.T0C,
 		MaxTime: float64(maxWindows+1) * s.engine.WindowSeconds(),
+		Sensing: req.Sensing,
 	})
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "stream: %v", err)
@@ -601,9 +624,10 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 		}
 		st := stepper.State()
 		freqs, err := ms.sess.Step(ctx, protemp.State{
-			MaxCoreTemp:  st.MaxCoreTemp,
-			RequiredFreq: st.RequiredFreq,
-			BlockTemps:   st.BlockTemps,
+			MaxCoreTemp:     st.MaxCoreTemp,
+			RequiredFreq:    st.RequiredFreq,
+			BlockTemps:      st.BlockTemps,
+			SensingDegraded: st.SensingDegraded,
 		})
 		if err != nil {
 			// Headers are gone; report in-band and stop.
@@ -617,14 +641,18 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 		windows++
 		s.streamWindows.Inc()
 		s.sessions.steps.Inc()
+		if st.SensingDegraded {
+			s.streamDegraded.Inc()
+		}
 		line := streamWindow{
-			Window:         windows,
-			TimeS:          stepper.Time(),
-			MaxCoreTempC:   st.MaxCoreTemp,
-			RequiredFreqHz: st.RequiredFreq,
-			FreqsHz:        freqs,
-			QueueLen:       st.QueueLen,
-			Done:           stepper.Done(),
+			Window:          windows,
+			TimeS:           stepper.Time(),
+			MaxCoreTempC:    st.MaxCoreTemp,
+			RequiredFreqHz:  st.RequiredFreq,
+			FreqsHz:         freqs,
+			QueueLen:        st.QueueLen,
+			SensingDegraded: st.SensingDegraded,
+			Done:            stepper.Done(),
 		}
 		if err := enc.Encode(line); err != nil {
 			return
@@ -642,6 +670,7 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 	sum.Summary.MaxCoreTempC = res.MaxCoreTemp
 	sum.Summary.ViolationFrac = res.ViolationFrac
 	sum.Summary.EnergyJ = res.EnergyJ
+	sum.Summary.Sense = res.Sense
 	enc.Encode(sum)
 	if flusher != nil {
 		flusher.Flush()

@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"protemp"
+	"protemp/internal/sense"
+	"protemp/internal/sim"
 )
 
 // fastEngine builds a cheap engine: 1 ms steps, 100 ms windows, a
@@ -398,4 +400,59 @@ func TestMetricsEndpointShape(t *testing.T) {
 		t.Fatalf("optimize_requests = %d", out["optimize_requests"])
 	}
 	_ = fmt.Sprintf("%v", out)
+}
+
+// TestStreamWithSensing drives a sensed stream end to end: the session
+// observes degraded readings, blind windows are flagged on their
+// NDJSON lines, the closing summary carries the sense counters, and
+// the degraded-window alarm counter ticks on /metrics.
+func TestStreamWithSensing(t *testing.T) {
+	engine := fastEngine(t)
+	srv, ts := newTestServer(t, engine)
+	id := createSession(t, ts.URL)
+	req := streamRequest{
+		Windows: 12,
+		Seed:    7,
+		Sensing: &sim.Sensing{
+			Sensors:   []sense.Config{{NoiseSigma: 0.5, DropoutProb: 1}},
+			Seed:      7,
+			Estimator: "kalman",
+		},
+	}
+	windows, summary := streamWindowLines(t, ts.URL, id, req)
+	if len(windows) == 0 {
+		t.Fatal("no windows streamed")
+	}
+	degraded := 0
+	for _, w := range windows {
+		if w.SensingDegraded {
+			degraded++
+		}
+	}
+	if degraded != len(windows) {
+		t.Fatalf("%d/%d windows flagged degraded under certain dropout", degraded, len(windows))
+	}
+	sn := summary.Summary.Sense
+	if sn == nil {
+		t.Fatal("sensed stream summary carries no sense block")
+	}
+	if sn.Estimator != "kalman" || sn.DegradedWindows == 0 || sn.Dropouts == 0 {
+		t.Fatalf("sense summary %+v", sn)
+	}
+	if got := srv.reg.Snapshot()["stream_degraded_windows"]; got == 0 {
+		t.Fatal("stream_degraded_windows never incremented")
+	}
+
+	// A malformed sensing config is a 400, not a stream.
+	bad := streamRequest{Windows: 2, Sensing: &sim.Sensing{Estimator: "bogus"}}
+	var buf bytes.Buffer
+	json.NewEncoder(&buf).Encode(bad)
+	resp, err := http.Post(ts.URL+"/v1/sessions/"+id+"/stream", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus sensing: status %d", resp.StatusCode)
+	}
 }

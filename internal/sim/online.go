@@ -60,6 +60,12 @@ func (p *ProTempOnline) Name() string { return "Pro-Temp-Online" }
 // idle window, which is always thermally safe.
 func (p *ProTempOnline) Decide(st WindowState) linalg.Vector {
 	n := p.Chip.NumCores()
+	// A full-dropout sensing window means this state is pure prediction:
+	// drop the warm optimum so the blind window's solution never seeds
+	// the next real one (PR 5's invalidate-on-error contract).
+	if st.SensingDegraded && p.ol != nil {
+		p.ol.Invalidate()
+	}
 	required := clampFreq(st.RequiredFreq, p.Chip.FMax())
 	// Floor nonzero demand at 10% of fmax: solving at exactly the
 	// required average lets the final tasks crawl (the pending-work

@@ -35,6 +35,10 @@ type Config struct {
 	// MaxTime caps the simulation; zero derives a generous cap from the
 	// trace duration.
 	MaxTime float64
+	// Sensing, when non-nil, interposes the imperfect measurement path
+	// (sensor defects + optional state estimator) between the simulated
+	// temperatures and the policy. Run then drives a SensedStepper.
+	Sensing *Sensing
 }
 
 // Result aggregates a run's metrics.
@@ -59,6 +63,9 @@ type Result struct {
 	ViolationFrac float64
 	// EnergyJ is the integrated chip energy.
 	EnergyJ float64
+	// Sense reports the injected sensor defects and estimator accuracy;
+	// nil for runs with perfect sensing.
+	Sense *SenseSummary
 }
 
 type coreState struct {
@@ -100,6 +107,12 @@ type Stepper struct {
 	coreTime    float64
 	violTime    float64
 	done        bool
+
+	// winPower accumulates the window's mean applied power per block
+	// when trackPower is set (the SensedStepper's estimator predicts
+	// with it; plain runs skip the bookkeeping).
+	winPower   linalg.Vector
+	trackPower bool
 }
 
 // NewStepper validates the configuration, applies the paper's defaults
@@ -195,6 +208,12 @@ func (s *Stepper) Done() bool { return s.done }
 // Time returns the simulated time in seconds at the next DFS boundary.
 func (s *Stepper) Time() float64 { return s.t }
 
+// Temps returns the full per-node temperature vector (a copy) at the
+// current DFS boundary — the ground truth, regardless of any sensing
+// decoration, so estimators and tests can compare estimate vs truth
+// without reaching into internals.
+func (s *Stepper) Temps() linalg.Vector { return s.temps.Clone() }
+
 // State returns the WindowState the policy would observe at the current
 // DFS boundary — the sensing half of a window without committing to a
 // frequency decision. External sessions use it to drive their own
@@ -259,6 +278,9 @@ func (s *Stepper) advance(cmd linalg.Vector) {
 		return
 	}
 	copy(s.freqs, cmd)
+	if s.trackPower {
+		s.winPower.Fill(0)
+	}
 
 	for name, bi := range s.recordIdx {
 		s.res.Series[name].Append(s.t, s.temps[bi])
@@ -317,6 +339,9 @@ func (s *Stepper) advance(cmd linalg.Vector) {
 			}
 		}
 		s.res.EnergyJ += s.pvec.Sum() * s.dt
+		if s.trackPower {
+			s.winPower.Add(s.winPower, s.pvec)
+		}
 		// Thermal step.
 		s.cfg.Disc.Step(s.next, s.temps, s.pvec)
 		s.temps, s.next = s.next, s.temps
@@ -346,6 +371,9 @@ func (s *Stepper) advance(cmd linalg.Vector) {
 		s.t += s.dt
 	}
 
+	if s.trackPower {
+		s.winPower.Scale(1/float64(s.spw), s.winPower)
+	}
 	// Per-core utilization observed over the window just simulated.
 	for i := range s.busySteps {
 		s.utilization[i] = float64(s.busySteps[i]) / float64(s.spw)
@@ -388,8 +416,10 @@ func (s *Stepper) Result() *Result {
 
 // Run executes the simulation to completion. The context is checked at
 // every DFS boundary; cancellation returns ctx.Err() with no result.
+// A non-nil cfg.Sensing routes the run through the sense→estimate
+// chain.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
-	st, err := NewStepper(cfg)
+	st, err := NewWindowStepper(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -44,6 +44,12 @@ type WindowState struct {
 	Utilization linalg.Vector
 	// QueueLen is the number of waiting tasks.
 	QueueLen int
+	// SensingDegraded reports that every sensor dropped out this window
+	// (imperfect-sensing runs only): the state the policy sees is pure
+	// prediction or held-over readings. Warm-started online policies
+	// invalidate their solver state on it so a stale optimum never seeds
+	// the next real solve.
+	SensingDegraded bool
 }
 
 // Policy chooses per-core frequency commands for the next window.

@@ -1,0 +1,428 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"protemp/internal/estimate"
+	"protemp/internal/linalg"
+	"protemp/internal/metrics"
+	"protemp/internal/sense"
+	"protemp/internal/thermal"
+)
+
+// Sensing configures the imperfect measurement path of a run: the
+// per-core sensor defect models and, optionally, the state estimator
+// that reconstructs the full thermal map from the degraded readings.
+// The zero value (or a nil pointer in Config) means perfect sensing —
+// policies observe the true temperatures directly. It is pure data,
+// JSON-serializable for the server's session API.
+type Sensing struct {
+	// Sensors holds one defect config per core; a single entry is
+	// broadcast to every core, nil models perfect sensors (useful to
+	// exercise the estimator path alone).
+	Sensors []sense.Config `json:"sensors,omitempty"`
+	// Seed fixes the sensor defect sequence; fleet runs reuse the
+	// workload seed so a cell replays bit-identically.
+	Seed int64 `json:"seed,omitempty"`
+	// Estimator selects the observer: "" or "none" feeds policies the
+	// raw readings (core temps only, no block map — the online policy
+	// degrades to its conservative uniform-start mode), "kalman" or
+	// "luenberger" reconstructs the full map via internal/estimate.
+	Estimator string `json:"estimator,omitempty"`
+	// ModelErr mis-scales the estimator's thermal model by this gain
+	// factor (thermal.Discrete.WithGainError) — the wrong-RC mismatch
+	// study. Zero or one keeps the exact model. The simulator always
+	// integrates the true model; only the observer is wrong.
+	ModelErr float64 `json:"model_err,omitempty"`
+	// ProcessSigma / MeasSigma / Gain tune the estimator (see
+	// estimate.Config); zero selects its defaults, with MeasSigma
+	// additionally defaulting to each sensor's effective noise
+	// sqrt(sigma² + quant²/12) when defects are configured.
+	ProcessSigma float64 `json:"process_sigma_c,omitempty"`
+	MeasSigma    float64 `json:"meas_sigma_c,omitempty"`
+	Gain         float64 `json:"gain,omitempty"`
+}
+
+// wantsEstimator reports whether an observer is configured.
+func (sn *Sensing) wantsEstimator() bool {
+	return sn != nil && sn.Estimator != "" && sn.Estimator != "none"
+}
+
+// Validate checks the engine-independent rules.
+func (sn *Sensing) Validate() error {
+	if sn == nil {
+		return nil
+	}
+	for i, c := range sn.Sensors {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("sim: sensor %d: %w", i, err)
+		}
+	}
+	if sn.wantsEstimator() {
+		if _, err := estimate.ParseKind(sn.Estimator, estimate.Kalman); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	if sn.ModelErr != 0 && (!(sn.ModelErr > 0) || math.IsInf(sn.ModelErr, 0)) {
+		return fmt.Errorf("sim: invalid sensing model error %g", sn.ModelErr)
+	}
+	return nil
+}
+
+// SenseSummary is the observability slice of a sensed run's Result:
+// injected-defect counters plus estimator accuracy, the quantities the
+// fleet leaderboard reports per cell.
+type SenseSummary struct {
+	// Windows / Dropouts / StuckSensors / DegradedWindows mirror
+	// sense.Stats at the end of the run.
+	Windows         uint64 `json:"windows"`
+	Dropouts        uint64 `json:"dropouts"`
+	StuckSensors    uint64 `json:"stuck_sensors"`
+	DegradedWindows uint64 `json:"degraded_windows"`
+	// Estimator names the observer ("" for raw readings).
+	Estimator string `json:"estimator,omitempty"`
+	// EstimateRMSC is the estimate-vs-truth RMS error in °C across all
+	// blocks and windows — how well the observer tracked reality.
+	EstimateRMSC float64 `json:"estimate_rms_c,omitempty"`
+	// CovTraceC2 is the Kalman steady-state covariance trace in °C².
+	CovTraceC2 float64 `json:"cov_trace_c2,omitempty"`
+	// Innovation is the per-window innovation ∞-norm histogram in
+	// milli-°C (the residual magnitude an operator alarms on).
+	Innovation *metrics.Histogram `json:"-"`
+}
+
+// SensedStepper decorates a Stepper with the sense→estimate chain:
+// before each policy decision the true core temperatures pass through
+// the sensor bank, and (when configured) the estimator folds the
+// readings into a reconstructed per-block map. Policies observe only
+// the degraded view; the underlying simulation always integrates the
+// truth. Like Stepper it is single-goroutine state.
+type SensedStepper struct {
+	inner *Stepper
+	bank  *sense.Bank
+	est   *estimate.Estimator
+	kind  string
+
+	readings []sense.Reading
+	z        []float64
+	valid    []bool
+	lastVal  []float64 // hold-last-valid raw readings per core
+	haveVal  []bool
+
+	// lastPower is the mean applied power over the window just
+	// simulated — what a platform's energy counters report per DFS
+	// period, and what the estimator's predict consumes.
+	lastPower linalg.Vector
+	havePower bool
+
+	window    int // windows committed so far
+	cachedFor int // window index the cached state belongs to
+	cached    WindowState
+	haveCache bool
+
+	innov    *metrics.Histogram
+	sumSqErr float64
+	errN     int
+}
+
+// NewSensedStepper builds the decorated stepper from a Config whose
+// Sensing field is set (a nil Sensing yields a perfect sensor bank, so
+// the decorator is then an identity wrapper plus bookkeeping).
+func NewSensedStepper(cfg Config) (*SensedStepper, error) {
+	if err := cfg.Sensing.Validate(); err != nil {
+		return nil, err
+	}
+	inner, err := NewStepper(cfg)
+	if err != nil {
+		return nil, err
+	}
+	inner.trackPower = true
+	inner.winPower = linalg.NewVector(inner.cfg.Disc.NumNodes())
+	sn := cfg.Sensing
+	if sn == nil {
+		sn = &Sensing{}
+	}
+	n := inner.n
+
+	sensors := sn.Sensors
+	switch len(sensors) {
+	case 0:
+		sensors = sense.Uniform(n, sense.Config{})
+	case 1:
+		sensors = sense.Uniform(n, sensors[0])
+	case n:
+	default:
+		return nil, fmt.Errorf("sim: %d sensor configs for %d cores (want 0, 1 or %d)", len(sensors), n, n)
+	}
+	bank, err := sense.NewBank(sensors, sn.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	ss := &SensedStepper{
+		inner:     inner,
+		bank:      bank,
+		z:         make([]float64, n),
+		valid:     make([]bool, n),
+		lastVal:   make([]float64, n),
+		haveVal:   make([]bool, n),
+		lastPower: linalg.NewVector(inner.cfg.Disc.NumNodes()),
+	}
+	if sn.wantsEstimator() {
+		kind, err := estimate.ParseKind(sn.Estimator, estimate.Kalman)
+		if err != nil {
+			return nil, err
+		}
+		disc, err := estimatorModel(cfg.Disc, sn.ModelErr)
+		if err != nil {
+			return nil, err
+		}
+		blocks := make([]int, n)
+		for i := range blocks {
+			blocks[i] = inner.chip.CoreBlockIndex(i)
+		}
+		// The predict step runs on a busy-fraction power proxy, not the
+		// sub-step power sequence, so per-window model error is larger
+		// than the estimate package's raw default: lean on measurements.
+		qSigma := sn.ProcessSigma
+		if qSigma == 0 {
+			qSigma = 0.5
+		}
+		ss.est, err = estimate.New(estimate.Config{
+			Disc:           disc,
+			StepsPerWindow: inner.spw,
+			SensorBlocks:   blocks,
+			ProcessSigma:   qSigma,
+			MeasSigma:      measSigmas(sn, sensors),
+			Kind:           kind,
+			Gain:           sn.Gain,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Seed from the known uniform start so the very first window
+		// already has a full-map estimate.
+		if err := ss.est.Reset(linalg.Constant(disc.NumNodes(), inner.cfg.T0)); err != nil {
+			return nil, err
+		}
+		ss.kind = kind.String()
+		ss.innov = &metrics.Histogram{}
+	}
+	return ss, nil
+}
+
+// measSigmas derives the estimator's measurement-noise sigmas: an
+// explicit override broadcasts, otherwise each sensor's effective
+// noise sqrt(sigma² + quant²/12), floored so a perfect sensor still
+// yields a well-conditioned Riccati solve.
+func measSigmas(sn *Sensing, sensors []sense.Config) []float64 {
+	if sn.MeasSigma > 0 {
+		return []float64{sn.MeasSigma}
+	}
+	out := make([]float64, len(sensors))
+	for i, c := range sensors {
+		s := math.Sqrt(c.NoiseSigma*c.NoiseSigma + c.QuantStep*c.QuantStep/12)
+		if s < 0.05 {
+			s = 0.05
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Done reports whether the underlying simulation has terminated.
+func (ss *SensedStepper) Done() bool { return ss.inner.Done() }
+
+// Time returns the simulated time at the next DFS boundary.
+func (ss *SensedStepper) Time() float64 { return ss.inner.Time() }
+
+// Temps returns the TRUE per-node temperatures — ground truth for
+// estimate-vs-truth comparisons, never shown to policies.
+func (ss *SensedStepper) Temps() linalg.Vector { return ss.inner.Temps() }
+
+// Estimator exposes the observer (nil when raw readings are served).
+func (ss *SensedStepper) Estimator() *estimate.Estimator { return ss.est }
+
+// SenseStats snapshots the injected-defect counters.
+func (ss *SensedStepper) SenseStats() sense.Stats { return ss.bank.Stats() }
+
+// State returns the WindowState a policy observes at the current DFS
+// boundary: sensor readings in place of true core temperatures, and
+// the estimator's reconstructed map (or no map at all) in place of the
+// true block temperatures. The sensor bank and estimator advance
+// exactly once per window no matter how often State is called, so the
+// defect sequence stays deterministic under a fixed seed.
+func (ss *SensedStepper) State() WindowState {
+	if ss.haveCache && ss.cachedFor == ss.window {
+		return copyState(ss.cached)
+	}
+	truth := ss.inner.State()
+
+	var err error
+	ss.readings, err = ss.bank.Observe(ss.readings, truth.Time, truth.CoreTemps)
+	if err != nil {
+		// Shapes were validated at construction; an error here is a
+		// programming bug, not a run-time condition.
+		panic(err)
+	}
+	degraded := true
+	for i, r := range ss.readings {
+		ss.z[i] = r.Value
+		ss.valid[i] = r.Valid
+		if r.Valid {
+			degraded = false
+			ss.lastVal[i] = r.Value
+			ss.haveVal[i] = true
+		}
+	}
+
+	st := truth
+	st.SensingDegraded = degraded
+	if ss.est != nil {
+		if ss.havePower {
+			if err := ss.est.Predict(ss.lastPower); err != nil {
+				panic(err)
+			}
+		}
+		if err := ss.est.Correct(ss.z, ss.valid); err != nil {
+			panic(err)
+		}
+		est := ss.est.Estimate()
+		st.BlockTemps = est.Clone()
+		for i := range st.CoreTemps {
+			st.CoreTemps[i] = est[ss.inner.chip.CoreBlockIndex(i)]
+		}
+		ss.innov.Observe(uint64(ss.est.LastInnovation() * 1000))
+		for i, v := range est {
+			d := v - truth.BlockTemps[i]
+			ss.sumSqErr += d * d
+		}
+		ss.errN += len(est)
+	} else {
+		// Raw mode: hold the last valid reading through dropouts (the
+		// uniform start is the prior before any reading lands), and
+		// withhold the block map — the online policy then falls back to
+		// its conservative uniform-start formulation.
+		for i := range st.CoreTemps {
+			switch {
+			case ss.valid[i]:
+				st.CoreTemps[i] = ss.z[i]
+			case ss.haveVal[i]:
+				st.CoreTemps[i] = ss.lastVal[i]
+			default:
+				st.CoreTemps[i] = ss.inner.cfg.T0
+			}
+		}
+		st.BlockTemps = nil
+	}
+	st.MaxCoreTemp = st.CoreTemps.Max()
+
+	ss.cached = st
+	ss.cachedFor = ss.window
+	ss.haveCache = true
+	return copyState(st)
+}
+
+// copyState deep-copies the vectors so cached state survives policy
+// mutation.
+func copyState(st WindowState) WindowState {
+	st.CoreTemps = st.CoreTemps.Clone()
+	if st.BlockTemps != nil {
+		st.BlockTemps = st.BlockTemps.Clone()
+	}
+	st.Utilization = st.Utilization.Clone()
+	return st
+}
+
+// Step runs one window under the configured policy, which observes the
+// sensed state rather than the truth.
+func (ss *SensedStepper) Step() error {
+	st := ss.State()
+	cmd, err := validatePolicyOutput(ss.inner.cfg.Policy.Decide(st), ss.inner.n, ss.inner.fmax)
+	if err != nil {
+		return err
+	}
+	ss.commit(cmd)
+	return nil
+}
+
+// StepWith runs one window under externally supplied frequency
+// commands — the session-driven path.
+func (ss *SensedStepper) StepWith(cmd linalg.Vector) error {
+	out, err := validatePolicyOutput(cmd, ss.inner.n, ss.inner.fmax)
+	if err != nil {
+		return err
+	}
+	ss.commit(out)
+	return nil
+}
+
+// commit advances the simulation one window and refreshes the
+// estimator's applied-power reading from what actually ran.
+func (ss *SensedStepper) commit(cmd linalg.Vector) {
+	ss.State() // force this window's observation before truth advances
+	ss.inner.advance(cmd)
+	copy(ss.lastPower, ss.inner.winPower)
+	ss.havePower = true
+	ss.window++
+	ss.haveCache = false
+}
+
+// Result finalizes the run metrics and attaches the SenseSummary.
+func (ss *SensedStepper) Result() *Result {
+	res := ss.inner.Result()
+	s := ss.bank.Stats()
+	sum := &SenseSummary{
+		Windows:         s.Windows,
+		Dropouts:        s.Dropouts,
+		StuckSensors:    s.StuckSensors,
+		DegradedWindows: s.DegradedWindows,
+		Estimator:       ss.kind,
+	}
+	if ss.est != nil {
+		sum.Innovation = ss.innov
+		sum.CovTraceC2 = ss.est.CovTrace()
+		if ss.errN > 0 {
+			sum.EstimateRMSC = math.Sqrt(ss.sumSqErr / float64(ss.errN))
+		}
+	}
+	res.Sense = sum
+	return res
+}
+
+// WindowStepper is the per-window driving surface shared by Stepper
+// and SensedStepper — what sessions and the server stream against.
+type WindowStepper interface {
+	Done() bool
+	Time() float64
+	State() WindowState
+	Step() error
+	StepWith(cmd linalg.Vector) error
+	Result() *Result
+	Temps() linalg.Vector
+}
+
+var (
+	_ WindowStepper = (*Stepper)(nil)
+	_ WindowStepper = (*SensedStepper)(nil)
+)
+
+// NewWindowStepper returns a SensedStepper when cfg.Sensing is set and
+// a plain Stepper otherwise.
+func NewWindowStepper(cfg Config) (WindowStepper, error) {
+	if cfg.Sensing != nil {
+		return NewSensedStepper(cfg)
+	}
+	return NewStepper(cfg)
+}
+
+// estimatorModel resolves the observer's (possibly mis-scaled) model —
+// shared with the facade so Session-side estimators match sim-side
+// ones exactly.
+func estimatorModel(disc *thermal.Discrete, modelErr float64) (*thermal.Discrete, error) {
+	if modelErr != 0 && modelErr != 1 {
+		return disc.WithGainError(modelErr)
+	}
+	return disc, nil
+}

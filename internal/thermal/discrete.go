@@ -2,6 +2,7 @@ package thermal
 
 import (
 	"fmt"
+	"math"
 
 	"protemp/internal/linalg"
 )
@@ -86,6 +87,44 @@ func (m *RCModel) DiscretizeExact(dt float64) (*Discrete, error) {
 		d[i] = gamma.At(i, n)
 	}
 	return &Discrete{A: phi, B: b, D: d, Dt: dt, model: m}, nil
+}
+
+// WithGainError returns a perturbed copy of the discretization whose
+// thermal gains are uniformly mis-scaled by kappa:
+//
+//	A' = I + κ(A − I),  B' = κB,  D' = κD.
+//
+// For the Euler discretization every gain is Δt/C-shaped, so this is
+// exactly a uniform 1/κ error in every node's heat capacity — the
+// "wrong-RC" model an estimator built from datasheet constants runs
+// against real silicon. κ = 1 returns an identical copy; the
+// perturbed step must remain stable (spectral radius below 1).
+func (d *Discrete) WithGainError(kappa float64) (*Discrete, error) {
+	if !(kappa > 0) || math.IsInf(kappa, 0) {
+		return nil, fmt.Errorf("thermal: gain error %v outside (0, ∞)", kappa)
+	}
+	n := d.NumNodes()
+	a := linalg.Identity(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			delta := d.A.At(i, j)
+			if i == j {
+				delta -= 1
+			}
+			a.AddAt(i, j, kappa*delta)
+		}
+	}
+	p := &Discrete{
+		A:     a,
+		B:     linalg.NewMatrix(n, n).Scale(kappa, d.B),
+		D:     linalg.NewVector(n).Scale(kappa, d.D),
+		Dt:    d.Dt,
+		model: d.model,
+	}
+	if rho := p.SpectralRadiusEstimate(); rho >= 1 {
+		return nil, fmt.Errorf("thermal: gain error %g makes the step unstable (spectral radius ≈ %.4f)", kappa, rho)
+	}
+	return p, nil
 }
 
 // NumNodes returns the state dimension.

@@ -243,3 +243,54 @@ func TestCoefficientsMatchNeighbours(t *testing.T) {
 		t.Errorf("aAmb = %v, b = %v, want positive", aAmb, b)
 	}
 }
+
+// WithGainError(1) is an exact copy; other κ scale every gain by κ
+// while keeping the step stable, and unstable or nonsensical κ are
+// rejected.
+func TestWithGainError(t *testing.T) {
+	m := niagaraRC(t)
+	d, err := m.Discretize(PaperDt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := d.WithGainError(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same.A.Equal(d.A, 0) || !same.B.Equal(d.B, 0) || !same.D.Equal(d.D, 0) {
+		t.Fatal("κ=1 copy differs from the original")
+	}
+
+	p, err := d.WithGainError(1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.NumNodes()
+	for i := 0; i < n; i++ {
+		if got, want := p.B.At(i, i), 1.3*d.B.At(i, i); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("B[%d][%d] = %v, want %v", i, i, got, want)
+		}
+		for j := 0; j < n; j++ {
+			want := 1.3 * d.A.At(i, j)
+			if i == j {
+				want = 1 + 1.3*(d.A.At(i, j)-1)
+			}
+			if math.Abs(p.A.At(i, j)-want) > 1e-15 {
+				t.Fatalf("A[%d][%d] = %v, want %v", i, j, p.A.At(i, j), want)
+			}
+		}
+	}
+	if rho := p.SpectralRadiusEstimate(); rho >= 1 {
+		t.Fatalf("perturbed step unstable: ρ = %v", rho)
+	}
+
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := d.WithGainError(bad); err == nil {
+			t.Fatalf("gain error %v accepted", bad)
+		}
+	}
+	// A κ large enough to destabilize the explicit step must be caught.
+	if _, err := d.WithGainError(1e6); err == nil {
+		t.Fatal("destabilizing gain error accepted")
+	}
+}

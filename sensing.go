@@ -1,0 +1,75 @@
+package protemp
+
+import (
+	"protemp/internal/sense"
+	"protemp/internal/sim"
+)
+
+// SensorConfig describes one temperature sensor's defect model —
+// Gaussian noise, quantization, read delay, dropout, stuck-at and
+// drift (see internal/sense). The zero value is a perfect sensor.
+type SensorConfig = sense.Config
+
+// Sensing configures a run's imperfect measurement path: per-core
+// sensor defects plus the optional state estimator that reconstructs
+// the thermal map from the degraded readings. It is pure data and
+// JSON-serializable, so the server's session API can carry it.
+type Sensing = sim.Sensing
+
+// SenseSummary is the sensing/estimation slice of a sensed run's
+// Result: injected-defect counters plus estimator accuracy.
+type SenseSummary = sim.SenseSummary
+
+// DefaultNoisySensor returns the reference realistic defect model
+// (0.5 °C Gaussian noise, 0.25 °C quantization, 1% dropout) used by
+// the noisy fleet scenarios.
+func DefaultNoisySensor() SensorConfig { return sense.DefaultNoisy() }
+
+// UniformSensors replicates one sensor config across n cores.
+func UniformSensors(n int, c SensorConfig) []SensorConfig { return sense.Uniform(n, c) }
+
+// WithSensors interposes the imperfect sensor bank in one Simulate
+// call: policies observe readings produced by the per-core defect
+// configs instead of the true temperatures. One config broadcasts to
+// every core; the seed fixes the defect sequence so runs replay
+// bit-identically. Combine with WithEstimator to reconstruct the map.
+func WithSensors(seed int64, sensors ...SensorConfig) SimOption {
+	return func(c *sim.Config) {
+		sn := ensureSensing(c)
+		sn.Seed = seed
+		sn.Sensors = append([]SensorConfig(nil), sensors...)
+	}
+}
+
+// WithEstimator selects the state observer run between the sensors
+// and the policy: "kalman" (steady-state Kalman filter) or
+// "luenberger" (fixed-gain observer). "none" — or omitting the option
+// — feeds policies the raw readings, in which case online sessions
+// degrade to their conservative uniform-start formulation. Implies
+// sensing even without WithSensors (perfect sensors, estimator on).
+func WithEstimator(kind string) SimOption {
+	return func(c *sim.Config) { ensureSensing(c).Estimator = kind }
+}
+
+// WithEstimatorModelError mis-scales the estimator's thermal model by
+// the gain factor (a uniform 1/gain heat-capacity error) while the
+// simulator keeps integrating the true model — the wrong-RC
+// model-mismatch study. 0 or 1 keeps the exact model.
+func WithEstimatorModelError(gain float64) SimOption {
+	return func(c *sim.Config) { ensureSensing(c).ModelErr = gain }
+}
+
+// WithSensing installs a fully-specified sensing configuration,
+// replacing anything accumulated by the options above — the
+// escape hatch for serialized configs (fleet scenarios, the server's
+// session API).
+func WithSensing(sn *Sensing) SimOption {
+	return func(c *sim.Config) { c.Sensing = sn }
+}
+
+func ensureSensing(c *sim.Config) *sim.Sensing {
+	if c.Sensing == nil {
+		c.Sensing = &sim.Sensing{}
+	}
+	return c.Sensing
+}

@@ -26,6 +26,12 @@ type State struct {
 	// sessions solve on it when present, recovering the headroom the
 	// single-value rounding gives away.
 	BlockTemps []float64
+	// SensingDegraded reports that this window's state is pure
+	// prediction or held-over readings (every sensor dropped out).
+	// Online sessions drop their warm solver state on it so a blind
+	// window's optimum never seeds the next real solve; table sessions
+	// ignore it.
+	SensingDegraded bool
 }
 
 // Session is a reusable, goroutine-safe control session: configure the
@@ -201,6 +207,15 @@ func (s *Session) stepOnline(ctx context.Context, st State) ([]float64, error) {
 	s.solveMu.Lock()
 	defer s.solveMu.Unlock()
 
+	// A fully-degraded sensing window means this solve runs on guessed
+	// state: perform it (idling blind is worse — the prediction is the
+	// best available map) but never let its optimum warm-start the next
+	// real window.
+	if st.SensingDegraded {
+		s.online.Invalidate()
+		defer s.online.Invalidate()
+	}
+
 	a, err := s.solveOnline(ctx, st.MaxCoreTemp, st.BlockTemps, required)
 	if err != nil {
 		return nil, err
@@ -267,6 +282,21 @@ func (s *Session) noteIdle() {
 	s.mu.Unlock()
 }
 
+// InvalidateWarm drops an online session's warm solver state so the
+// next Step performs a cold solve. It is the explicit spelling of what
+// a SensingDegraded state does implicitly — for callers that learn of
+// a sensing fault out of band (a stream gap, a sensor health alarm)
+// rather than through the per-window flag. A table session has no warm
+// state; the call is a no-op.
+func (s *Session) InvalidateWarm() {
+	if s.online == nil {
+		return
+	}
+	s.solveMu.Lock()
+	s.online.Invalidate()
+	s.solveMu.Unlock()
+}
+
 // Policy adapts the session into a sim.Policy so it can drive
 // Engine.Simulate or a sim.Stepper. Pass the same ctx given to
 // Simulate: each window's Step runs under it, so cancellation reaches
@@ -297,9 +327,10 @@ func (p sessionPolicy) Name() string {
 // Decide implements sim.Policy.
 func (p sessionPolicy) Decide(st sim.WindowState) linalg.Vector {
 	freqs, err := p.s.Step(p.ctx, State{
-		MaxCoreTemp:  st.MaxCoreTemp,
-		RequiredFreq: st.RequiredFreq,
-		BlockTemps:   st.BlockTemps,
+		MaxCoreTemp:     st.MaxCoreTemp,
+		RequiredFreq:    st.RequiredFreq,
+		BlockTemps:      st.BlockTemps,
+		SensingDegraded: st.SensingDegraded,
 	})
 	if err != nil {
 		return linalg.NewVector(p.s.engine.chip.NumCores())
