@@ -20,6 +20,7 @@ import (
 
 	"protemp/internal/core"
 	"protemp/internal/experiments"
+	"protemp/internal/floorplan"
 	"protemp/internal/linalg"
 	"protemp/internal/sense"
 	"protemp/internal/sim"
@@ -339,6 +340,94 @@ func BenchmarkSessionStep(b *testing.B) {
 			}
 		})
 	})
+}
+
+// dmpcBenchEngine builds a quick-fidelity engine on the requested
+// floorplan (rows == 0 keeps the paper's Niagara plan) with the given
+// ADMM worker bound and cluster count (0 = defaults).
+func dmpcBenchEngine(b *testing.B, rows, cols, clusters, admmWorkers int) *Engine {
+	b.Helper()
+	opts := []Option{WithWindow(1e-3, 100), WithADMMWorkers(admmWorkers)}
+	if rows > 0 {
+		fp, err := floorplan.ManyCore(rows, cols)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts = append(opts, WithFloorplan(fp))
+	}
+	if clusters > 0 {
+		opts = append(opts, WithClusters(clusters))
+	}
+	e, err := New(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkDMPCStep races the centralized online MPC step against the
+// distributed (ADMM cluster-consensus) step across chip sizes — the
+// paper's 8-core Niagara plan and synthetic 64- and 256-core grids —
+// and across the distributed mode's worker-pool axis (1 vs GOMAXPROCS
+// parallel cluster solves). The centralized rung is skipped at 256
+// cores: one dense full-chip compile plus per-window solves at that
+// size is the intractable baseline the distributed subsystem exists to
+// avoid (DESIGN.md §10).
+func BenchmarkDMPCStep(b *testing.B) {
+	ctx := context.Background()
+	cases := []struct {
+		name       string
+		rows, cols int // 0 = Niagara-8
+		clusters   int // 0 = engine default (one per 8 cores)
+	}{
+		// At 8 cores the default partition is a single cluster, which
+		// degenerates to the centralized problem; 2 clusters makes the
+		// consensus layer (the overhead being measured) actually engage.
+		{"cores8", 0, 0, 2},
+		{"cores64", 8, 8, 0},
+		{"cores256", 16, 16, 0},
+	}
+	step := func(b *testing.B, e *Engine, s *Session) {
+		b.Helper()
+		// Prime so the measured steady state is the warm serving path.
+		if _, err := s.Step(ctx, stepBenchState(e, 0)); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Step(ctx, stepBenchState(e, i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, tc := range cases {
+		b.Run(tc.name+"/central", func(b *testing.B) {
+			if tc.rows >= 16 {
+				b.Skip("dense centralized solve is the intractable 256-core baseline")
+			}
+			e := dmpcBenchEngine(b, tc.rows, tc.cols, 0, 0)
+			s, err := e.NewOnlineSession()
+			if err != nil {
+				b.Fatal(err)
+			}
+			step(b, e, s)
+		})
+		for _, workers := range []int{1, 0} {
+			name := "workers1"
+			if workers == 0 {
+				name = "workersMax"
+			}
+			b.Run(tc.name+"/dmpc/"+name, func(b *testing.B) {
+				e := dmpcBenchEngine(b, tc.rows, tc.cols, tc.clusters, workers)
+				s, err := e.NewDMPCSession()
+				if err != nil {
+					b.Fatal(err)
+				}
+				step(b, e, s)
+			})
+		}
+	}
 }
 
 // BenchmarkSensedStep times one DFS window through the measurement

@@ -10,6 +10,7 @@
 //	protemp-fleet [-scenarios mixed,bursty,adversarial,diurnal]
 //	              [-policies protemp,protemp-online,basic-dfs,no-tc] [-seeds 1,2]
 //	              [-scenarios sensor-dropout -policies protemp-online,protemp-online+kalman]
+//	              [-floorplan grid:16x16 -scenarios manycore-mixed -policies protemp-dmpc@32]
 //	              [-workers 0] [-horizon 0] [-max-sim 0] [-run-timeout 0]
 //	              [-grid paper|coarse] [-dt 0.0004] [-steps 250]
 //	              [-tmax 100] [-store DIR] [-json FILE] [-csv FILE]
@@ -30,6 +31,7 @@ import (
 
 	"protemp"
 	"protemp/internal/fleet"
+	"protemp/internal/floorplan"
 	"protemp/internal/sim"
 )
 
@@ -39,7 +41,8 @@ func main() {
 
 	var (
 		scenarios  = flag.String("scenarios", "mixed,bursty,adversarial,diurnal", "comma-separated scenario names (see -list)")
-		policies   = flag.String("policies", "protemp,basic-dfs,no-tc", "comma-separated policies: protemp[/variant], protemp-online[/variant], basic-dfs[@°C], no-tc; append +kalman or +luenberger to run behind a state estimator")
+		policies   = flag.String("policies", "protemp,basic-dfs,no-tc", "comma-separated policies: protemp[/variant], protemp-online[/variant], protemp-dmpc[/variant][@clusters], basic-dfs[@°C], no-tc; append +kalman or +luenberger to run behind a state estimator")
+		plan       = flag.String("floorplan", "niagara", "chip floorplan: niagara (the paper's 8-core plan) or grid:RxC (synthetic many-core mesh, e.g. grid:16x16)")
 		seeds      = flag.String("seeds", "1", "comma-separated workload seeds")
 		workers    = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
 		horizon    = flag.Float64("horizon", 0, "override scenario arrival horizons in seconds (0 = defaults)")
@@ -79,6 +82,11 @@ func main() {
 	opts := []protemp.Option{
 		protemp.WithWindow(*dt, *steps),
 		protemp.WithTMax(*tmax),
+	}
+	if fp, err := parseFloorplan(*plan); err != nil {
+		log.Fatal(err)
+	} else if fp != nil {
+		opts = append(opts, protemp.WithFloorplan(fp))
 	}
 	switch *grid {
 	case "paper":
@@ -206,11 +214,34 @@ func sensingDesc(sn *sim.Sensing) string {
 	return strings.Join(parts, ", ")
 }
 
+// parseFloorplan parses the -floorplan syntax: "niagara" (nil, keep
+// the engine default) or "grid:RxC" for the synthetic many-core mesh.
+func parseFloorplan(s string) (*floorplan.Floorplan, error) {
+	if s == "" || s == "niagara" {
+		return nil, nil
+	}
+	dims, ok := strings.CutPrefix(s, "grid:")
+	if !ok {
+		return nil, fmt.Errorf("unknown floorplan %q (want niagara or grid:RxC)", s)
+	}
+	r, c, ok := strings.Cut(dims, "x")
+	if !ok {
+		return nil, fmt.Errorf("bad grid dimensions %q (want RxC, e.g. 16x16)", dims)
+	}
+	rows, err1 := strconv.Atoi(r)
+	cols, err2 := strconv.Atoi(c)
+	if err1 != nil || err2 != nil {
+		return nil, fmt.Errorf("bad grid dimensions %q (want RxC, e.g. 16x16)", dims)
+	}
+	return floorplan.ManyCore(rows, cols)
+}
+
 // parsePolicy parses the CLI policy syntax: "protemp",
 // "protemp/uniform", "protemp-online", "protemp-online/gradient",
-// "basic-dfs", "basic-dfs@92.5", "no-tc". Any policy may carry a
-// "+kalman" or "+luenberger" suffix to run it behind that state
-// estimator on sensing scenarios (e.g. "protemp-online+kalman").
+// "protemp-dmpc", "protemp-dmpc/uniform@32", "basic-dfs",
+// "basic-dfs@92.5", "no-tc". Any policy may carry a "+kalman" or
+// "+luenberger" suffix to run it behind that state estimator on
+// sensing scenarios (e.g. "protemp-online+kalman").
 func parsePolicy(s string) (protemp.FleetPolicy, error) {
 	var estimator string
 	if i := strings.LastIndex(s, "+"); i >= 0 {
@@ -230,8 +261,21 @@ func parsePolicy(s string) (protemp.FleetPolicy, error) {
 
 func parseBasePolicy(s string) (protemp.FleetPolicy, error) {
 	switch {
-	case s == "protemp" || s == "protemp-online" || s == "basic-dfs" || s == "no-tc":
+	case s == "protemp" || s == "protemp-online" || s == "protemp-dmpc" || s == "basic-dfs" || s == "no-tc":
 		return protemp.FleetPolicy{Kind: s}, nil
+	case strings.HasPrefix(s, "protemp-dmpc"):
+		rest := strings.TrimPrefix(s, "protemp-dmpc")
+		pol := protemp.FleetPolicy{Kind: "protemp-dmpc"}
+		if variant, clusters, ok := strings.Cut(rest, "@"); ok {
+			k, err := strconv.Atoi(clusters)
+			if err != nil {
+				return protemp.FleetPolicy{}, fmt.Errorf("bad cluster count in %q: %v", s, err)
+			}
+			pol.Clusters = k
+			rest = variant
+		}
+		pol.Variant = strings.TrimPrefix(rest, "/")
+		return pol, nil
 	case strings.HasPrefix(s, "protemp-online/"):
 		return protemp.FleetPolicy{Kind: "protemp-online", Variant: strings.TrimPrefix(s, "protemp-online/")}, nil
 	case strings.HasPrefix(s, "protemp/"):
@@ -243,7 +287,7 @@ func parseBasePolicy(s string) (protemp.FleetPolicy, error) {
 		}
 		return protemp.FleetPolicy{Kind: "basic-dfs", ThresholdC: threshold}, nil
 	default:
-		return protemp.FleetPolicy{}, fmt.Errorf("unknown policy %q (want protemp[/variant], protemp-online[/variant], basic-dfs[@°C] or no-tc)", s)
+		return protemp.FleetPolicy{}, fmt.Errorf("unknown policy %q (want protemp[/variant], protemp-online[/variant], protemp-dmpc[/variant][@clusters], basic-dfs[@°C] or no-tc)", s)
 	}
 }
 

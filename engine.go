@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"protemp/internal/core"
+	"protemp/internal/dmpc"
 	"protemp/internal/floorplan"
 	"protemp/internal/metrics"
 	"protemp/internal/power"
@@ -81,6 +82,17 @@ func New(opts ...Option) (*Engine, error) {
 	// /metrics exposes the step_* schema at zero before the first Step.
 	e.reg.Histogram("step_solve_nanos")
 	for _, name := range []string{"step_solves", "step_warm_hits", "step_warm_rejects", "step_solve_errors"} {
+		e.reg.Counter(name)
+	}
+	// And the distributed-MPC instruments, so a scrape sees the dmpc_*
+	// schema at zero before the first distributed window.
+	e.reg.Histogram("dmpc_step_solve_nanos")
+	e.reg.Histogram("dmpc_cluster_solve_nanos")
+	e.reg.Histogram("dmpc_outer_iters")
+	e.reg.Histogram("dmpc_primal_residual_milli_c")
+	for _, name := range []string{"dmpc_steps", "dmpc_cluster_solves", "dmpc_converged",
+		"dmpc_fallbacks", "dmpc_downgrades", "dmpc_idles",
+		"dmpc_warm_hits", "dmpc_warm_rejects", "dmpc_solve_errors"} {
 		e.reg.Counter(name)
 	}
 	return e, nil
@@ -273,6 +285,83 @@ func (e *Engine) observeStepSolve(d time.Duration, st core.OnlineStepStats, err 
 	}
 	if err != nil {
 		e.reg.Counter("step_solve_errors").Inc()
+	}
+}
+
+// newDMPCSolver assembles a distributed solver against this engine's
+// chip and thermal configuration. clusters <= 0 selects the engine's
+// configured (or default) cluster count; tmax <= 0 the engine limit.
+// The solver's per-cluster latency histogram is wired into the engine
+// registry (dmpc_cluster_solve_nanos).
+func (e *Engine) newDMPCSolver(clusters int, v core.Variant, tmax float64) (*dmpc.Solver, error) {
+	if clusters <= 0 {
+		clusters = e.cfg.clusters
+	}
+	if tmax <= 0 {
+		tmax = e.cfg.tmax
+	}
+	workers := e.cfg.admmWorkers
+	if workers == 0 {
+		workers = e.cfg.workers
+	}
+	sol, err := dmpc.New(dmpc.Config{
+		Chip:    e.chip,
+		Params:  e.cfg.thermalParams,
+		Dt:      e.cfg.dt,
+		Steps:   e.cfg.windowSteps,
+		TMax:    tmax,
+		Variant: v,
+		Opts: dmpc.Options{
+			Clusters:   clusters,
+			MaxOuter:   e.cfg.admmMaxOuter,
+			PrimalTolC: e.cfg.admmTolC,
+			Workers:    workers,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sol.ClusterNanos = e.reg.Histogram("dmpc_cluster_solve_nanos")
+	return sol, nil
+}
+
+// DMPCPolicy builds the distributed-MPC simulation policy: the chip
+// partitioned into the given cluster count (<= 0 selects the engine's
+// configured or default count), each cluster's subproblem solved in
+// parallel per window under ADMM-style boundary consensus. tmax <= 0
+// selects the engine limit. The policy's per-window latency histogram
+// feeds the engine's dmpc_step_solve_nanos instrument.
+func (e *Engine) DMPCPolicy(clusters int, v core.Variant, tmax float64) (*sim.ProTempDMPC, error) {
+	sol, err := e.newDMPCSolver(clusters, v, tmax)
+	if err != nil {
+		return nil, err
+	}
+	return &sim.ProTempDMPC{Solver: sol, SolveNanos: e.reg.Histogram("dmpc_step_solve_nanos")}, nil
+}
+
+// observeDMPCStep folds one distributed window solve into the engine
+// registry: wall time into dmpc_step_solve_nanos, consensus progress
+// into dmpc_outer_iters and dmpc_primal_residual_milli_c, and the
+// cluster/warm/fallback outcomes into the dmpc_* counters. Sessions
+// call it once per Step.
+func (e *Engine) observeDMPCStep(d time.Duration, stats dmpc.StepStats, err error) {
+	e.reg.Histogram("dmpc_step_solve_nanos").ObserveDuration(d.Nanoseconds())
+	e.reg.Histogram("dmpc_outer_iters").Observe(uint64(stats.OuterIters))
+	e.reg.Histogram("dmpc_primal_residual_milli_c").Observe(uint64(stats.PrimalResidC * 1000))
+	e.reg.Counter("dmpc_steps").Inc()
+	e.reg.Counter("dmpc_cluster_solves").Add(uint64(stats.ClusterSolves))
+	e.reg.Counter("dmpc_warm_hits").Add(uint64(stats.WarmHits))
+	e.reg.Counter("dmpc_warm_rejects").Add(uint64(stats.WarmRejects))
+	e.reg.Counter("dmpc_downgrades").Add(uint64(stats.Downgrades))
+	e.reg.Counter("dmpc_idles").Add(uint64(stats.Idles))
+	if stats.Converged {
+		e.reg.Counter("dmpc_converged").Inc()
+	}
+	if stats.Fallback {
+		e.reg.Counter("dmpc_fallbacks").Inc()
+	}
+	if err != nil {
+		e.reg.Counter("dmpc_solve_errors").Inc()
 	}
 }
 

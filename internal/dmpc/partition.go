@@ -1,0 +1,243 @@
+// Package dmpc decomposes the paper's centralized per-window convex
+// program into thermally-coupled cluster subproblems coordinated by
+// ADMM-style dual updates on shared boundary temperatures — the layer
+// that scales the online MPC path from the 8-core Niagara plan to
+// synthetic 256–1024-core meshes, where one dense interior-point solve
+// per window is intractable.
+//
+// The decomposition is spatial: the floorplan's blocks are partitioned
+// into K contiguous clusters over the RC model's conductance graph, and
+// each cluster solves the full Pro-Temp program on its own sub-chip —
+// its member blocks plus a one-block "halo" of boundary neighbors whose
+// temperatures it observes but does not control. Because the RC
+// synthesis is purely geometric, every intra-cluster conductance of a
+// sub-chip equals its full-chip counterpart; only the coupling across
+// cluster boundaries is approximated, and that is exactly the part the
+// consensus iteration repairs.
+package dmpc
+
+import (
+	"fmt"
+	"sort"
+
+	"protemp/internal/floorplan"
+	"protemp/internal/thermal"
+)
+
+// Cluster is one cell of a Partition: the block set a cluster
+// subproblem controls, plus the halo of outside blocks it observes.
+type Cluster struct {
+	// Blocks holds the member block indices, ascending.
+	Blocks []int
+	// Cores holds the member core-block indices (a subset of Blocks),
+	// ascending. Every cluster owns at least one core.
+	Cores []int
+	// Halo holds the non-member blocks adjacent to some member,
+	// ascending — the boundary temperatures this cluster's subproblem
+	// takes as (dual-adjusted) observations.
+	Halo []int
+}
+
+// BoundaryEdge is one thermal conductance crossing a cluster boundary
+// — one consensus constraint of the distributed program. Every
+// cross-cluster adjacency appears in exactly one BoundaryEdge.
+type BoundaryEdge struct {
+	// I, J are the coupled block indices, I < J.
+	I, J int
+	// CI, CJ are the clusters owning I and J respectively.
+	CI, CJ int
+	// G is the coupling conductance in W/K.
+	G float64
+}
+
+// Partition is a disjoint cover of a floorplan's blocks by K
+// thermally-contiguous clusters, with the cross-cluster coupling
+// enumerated as consensus constraints.
+type Partition struct {
+	// K is the number of clusters.
+	K int
+	// Assign maps block index to cluster index.
+	Assign []int
+	// Clusters holds the per-cluster block sets.
+	Clusters []Cluster
+	// Boundary lists every cross-cluster conductance exactly once.
+	Boundary []BoundaryEdge
+}
+
+// NewPartition partitions the floorplan into k thermally-coupled
+// clusters by greedy seeded region growing over the RC model's
+// conductance graph: k core seeds are spread by farthest-point
+// sampling on graph hops, then clusters claim their strongest-coupled
+// unassigned neighbor in round-robin turns, which keeps them contiguous
+// and near-balanced. k is clamped to [1, NumCores]. The result is
+// deterministic for a given floorplan and model.
+func NewPartition(fp *floorplan.Floorplan, model *thermal.RCModel, k int) (*Partition, error) {
+	n := fp.NumBlocks()
+	cores := fp.CoreIndices()
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("dmpc: floorplan has no cores")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(cores) {
+		k = len(cores)
+	}
+	g := model.Conductance()
+	if g.Rows() != n {
+		return nil, fmt.Errorf("dmpc: conductance is %d×%d for %d blocks", g.Rows(), g.Cols(), n)
+	}
+	// Adjacency with positive coupling weights: the conductance matrix
+	// stores -g_ij off-diagonal.
+	adj := make([][]int, n)
+	weight := func(i, j int) float64 { return -g.At(i, j) }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && weight(i, j) > 0 {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+
+	seeds := spreadSeeds(adj, cores, k)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for c, s := range seeds {
+		assign[s] = c
+	}
+
+	// Round-robin region growing: each turn, cluster c claims the
+	// unassigned block with the strongest total conductance into c's
+	// current members. One claim per cluster per round bounds the size
+	// skew at one block per round.
+	for remaining := n - k; remaining > 0; {
+		progress := false
+		for c := 0; c < k && remaining > 0; c++ {
+			best, bestW := -1, 0.0
+			for b := 0; b < n; b++ {
+				if assign[b] != -1 {
+					continue
+				}
+				var w float64
+				for _, j := range adj[b] {
+					if assign[j] == c {
+						w += weight(b, j)
+					}
+				}
+				if w > bestW {
+					best, bestW = b, w
+				}
+			}
+			if best >= 0 {
+				assign[best] = c
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			// Disconnected leftovers (no coupling into any cluster):
+			// deterministic catch-all.
+			for b := 0; b < n; b++ {
+				if assign[b] == -1 {
+					assign[b] = 0
+					remaining--
+				}
+			}
+		}
+	}
+
+	p := &Partition{K: k, Assign: assign, Clusters: make([]Cluster, k)}
+	for b := 0; b < n; b++ {
+		c := &p.Clusters[assign[b]]
+		c.Blocks = append(c.Blocks, b)
+		if fp.Block(b).Kind == floorplan.KindCore {
+			c.Cores = append(c.Cores, b)
+		}
+	}
+	haloSeen := make([]map[int]bool, k)
+	for c := range haloSeen {
+		haloSeen[c] = make(map[int]bool)
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range adj[i] {
+			if assign[i] == assign[j] {
+				continue
+			}
+			if !haloSeen[assign[i]][j] {
+				haloSeen[assign[i]][j] = true
+				p.Clusters[assign[i]].Halo = append(p.Clusters[assign[i]].Halo, j)
+			}
+			if i < j {
+				p.Boundary = append(p.Boundary, BoundaryEdge{
+					I: i, J: j, CI: assign[i], CJ: assign[j], G: weight(i, j),
+				})
+			}
+		}
+	}
+	for c := range p.Clusters {
+		sort.Ints(p.Clusters[c].Halo)
+	}
+	sort.Slice(p.Boundary, func(a, b int) bool {
+		if p.Boundary[a].I != p.Boundary[b].I {
+			return p.Boundary[a].I < p.Boundary[b].I
+		}
+		return p.Boundary[a].J < p.Boundary[b].J
+	})
+	return p, nil
+}
+
+// spreadSeeds picks k core blocks spread over the block graph by
+// farthest-point sampling on hop distance: the lowest-indexed core
+// first, then repeatedly the core farthest from every chosen seed
+// (lowest index breaking ties; unreachable counts as farthest).
+func spreadSeeds(adj [][]int, cores []int, k int) []int {
+	seeds := []int{cores[0]}
+	for len(seeds) < k {
+		dist := hopDistances(adj, seeds)
+		best, bestD := -1, -1
+		for _, c := range cores {
+			if dist[c] == 0 {
+				continue // already a seed
+			}
+			d := dist[c]
+			if d < 0 { // unreachable: farthest possible
+				d = len(adj) + 1
+			}
+			if d > bestD {
+				best, bestD = c, d
+			}
+		}
+		if best < 0 {
+			break // fewer distinct cores than k after clamping — cannot happen
+		}
+		seeds = append(seeds, best)
+	}
+	return seeds
+}
+
+// hopDistances returns the multi-source BFS hop distance from the seed
+// set; -1 marks unreachable blocks.
+func hopDistances(adj [][]int, seeds []int) []int {
+	dist := make([]int, len(adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, len(adj))
+	for _, s := range seeds {
+		dist[s] = 0
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, j := range adj[b] {
+			if dist[j] < 0 {
+				dist[j] = dist[b] + 1
+				queue = append(queue, j)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,219 @@
+package dmpc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"protemp/internal/dmpc"
+	"protemp/internal/floorplan"
+	"protemp/internal/thermal"
+)
+
+// checkPartition asserts the structural invariants every partition must
+// satisfy: the clusters cover every block (and every core) exactly
+// once, every cluster owns at least one core, every cross-cluster
+// conductance appears in exactly one consensus constraint with the
+// model's coupling value, and each cluster's halo is exactly its
+// outside neighborhood.
+func checkPartition(t *testing.T, fp *floorplan.Floorplan, model *thermal.RCModel, p *dmpc.Partition) {
+	t.Helper()
+	n := fp.NumBlocks()
+	if len(p.Assign) != n {
+		t.Fatalf("Assign has %d entries for %d blocks", len(p.Assign), n)
+	}
+	seen := make([]int, n)
+	coreSeen := make(map[int]int)
+	for c, cl := range p.Clusters {
+		if len(cl.Cores) == 0 {
+			t.Fatalf("cluster %d owns no cores", c)
+		}
+		for _, b := range cl.Blocks {
+			seen[b]++
+			if p.Assign[b] != c {
+				t.Fatalf("block %d in cluster %d but Assign says %d", b, c, p.Assign[b])
+			}
+		}
+		for _, b := range cl.Cores {
+			coreSeen[b]++
+			if fp.Block(b).Kind != floorplan.KindCore {
+				t.Fatalf("cluster %d lists non-core block %d as core", c, b)
+			}
+		}
+	}
+	for b, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("block %d covered %d times", b, cnt)
+		}
+	}
+	for _, b := range fp.CoreIndices() {
+		if coreSeen[b] != 1 {
+			t.Fatalf("core block %d covered %d times", b, coreSeen[b])
+		}
+	}
+
+	// Every cross-cluster conductance in exactly one consensus
+	// constraint, with the model's coupling value.
+	g := model.Conductance()
+	type pair struct{ i, j int }
+	want := make(map[pair]float64)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if w := -g.At(i, j); w > 0 && p.Assign[i] != p.Assign[j] {
+				want[pair{i, j}] = w
+			}
+		}
+	}
+	got := make(map[pair]int)
+	for _, e := range p.Boundary {
+		if e.I >= e.J {
+			t.Fatalf("boundary edge not ordered: %+v", e)
+		}
+		w, ok := want[pair{e.I, e.J}]
+		if !ok {
+			t.Fatalf("boundary edge %d-%d is not a cross-cluster conductance", e.I, e.J)
+		}
+		if e.G != w {
+			t.Fatalf("boundary edge %d-%d has G=%g, model says %g", e.I, e.J, e.G, w)
+		}
+		if e.CI != p.Assign[e.I] || e.CJ != p.Assign[e.J] {
+			t.Fatalf("boundary edge %d-%d cluster tags %d/%d, Assign says %d/%d",
+				e.I, e.J, e.CI, e.CJ, p.Assign[e.I], p.Assign[e.J])
+		}
+		got[pair{e.I, e.J}]++
+	}
+	for pr, cnt := range got {
+		if cnt != 1 {
+			t.Fatalf("conductance %v appears in %d consensus constraints", pr, cnt)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d consensus constraints for %d cross-cluster conductances", len(got), len(want))
+	}
+
+	// Halo = exactly the outside neighborhood.
+	for c, cl := range p.Clusters {
+		wantHalo := make(map[int]bool)
+		for _, b := range cl.Blocks {
+			for _, j := range fp.Neighbors(b) {
+				if p.Assign[j] != c {
+					wantHalo[j] = true
+				}
+			}
+		}
+		if len(wantHalo) != len(cl.Halo) {
+			t.Fatalf("cluster %d halo has %d blocks, want %d", c, len(cl.Halo), len(wantHalo))
+		}
+		for _, b := range cl.Halo {
+			if !wantHalo[b] {
+				t.Fatalf("cluster %d halo lists %d, not an outside neighbor", c, b)
+			}
+		}
+	}
+}
+
+func partitionCase(t *testing.T, rows, cols, cacheEvery, k int) {
+	t.Helper()
+	cacheH := 1e-3
+	if cacheEvery < 0 {
+		cacheEvery, cacheH = 0, 0
+	}
+	fp, err := floorplan.Grid(floorplan.GridSpec{
+		Rows: rows, Cols: cols,
+		CoreW: 1.4e-3, CoreH: 1.4e-3,
+		CacheH: cacheH, CacheEvery: cacheEvery,
+	})
+	if err != nil {
+		t.Fatalf("grid %dx%d: %v", rows, cols, err)
+	}
+	model, err := thermal.NewRC(fp, thermal.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := dmpc.NewPartition(fp, model, k)
+	if err != nil {
+		t.Fatalf("partition %dx%d k=%d: %v", rows, cols, k, err)
+	}
+	wantK := k
+	if wantK < 1 {
+		wantK = 1
+	}
+	if nc := len(fp.CoreIndices()); wantK > nc {
+		wantK = nc
+	}
+	if p.K != wantK {
+		t.Fatalf("K = %d, want %d (requested %d)", p.K, wantK, k)
+	}
+	checkPartition(t, fp, model, p)
+}
+
+// TestPartitionProperty fuzzes grid sizes × cluster counts (seeded, so
+// failures replay) and checks every invariant on each draw, including
+// cluster counts beyond the core count (clamped) and below one.
+func TestPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials := 40
+	if testing.Short() {
+		trials = 12
+	}
+	for trial := 0; trial < trials; trial++ {
+		rows := 1 + rng.Intn(6)
+		cols := 1 + rng.Intn(6)
+		cacheEvery := rng.Intn(4) - 1 // -1 = no caches at all
+		k := rng.Intn(rows*cols+3) - 1
+		partitionCase(t, rows, cols, cacheEvery, k)
+	}
+}
+
+// TestPartitionNiagara pins the paper's plan: a single cluster is the
+// degenerate centralized case (no consensus constraints), and a
+// multi-cluster split keeps the invariants.
+func TestPartitionNiagara(t *testing.T) {
+	fp := floorplan.Niagara()
+	model, err := thermal.NewRC(fp, thermal.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := dmpc.NewPartition(fp, model, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.K != 1 || len(p1.Boundary) != 0 || len(p1.Clusters[0].Halo) != 0 {
+		t.Fatalf("k=1 partition not degenerate: K=%d boundary=%d halo=%d",
+			p1.K, len(p1.Boundary), len(p1.Clusters[0].Halo))
+	}
+	if got := len(p1.Clusters[0].Blocks); got != fp.NumBlocks() {
+		t.Fatalf("k=1 cluster holds %d blocks, want %d", got, fp.NumBlocks())
+	}
+	checkPartition(t, fp, model, p1)
+
+	p4, err := dmpc.NewPartition(fp, model, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.K != 4 || len(p4.Boundary) == 0 {
+		t.Fatalf("k=4 partition: K=%d boundary=%d", p4.K, len(p4.Boundary))
+	}
+	checkPartition(t, fp, model, p4)
+}
+
+// FuzzPartition is the native-fuzz spelling of the property test.
+func FuzzPartition(f *testing.F) {
+	f.Add(2, 3, 0, 2)
+	f.Add(4, 4, 2, 5)
+	f.Add(1, 1, -1, 1)
+	f.Add(8, 8, 4, 8)
+	f.Fuzz(func(t *testing.T, rows, cols, cacheEvery, k int) {
+		rows = 1 + abs(rows)%8
+		cols = 1 + abs(cols)%8
+		cacheEvery = abs(cacheEvery)%4 - 1
+		k = abs(k)%(rows*cols+2) - 1
+		partitionCase(t, rows, cols, cacheEvery, k)
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -134,6 +134,64 @@ func TestFleetOnlinePolicy(t *testing.T) {
 	}
 }
 
+// TestFleetDMPCPolicy runs the distributed-MPC policy as a fleet cell
+// on the many-core scenario family: the Summary carries the
+// consensus-layer accounting and the label encodes the partition.
+func TestFleetDMPCPolicy(t *testing.T) {
+	eng := fastEngine(t)
+	r := fleet.NewRunner(eng, nil, nil)
+	spec := quickSpec(
+		[]string{"manycore-mixed"},
+		[]fleet.PolicySpec{{Kind: "protemp-dmpc", Clusters: 2}},
+		1,
+	)
+	res, err := r.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("completed %d of 1: %q", res.Completed, res.Runs[0].Error)
+	}
+	if res.Runs[0].Policy != "protemp-dmpc@2" {
+		t.Fatalf("policy label %q", res.Runs[0].Policy)
+	}
+	s := res.Runs[0].Summary
+	if s.TableKey != "" {
+		t.Fatalf("dmpc run carries table key %q, want none", s.TableKey)
+	}
+	if gen := eng.CacheStats().Generations; gen != 0 {
+		t.Fatalf("dmpc policy triggered %d Phase-1 generations, want 0", gen)
+	}
+	if s.PeakTempC > s.TMaxC+0.01 {
+		t.Fatalf("dmpc policy violated the guarantee: peak %.2f > tmax %.2f", s.PeakTempC, s.TMaxC)
+	}
+	if s.DMPCClusters != 2 {
+		t.Fatalf("summary clusters = %d, want 2", s.DMPCClusters)
+	}
+	if s.StepSolves == 0 || s.DMPCOuterIters == 0 {
+		t.Fatalf("no consensus accounting: %+v", s)
+	}
+	if s.StepSolveP50Ns == 0 || s.StepSolveP99Ns < s.StepSolveP50Ns {
+		t.Fatalf("implausible latency quantiles: p50=%d p99=%d", s.StepSolveP50Ns, s.StepSolveP99Ns)
+	}
+}
+
+// TestFleetDMPCValidation pins the spec rules for the new kind.
+func TestFleetDMPCValidation(t *testing.T) {
+	if err := (fleet.PolicySpec{Kind: "protemp-dmpc", Clusters: -1}).Validate(); err == nil {
+		t.Error("negative cluster count accepted")
+	}
+	if err := (fleet.PolicySpec{Kind: "protemp-online", Clusters: 2}).Validate(); err == nil {
+		t.Error("clusters on a non-dmpc kind accepted")
+	}
+	if err := (fleet.PolicySpec{Kind: "protemp-dmpc", Variant: "gradient", Clusters: 4}).Validate(); err != nil {
+		t.Errorf("valid dmpc spec rejected: %v", err)
+	}
+	if got := (fleet.PolicySpec{Kind: "protemp-dmpc", Variant: "uniform", Clusters: 4, Estimator: "kalman"}).Label(); got != "protemp-dmpc/uniform@4+kalman" {
+		t.Errorf("label %q", got)
+	}
+}
+
 // TestFleetCancellation checks the ISSUE's cancellation semantics:
 // cancel mid-batch returns the partial results accumulated so far,
 // marks the rest skipped/failed, and leaks no goroutines.

@@ -31,12 +31,20 @@ type Engine interface {
 	Variant() core.Variant
 	GenerateTableOverride(ctx context.Context, tstarts, ftargets []float64, v core.Variant, tmax float64) (*core.Table, error)
 	TableKeyOverride(tstarts, ftargets []float64, v core.Variant, tmax float64) string
+	// DMPCPolicy builds the distributed-MPC policy: the chip
+	// partitioned into clusters (<= 0 selects the engine default),
+	// solved in parallel per window under ADMM boundary consensus.
+	DMPCPolicy(clusters int, v core.Variant, tmax float64) (*sim.ProTempDMPC, error)
 }
 
 // PolicySpec names one control policy of a batch.
 type PolicySpec struct {
-	// Kind is "protemp", "protemp-online", "basic-dfs" or "no-tc".
+	// Kind is "protemp", "protemp-online", "protemp-dmpc", "basic-dfs"
+	// or "no-tc".
 	Kind string `json:"kind"`
+	// Clusters is the protemp-dmpc partition size; zero selects the
+	// engine default (one cluster per 8 cores).
+	Clusters int `json:"clusters,omitempty"`
 	// ThresholdC is the Basic-DFS shutdown trigger in °C; zero derives
 	// the paper's margin (TMax − 10).
 	ThresholdC float64 `json:"threshold_c,omitempty"`
@@ -55,13 +63,19 @@ type PolicySpec struct {
 // Validate checks the spec against the engine-independent rules.
 func (p PolicySpec) Validate() error {
 	switch p.Kind {
-	case "protemp", "protemp-online":
+	case "protemp", "protemp-online", "protemp-dmpc":
 		if _, err := core.ParseVariant(p.Variant, core.VariantVariable); err != nil {
 			return err
 		}
 	case "basic-dfs", "no-tc":
 	default:
-		return fmt.Errorf("fleet: unknown policy kind %q (want protemp, protemp-online, basic-dfs or no-tc)", p.Kind)
+		return fmt.Errorf("fleet: unknown policy kind %q (want protemp, protemp-online, protemp-dmpc, basic-dfs or no-tc)", p.Kind)
+	}
+	if p.Clusters < 0 {
+		return fmt.Errorf("fleet: negative cluster count %d", p.Clusters)
+	}
+	if p.Clusters > 0 && p.Kind != "protemp-dmpc" {
+		return fmt.Errorf("fleet: clusters set on policy kind %q (only protemp-dmpc partitions)", p.Kind)
 	}
 	// The negated comparison also rejects NaN, which would otherwise
 	// slip through every range check and disable throttling entirely.
@@ -77,14 +91,17 @@ func (p PolicySpec) Validate() error {
 }
 
 // Label returns the display/report name, e.g. "protemp/gradient",
-// "protemp-online+kalman" or "basic-dfs@90".
+// "protemp-online+kalman", "protemp-dmpc@8" or "basic-dfs@90".
 func (p PolicySpec) Label() string {
 	var base string
 	switch p.Kind {
-	case "protemp", "protemp-online":
+	case "protemp", "protemp-online", "protemp-dmpc":
 		base = p.Kind
 		if p.Variant != "" {
 			base += "/" + p.Variant
+		}
+		if p.Clusters > 0 {
+			base += fmt.Sprintf("@%d", p.Clusters)
 		}
 	case "basic-dfs":
 		base = "basic-dfs"
@@ -160,6 +177,16 @@ type Summary struct {
 	StepSolveP50Ns  uint64 `json:"step_solve_p50_ns,omitempty"`
 	StepSolveP95Ns  uint64 `json:"step_solve_p95_ns,omitempty"`
 	StepSolveP99Ns  uint64 `json:"step_solve_p99_ns,omitempty"`
+
+	// Distributed-MPC accounting (protemp-dmpc only; zero otherwise).
+	// StepSolves above counts cluster subproblem solves for this kind;
+	// the fields here carry the consensus-layer view: partition size,
+	// total ADMM outer iterations, windows that walked the fallback
+	// ladder, and the worst boundary disagreement seen (°C).
+	DMPCClusters   int     `json:"dmpc_clusters,omitempty"`
+	DMPCOuterIters uint64  `json:"dmpc_outer_iters,omitempty"`
+	DMPCFallbacks  uint64  `json:"dmpc_fallbacks,omitempty"`
+	DMPCMaxPrimalC float64 `json:"dmpc_max_primal_c,omitempty"`
 
 	// Imperfect-sensing accounting (sensed runs only; zero otherwise):
 	// injected-defect counters, the observer used, its estimate-vs-truth
@@ -502,6 +529,20 @@ func (r *Runner) simulate(ctx context.Context, spec BatchSpec, run Run) (*Summar
 			s.StepSolveP99Ns = po.SolveNanos.Quantile(99)
 		}
 	}
+	if pd, ok := policy.(*sim.ProTempDMPC); ok {
+		s.StepSolves = uint64(pd.Solves)
+		s.StepWarmHits = uint64(pd.WarmHits)
+		s.StepWarmRejects = uint64(pd.WarmRejects)
+		s.DMPCClusters = pd.Solver.Clusters()
+		s.DMPCOuterIters = uint64(pd.OuterIters)
+		s.DMPCFallbacks = uint64(pd.Fallbacks)
+		s.DMPCMaxPrimalC = pd.MaxPrimalResidC
+		if pd.SolveNanos != nil {
+			s.StepSolveP50Ns = pd.SolveNanos.Quantile(50)
+			s.StepSolveP95Ns = pd.SolveNanos.Quantile(95)
+			s.StepSolveP99Ns = pd.SolveNanos.Quantile(99)
+		}
+	}
 	if sr := simRes.Sense; sr != nil {
 		s.SenseWindows = sr.Windows
 		s.SenseDropouts = sr.Dropouts
@@ -575,6 +616,22 @@ func (r *Runner) buildPolicy(ctx context.Context, p PolicySpec, tmax float64) (s
 			Variant:    v,
 			SolveNanos: &metrics.Histogram{},
 		}, "", nil
+	case "protemp-dmpc":
+		v, err := core.ParseVariant(p.Variant, r.eng.Variant())
+		if err != nil {
+			return nil, "", err
+		}
+		// No Phase-1 table either: the engine partitions its chip into
+		// clusters, each with its own warm-startable subproblem, and the
+		// windows run ADMM boundary consensus across them.
+		pd, err := r.eng.DMPCPolicy(p.Clusters, v, tmax)
+		if err != nil {
+			return nil, "", err
+		}
+		if pd.SolveNanos == nil {
+			pd.SolveNanos = &metrics.Histogram{}
+		}
+		return pd, "", nil
 	case "protemp":
 		v, err := core.ParseVariant(p.Variant, r.eng.Variant())
 		if err != nil {

@@ -210,6 +210,32 @@ func Builtin() *Registry {
 		T0C:         85,
 		Build:       mixedAt,
 	})
+	// Many-core family: load regimes sized for engines built on the
+	// synthetic grid floorplans (floorplan.ManyCore / -floorplan grid:RxC
+	// on the CLI), where a dense centralized solve is intractable and the
+	// protemp-dmpc policy is the interesting contender. The scenarios
+	// themselves scale with the engine's core count, so they also run on
+	// the 8-core default — just without the point.
+	r.mustRegister(Scenario{
+		Name:        "manycore-mixed",
+		Description: "mixed blend scaled to a grid floorplan: moderate utilization with bursts across hundreds of cores",
+		Horizon:     10,
+		T0C:         70,
+		Build: func(seed int64, nCores int, horizon float64) (*workload.Trace, error) {
+			return workload.Mixed(seed, nCores, horizon).Generate()
+		},
+	})
+	r.mustRegister(Scenario{
+		Name:        "manycore-hot",
+		Description: "grid floorplan under sustained near-capacity compute from a hot start: cluster boundaries carry real heat",
+		Horizon:     10,
+		T0C:         85,
+		Build: func(seed int64, nCores int, horizon float64) (*workload.Trace, error) {
+			g := workload.ComputeIntensive(seed, nCores, horizon)
+			g.Utilization = 0.85
+			return g.Generate()
+		},
+	})
 	// Imperfect-sensing families: same thermal stress as ambient-hot
 	// (controllers must actually work near the limit for sensing quality
 	// to matter) with progressively nastier measurement paths. Policies

@@ -13,10 +13,17 @@ type GridSpec struct {
 	// CacheH is the height of the top and bottom cache strips in metres;
 	// zero omits the strips.
 	CacheH float64
+	// CacheEvery inserts an additional full-width cache strip of height
+	// CacheH after every CacheEvery core rows (but not after the last),
+	// the repeating core-band / L2-slice pattern of tiled many-core
+	// parts. Zero keeps only the top and bottom strips. Requires
+	// CacheH > 0 when set.
+	CacheEvery int
 }
 
 // Grid builds a synthetic floorplan per the spec. Core (r, c) is named
-// "C<r>_<c>"; cache strips are "L2TOP" and "L2BOT".
+// "C<r>_<c>"; cache strips are "L2TOP", "L2BOT" and — when CacheEvery
+// is set — "L2MID<k>" between core bands.
 func Grid(spec GridSpec) (*Floorplan, error) {
 	if spec.Rows <= 0 || spec.Cols <= 0 {
 		return nil, fmt.Errorf("floorplan: grid needs positive dimensions, got %dx%d", spec.Rows, spec.Cols)
@@ -27,26 +34,65 @@ func Grid(spec GridSpec) (*Floorplan, error) {
 	if spec.CacheH < 0 {
 		return nil, fmt.Errorf("floorplan: negative cache height %g", spec.CacheH)
 	}
+	if spec.CacheEvery < 0 {
+		return nil, fmt.Errorf("floorplan: negative cache interleave %d", spec.CacheEvery)
+	}
+	if spec.CacheEvery > 0 && spec.CacheH == 0 {
+		return nil, fmt.Errorf("floorplan: cache interleave every %d rows needs a positive cache height", spec.CacheEvery)
+	}
 	var blocks []Block
 	width := float64(spec.Cols) * spec.CoreW
-	y0 := spec.CacheH
+	y := 0.0
 	if spec.CacheH > 0 {
-		blocks = append(blocks,
-			Block{Name: "L2BOT", Kind: KindCache, X: 0, Y: 0, W: width, H: spec.CacheH},
-			Block{Name: "L2TOP", Kind: KindCache, X: 0, Y: y0 + float64(spec.Rows)*spec.CoreH, W: width, H: spec.CacheH},
-		)
+		blocks = append(blocks, Block{Name: "L2BOT", Kind: KindCache, X: 0, Y: 0, W: width, H: spec.CacheH})
+		y = spec.CacheH
 	}
+	mid := 0
 	for r := 0; r < spec.Rows; r++ {
 		for c := 0; c < spec.Cols; c++ {
 			blocks = append(blocks, Block{
 				Name: fmt.Sprintf("C%d_%d", r, c),
 				Kind: KindCore,
 				X:    float64(c) * spec.CoreW,
-				Y:    y0 + float64(r)*spec.CoreH,
+				Y:    y,
 				W:    spec.CoreW,
 				H:    spec.CoreH,
 			})
 		}
+		y += spec.CoreH
+		if spec.CacheEvery > 0 && (r+1)%spec.CacheEvery == 0 && r != spec.Rows-1 {
+			blocks = append(blocks, Block{
+				Name: fmt.Sprintf("L2MID%d", mid),
+				Kind: KindCache,
+				X:    0, Y: y, W: width, H: spec.CacheH,
+			})
+			mid++
+			y += spec.CacheH
+		}
+	}
+	if spec.CacheH > 0 {
+		blocks = append(blocks, Block{Name: "L2TOP", Kind: KindCache, X: 0, Y: y, W: width, H: spec.CacheH})
 	}
 	return New(blocks)
+}
+
+// ManyCore builds the synthetic many-core mesh the distributed-MPC
+// experiments scale on: rows×cols core tiles with an L2 slice after
+// every 2 core rows plus the top/bottom strips, so neighbor
+// conductances come out of the same geometric synthesis as the paper's
+// Niagara plan rather than hand-tuned couplings. The tile and strip
+// dimensions are chosen to keep Niagara's power densities when the
+// tiles carry Niagara-class cores: 2.8 mm tiles put a full-speed core
+// at ~0.5 W/mm² (Niagara's 4 W over 2×4 mm), and 7 mm strips spread
+// the paper's 30% uncore share at ~0.11 W/mm² at every mesh size —
+// dense enough that the controller must throttle, sparse enough that
+// the chip is controllable at all. ManyCore(8, 8), (16, 16) and
+// (32, 32) give the 64-, 256- and 1024-core evaluation points.
+func ManyCore(rows, cols int) (*Floorplan, error) {
+	return Grid(GridSpec{
+		Rows: rows, Cols: cols,
+		CoreW: 2.8e-3, CoreH: 2.8e-3,
+		CacheH:     7.0e-3,
+		CacheEvery: 2,
+	})
 }

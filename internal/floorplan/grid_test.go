@@ -1,0 +1,115 @@
+package floorplan
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestManyCoreSizes exercises the 64/256/1024-core evaluation plans the
+// distributed-MPC subsystem scales on: the generator must produce the
+// requested core count, the interleaved L2 slices, and a connected
+// mesh with realistic neighbor structure at every size.
+func TestManyCoreSizes(t *testing.T) {
+	cases := []struct {
+		rows, cols int
+		wantCores  int
+		wantMid    int // interior cache strips: one after every 2 rows but the last
+	}{
+		{8, 8, 64, 3},
+		{16, 16, 256, 7},
+		{32, 32, 1024, 15},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%dx%d", tc.rows, tc.cols), func(t *testing.T) {
+			fp, err := ManyCore(tc.rows, tc.cols)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(fp.CoreIndices()); got != tc.wantCores {
+				t.Fatalf("cores = %d, want %d", got, tc.wantCores)
+			}
+			wantBlocks := tc.wantCores + tc.wantMid + 2
+			if got := fp.NumBlocks(); got != wantBlocks {
+				t.Fatalf("NumBlocks = %d, want %d", got, wantBlocks)
+			}
+			for m := 0; m < tc.wantMid; m++ {
+				i, ok := fp.IndexOf(fmt.Sprintf("L2MID%d", m))
+				if !ok {
+					t.Fatalf("L2MID%d missing", m)
+				}
+				if k := fp.Block(i).Kind; k != KindCache {
+					t.Fatalf("L2MID%d kind = %v", m, k)
+				}
+			}
+			// A non-edge tile touches exactly 4 blocks: its lateral core
+			// neighbors plus, in a band-edge row like row 1, the adjacent
+			// L2 slice in place of a core above.
+			i, ok := fp.IndexOf("C1_1")
+			if !ok {
+				t.Fatal("C1_1 missing")
+			}
+			if nb := fp.Neighbors(i); len(nb) != 4 {
+				t.Fatalf("C1_1 neighbors = %d, want 4", len(nb))
+			}
+			// Connectivity: BFS over the adjacency graph reaches every block,
+			// so the synthesized RC network has no isolated islands.
+			n := fp.NumBlocks()
+			seen := make([]bool, n)
+			queue := []int{0}
+			seen[0] = true
+			for len(queue) > 0 {
+				b := queue[0]
+				queue = queue[1:]
+				for _, j := range fp.Neighbors(b) {
+					if !seen[j] {
+						seen[j] = true
+						queue = append(queue, j)
+					}
+				}
+			}
+			for j, ok := range seen {
+				if !ok {
+					t.Fatalf("block %d (%s) unreachable", j, fp.Block(j).Name)
+				}
+			}
+		})
+	}
+}
+
+// TestGridCacheEvery pins the interleave layout: strips land between
+// bands, never after the final row, and geometry stays overlap-free
+// (New would reject otherwise).
+func TestGridCacheEvery(t *testing.T) {
+	fp, err := Grid(GridSpec{Rows: 4, Cols: 2, CoreW: 1e-3, CoreH: 1e-3, CacheH: 0.5e-3, CacheEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 cores + L2BOT + L2TOP + one mid strip (after row 1; none after row 3).
+	if fp.NumBlocks() != 11 {
+		t.Fatalf("NumBlocks = %d, want 11", fp.NumBlocks())
+	}
+	mid, ok := fp.IndexOf("L2MID0")
+	if !ok {
+		t.Fatal("L2MID0 missing")
+	}
+	// The mid strip separates bands: it must touch cores of row 1 below
+	// and row 2 above, 4 core neighbors total.
+	if nb := fp.Neighbors(mid); len(nb) != 4 {
+		t.Fatalf("L2MID0 neighbors = %d, want 4", len(nb))
+	}
+	if _, ok := fp.IndexOf("L2MID1"); ok {
+		t.Fatal("unexpected strip after the last row")
+	}
+}
+
+func TestGridCacheEveryRejections(t *testing.T) {
+	bad := []GridSpec{
+		{Rows: 2, Cols: 2, CoreW: 1, CoreH: 1, CacheEvery: -1},
+		{Rows: 2, Cols: 2, CoreW: 1, CoreH: 1, CacheEvery: 1}, // interleave without CacheH
+	}
+	for i, spec := range bad {
+		if _, err := Grid(spec); err == nil {
+			t.Errorf("case %d: Grid accepted %+v", i, spec)
+		}
+	}
+}

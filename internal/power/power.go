@@ -141,6 +141,49 @@ func NewChip(fp *floorplan.Floorplan, core CoreModel, uncoreShare float64) (*Chi
 	return c, nil
 }
 
+// NewChipExplicit builds a Chip with an explicit per-block fixed-power
+// vector instead of the area-proportional uncore split — the form the
+// distributed-MPC layer needs for cluster sub-chips, where halo blocks
+// carry the (fixed) power their full-chip originals draw rather than a
+// share of the sub-plan's uncore budget. fixed must have length
+// NumBlocks, be finite and non-negative everywhere, and zero at core
+// blocks (core power is the DVFS decision, never fixed).
+func NewChipExplicit(fp *floorplan.Floorplan, core CoreModel, fixed linalg.Vector) (*Chip, error) {
+	if err := core.Validate(); err != nil {
+		return nil, err
+	}
+	if len(fixed) != fp.NumBlocks() {
+		return nil, fmt.Errorf("power: fixed vector length %d for %d blocks", len(fixed), fp.NumBlocks())
+	}
+	cores := fp.CoreIndices()
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("power: floorplan has no core blocks")
+	}
+	c := &Chip{
+		fp:      fp,
+		cores:   cores,
+		corePos: make(map[int]int, len(cores)),
+		models:  make([]CoreModel, len(cores)),
+		fixed:   fixed.Clone(),
+	}
+	for pos, bi := range cores {
+		c.corePos[bi] = pos
+		c.models[pos] = core
+	}
+	for i, p := range fixed {
+		if p < 0 || math.IsInf(p, 0) || math.IsNaN(p) {
+			return nil, fmt.Errorf("power: invalid fixed power %v at block %d", p, i)
+		}
+		if _, isCore := c.corePos[i]; isCore && p != 0 {
+			return nil, fmt.Errorf("power: fixed power %v on core block %d", p, i)
+		}
+		if fp.Block(i).Kind != floorplan.KindCore {
+			c.uncoreWa += p
+		}
+	}
+	return c, nil
+}
+
 // Floorplan returns the underlying floorplan.
 func (c *Chip) Floorplan() *floorplan.Floorplan { return c.fp }
 

@@ -221,3 +221,50 @@ func TestPowerVectorIntoMatches(t *testing.T) {
 		t.Fatal("FixedPower leaked internal state")
 	}
 }
+
+func TestNewChipExplicit(t *testing.T) {
+	fp := floorplan.Niagara()
+	ref := newNiagaraChip(t)
+	c, err := NewChipExplicit(fp, NiagaraCore(), ref.FixedPower())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumCores() != ref.NumCores() {
+		t.Fatalf("NumCores = %d, want %d", c.NumCores(), ref.NumCores())
+	}
+	if got, want := c.TotalUncorePower(), ref.TotalUncorePower(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("uncore power %v, want %v", got, want)
+	}
+	full := linalg.Constant(ref.NumCores(), 1e9)
+	pa, err := c.PowerVector(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _ := ref.PowerVector(full)
+	for i := range pa {
+		if math.Abs(pa[i]-pb[i]) > 1e-12 {
+			t.Fatalf("power[%d] = %v, want %v", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestNewChipExplicitRejections(t *testing.T) {
+	fp := floorplan.Niagara()
+	n := fp.NumBlocks()
+	if _, err := NewChipExplicit(fp, NiagaraCore(), linalg.NewVector(n-1)); err == nil {
+		t.Error("short fixed vector accepted")
+	}
+	bad := linalg.NewVector(n)
+	bad[fp.CoreIndices()[0]] = 1
+	if _, err := NewChipExplicit(fp, NiagaraCore(), bad); err == nil {
+		t.Error("fixed power on a core block accepted")
+	}
+	neg := linalg.NewVector(n)
+	neg[0] = -1
+	if fp.Block(0).Kind == floorplan.KindCore {
+		t.Skip("block 0 unexpectedly a core")
+	}
+	if _, err := NewChipExplicit(fp, NiagaraCore(), neg); err == nil {
+		t.Error("negative fixed power accepted")
+	}
+}

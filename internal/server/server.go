@@ -197,14 +197,20 @@ type tablesResponse struct {
 }
 
 type sessionCreateRequest struct {
-	// Online selects the model-predictive session (one convex solve
-	// per step on the full thermal map) instead of the default
-	// table-driven session.
+	// Mode selects the session kind: "table" (default), "online" (one
+	// convex solve per step on the full thermal map) or "dmpc" (the
+	// chip partitioned into clusters solved in parallel under ADMM
+	// boundary consensus — the many-core mode).
+	Mode string `json:"mode,omitempty"`
+	// Online is the pre-Mode spelling of mode "online", kept for
+	// existing clients; Mode wins when both are set.
 	Online bool `json:"online,omitempty"`
 }
 
 type sessionInfoResponse struct {
-	ID         string  `json:"id"`
+	ID   string `json:"id"`
+	Mode string `json:"mode"`
+	// Online mirrors Mode == "online" for pre-Mode clients.
 	Online     bool    `json:"online"`
 	NumCores   int     `json:"num_cores"`
 	WindowS    float64 `json:"window_s"`
@@ -212,10 +218,16 @@ type sessionInfoResponse struct {
 	Downgrades uint64  `json:"downgrades"`
 	Idles      uint64  `json:"idles"`
 	Solves     uint64  `json:"solves"`
-	// WarmHits / WarmRejects report an online session's warm-start
-	// effectiveness (always zero for table sessions).
+	// WarmHits / WarmRejects report an online or dmpc session's
+	// warm-start effectiveness (always zero for table sessions).
 	WarmHits    uint64 `json:"warm_hits"`
 	WarmRejects uint64 `json:"warm_rejects"`
+	// Consensus-layer accounting of a dmpc session (zero otherwise):
+	// partition size, total ADMM outer iterations and windows that
+	// walked the fallback ladder.
+	Clusters   int    `json:"clusters,omitempty"`
+	OuterIters uint64 `json:"outer_iters,omitempty"`
+	Fallbacks  uint64 `json:"fallbacks,omitempty"`
 }
 
 type stepRequest struct {
@@ -471,11 +483,20 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
+	mode := req.Mode
+	if mode == "" {
+		if req.Online {
+			mode = "online"
+		} else {
+			mode = "table"
+		}
+	}
 	var (
 		sess *protemp.Session
 		err  error
 	)
-	if req.Online {
+	switch mode {
+	case "online":
 		// Compiles the session's persistent online problem; a failure
 		// here is an engine-configuration problem, not a client one.
 		sess, err = s.engine.NewOnlineSession()
@@ -483,7 +504,15 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusInternalServerError, "session: %v", err)
 			return
 		}
-	} else {
+	case "dmpc":
+		// Partitions the chip and compiles one warm-startable
+		// subproblem per cluster (engine-configured cluster count).
+		sess, err = s.engine.NewDMPCSession()
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "session: %v", err)
+			return
+		}
+	case "table":
 		// Table generation (or cache/store hit) happens here, under
 		// the request context: a cancelled create aborts the sweep.
 		sess, err = s.engine.NewSession(r.Context())
@@ -494,21 +523,26 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusInternalServerError, "session: %v", err)
 			return
 		}
+	default:
+		s.writeError(w, http.StatusBadRequest, "session: unknown mode %q (want table, online or dmpc)", mode)
+		return
 	}
-	id, err := s.sessions.Add(sess, req.Online)
+	id, err := s.sessions.Add(sess, mode == "online")
 	if err != nil {
 		s.sessionError(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusCreated, s.sessionInfo(id, sess, req.Online))
+	s.writeJSON(w, http.StatusCreated, s.sessionInfo(id, sess))
 }
 
-func (s *Server) sessionInfo(id string, sess *protemp.Session, online bool) sessionInfoResponse {
+func (s *Server) sessionInfo(id string, sess *protemp.Session) sessionInfoResponse {
 	steps, downgrades, idles, solves := sess.Stats()
 	warmHits, warmRejects := sess.WarmStats()
+	outer, fallbacks := sess.ADMMStats()
 	return sessionInfoResponse{
 		ID:          id,
-		Online:      online,
+		Mode:        sess.Mode(),
+		Online:      sess.Online(),
 		NumCores:    s.engine.Chip().NumCores(),
 		WindowS:     s.engine.WindowSeconds(),
 		Steps:       steps,
@@ -517,6 +551,9 @@ func (s *Server) sessionInfo(id string, sess *protemp.Session, online bool) sess
 		Solves:      solves,
 		WarmHits:    warmHits,
 		WarmRejects: warmRejects,
+		Clusters:    sess.Clusters(),
+		OuterIters:  outer,
+		Fallbacks:   fallbacks,
 	}
 }
 
@@ -527,7 +564,7 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	s.writeJSON(w, http.StatusOK, s.sessionInfo(ms.id, ms.sess, ms.online))
+	s.writeJSON(w, http.StatusOK, s.sessionInfo(ms.id, ms.sess))
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {

@@ -144,6 +144,53 @@ func TestSessionStepAndLifecycle(t *testing.T) {
 	}
 }
 
+// TestSessionDMPCMode creates a distributed-MPC session via the mode
+// field, steps it, and checks the consensus accounting in the info
+// response.
+func TestSessionDMPCMode(t *testing.T) {
+	engine := fastEngine(t, protemp.WithClusters(2))
+	_, ts := newTestServer(t, engine)
+
+	var info sessionInfoResponse
+	resp := postJSON(t, ts.URL+"/v1/sessions", map[string]any{"mode": "dmpc"}, &info)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create dmpc session: status %d", resp.StatusCode)
+	}
+	if info.Mode != "dmpc" || info.Online || info.Clusters != 2 {
+		t.Fatalf("session info %+v", info)
+	}
+	// No Phase-1 table behind a dmpc session.
+	if gen := engine.CacheStats().Generations; gen != 0 {
+		t.Fatalf("dmpc session triggered %d Phase-1 generations", gen)
+	}
+
+	var step stepResponse
+	resp = postJSON(t, ts.URL+"/v1/sessions/"+info.ID+"/step",
+		stepRequest{MaxCoreTempC: 60, RequiredFreqHz: 5e8}, &step)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("step: status %d", resp.StatusCode)
+	}
+	if len(step.FreqsHz) != 8 {
+		t.Fatalf("step %+v", step)
+	}
+
+	getResp, err := http.Get(ts.URL + "/v1/sessions/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(getResp.Body).Decode(&info)
+	getResp.Body.Close()
+	if info.Steps != 1 || info.Solves < 2 || info.OuterIters == 0 {
+		t.Fatalf("info after step %+v", info)
+	}
+
+	// An unknown mode is a client error.
+	resp = postJSON(t, ts.URL+"/v1/sessions", map[string]any{"mode": "bogus"}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus mode: status %d", resp.StatusCode)
+	}
+}
+
 // streamWindows posts a stream request and returns the parsed window
 // lines plus the summary line.
 func streamWindowLines(t *testing.T, baseURL, id string, req streamRequest) ([]streamWindow, streamSummary) {

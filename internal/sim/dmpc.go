@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"protemp/internal/dmpc"
+	"protemp/internal/linalg"
+	"protemp/internal/metrics"
+)
+
+// ProTempDMPC is the distributed counterpart of ProTempOnline: the
+// same per-window MPC decision, but produced by dmpc.Solver's cluster
+// decomposition — parallel per-cluster solves coordinated by dual
+// updates on boundary temperatures — instead of one dense centralized
+// program. On the paper's 8-core plan with a single cluster it
+// degenerates to exactly the centralized decision sequence; its reason
+// to exist is the many-core regime where the dense solve is
+// intractable. Like every policy, it is not safe for concurrent use.
+type ProTempDMPC struct {
+	// Solver is the compiled distributed solver (required).
+	Solver *dmpc.Solver
+
+	// Solves counts windows solved; Downgrades and Idles aggregate the
+	// clusters that bisected down or idled across all windows.
+	Solves     int
+	Downgrades int
+	Idles      int
+	// WarmHits / WarmRejects aggregate cluster warm-start outcomes;
+	// OuterIters and Fallbacks accumulate consensus work.
+	WarmHits    int
+	WarmRejects int
+	OuterIters  int
+	Fallbacks   int
+	// MaxPrimalResidC is the worst final consensus residual seen (°C).
+	MaxPrimalResidC float64
+	// SolveNanosTotal accumulates whole-window solve wall time;
+	// SolveNanos, when non-nil, additionally receives each window's
+	// wall time (callers wanting quantiles supply a histogram).
+	SolveNanosTotal int64
+	SolveNanos      *metrics.Histogram
+}
+
+// Name implements Policy.
+func (p *ProTempDMPC) Name() string {
+	return fmt.Sprintf("Pro-Temp-DMPC(%d)", p.Solver.Clusters())
+}
+
+// Decide implements Policy. The downgrade ladder (bisect the largest
+// supportable uniform target, else idle) runs per cluster inside the
+// solver; on any solver failure the window idles, which is always
+// thermally safe.
+func (p *ProTempDMPC) Decide(st WindowState) linalg.Vector {
+	chip := p.Solver.Chip()
+	n := chip.NumCores()
+	// A full-dropout sensing window means this state is pure prediction:
+	// drop every cluster's warm optimum and the consensus duals so the
+	// blind window's solution never seeds the next real one.
+	if st.SensingDegraded {
+		p.Solver.Invalidate()
+	}
+	required := clampFreq(st.RequiredFreq, chip.FMax())
+	if required > 0 && required < 0.1*chip.FMax() {
+		required = 0.1 * chip.FMax()
+	}
+
+	start := time.Now()
+	a, stats, err := p.Solver.Solve(context.Background(), st.MaxCoreTemp, st.BlockTemps, required)
+	elapsed := time.Since(start).Nanoseconds()
+	p.SolveNanosTotal += elapsed
+	if p.SolveNanos != nil {
+		p.SolveNanos.ObserveDuration(elapsed)
+	}
+	p.Solves++
+	p.WarmHits += stats.WarmHits
+	p.WarmRejects += stats.WarmRejects
+	p.OuterIters += stats.OuterIters
+	p.Downgrades += stats.Downgrades
+	p.Idles += stats.Idles
+	if stats.Fallback {
+		p.Fallbacks++
+	}
+	if stats.PrimalResidC > p.MaxPrimalResidC {
+		p.MaxPrimalResidC = stats.PrimalResidC
+	}
+	if err != nil {
+		return linalg.NewVector(n)
+	}
+	return linalg.VectorOf(a.Freqs...)
+}

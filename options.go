@@ -34,6 +34,12 @@ type engineConfig struct {
 	cacheSize     int
 	store         TableStore
 	observer      core.SweepObserver
+	// Distributed-MPC (ADMM) configuration; zero fields select the
+	// dmpc package defaults.
+	clusters     int
+	admmMaxOuter int
+	admmTolC     float64
+	admmWorkers  int
 }
 
 func defaultEngineConfig() engineConfig {
@@ -217,6 +223,58 @@ func WithTableStore(ts TableStore) Option {
 			return fmt.Errorf("protemp: nil table store")
 		}
 		c.store = ts
+		return nil
+	}
+}
+
+// WithClusters sets the cluster count a distributed-MPC session or
+// policy partitions the floorplan into (default one cluster per 8
+// cores). It affects only the dmpc mode; table and online sessions
+// ignore it.
+func WithClusters(k int) Option {
+	return func(c *engineConfig) error {
+		if k < 1 {
+			return fmt.Errorf("protemp: cluster count %d < 1", k)
+		}
+		c.clusters = k
+		return nil
+	}
+}
+
+// WithADMMIterations bounds the consensus (ADMM outer) iterations a
+// distributed-MPC window may spend before accepting or falling back
+// (default 6).
+func WithADMMIterations(n int) Option {
+	return func(c *engineConfig) error {
+		if n < 1 {
+			return fmt.Errorf("protemp: ADMM iteration bound %d < 1", n)
+		}
+		c.admmMaxOuter = n
+		return nil
+	}
+}
+
+// WithADMMTolerance sets the consensus stopping tolerance in °C: the
+// largest admissible owner-vs-observer disagreement on a boundary
+// block's temperature (default 0.25).
+func WithADMMTolerance(tolC float64) Option {
+	return func(c *engineConfig) error {
+		if tolC <= 0 {
+			return fmt.Errorf("protemp: non-positive ADMM tolerance %g", tolC)
+		}
+		c.admmTolC = tolC
+		return nil
+	}
+}
+
+// WithADMMWorkers bounds the cluster subproblems solved in parallel
+// per consensus iteration (default GOMAXPROCS).
+func WithADMMWorkers(n int) Option {
+	return func(c *engineConfig) error {
+		if n < 0 {
+			return fmt.Errorf("protemp: negative ADMM worker count %d", n)
+		}
+		c.admmWorkers = n
 		return nil
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"protemp/internal/core"
+	"protemp/internal/dmpc"
 	"protemp/internal/linalg"
 	"protemp/internal/sim"
 )
@@ -49,18 +50,21 @@ type Session struct {
 	engine *Engine
 	ctrl   *core.Controller // table-driven when non-nil
 
-	// solveMu serializes online solves: the compiled problem instance,
-	// workspace and warm state all mutate in place.
+	// solveMu serializes online and distributed solves: the compiled
+	// problem instances, workspaces and warm state all mutate in place.
 	solveMu sync.Mutex
 	online  *core.OnlineSolver // online (MPC) when non-nil
+	dsolver *dmpc.Solver       // distributed (ADMM) when non-nil
 
 	mu          sync.Mutex
 	steps       uint64
 	downgrades  uint64
 	idles       uint64
-	solves      uint64 // online only
+	solves      uint64 // online: window solves; dmpc: cluster subproblem solves
 	warmHits    uint64 // online solves carried by the previous optimum
 	warmRejects uint64 // online solves where the warm seed fell back cold
+	outerIters  uint64 // dmpc only: consensus iterations across all steps
+	fallbacks   uint64 // dmpc only: windows decided by a fallback rung
 }
 
 // NewSession opens a table-driven control session on the engine's
@@ -110,9 +114,55 @@ func (e *Engine) NewOnlineSession() (*Session, error) {
 	return &Session{engine: e, online: ol}, nil
 }
 
-// Online reports whether the session solves online (true) or answers
-// from a Phase-1 table (false).
-func (s *Session) Online() bool { return s.ctrl == nil }
+// NewDMPCSession opens a distributed model-predictive session: the
+// chip partitioned into thermally-coupled clusters (WithClusters, or
+// one per 8 cores by default), one warm-startable subproblem compiled
+// per cluster here, once. Every Step then solves the clusters in
+// parallel under ADMM-style boundary-temperature consensus — the
+// many-core mode, where compiling or solving the dense full-chip
+// program is the cost being avoided. On a single-cluster partition it
+// degenerates to exactly the online session's decisions.
+func (e *Engine) NewDMPCSession() (*Session, error) {
+	sol, err := e.newDMPCSolver(0, e.cfg.variant, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{engine: e, dsolver: sol}, nil
+}
+
+// Online reports whether the session solves the centralized program
+// online; false for table-driven and distributed sessions.
+func (s *Session) Online() bool { return s.online != nil }
+
+// Mode names the session's decision path: "table", "online" or "dmpc".
+func (s *Session) Mode() string {
+	switch {
+	case s.online != nil:
+		return "online"
+	case s.dsolver != nil:
+		return "dmpc"
+	default:
+		return "table"
+	}
+}
+
+// Clusters returns the distributed session's partition size, or zero
+// for table and online sessions.
+func (s *Session) Clusters() int {
+	if s.dsolver == nil {
+		return 0
+	}
+	return s.dsolver.Clusters()
+}
+
+// ADMMStats reports a distributed session's consensus work: outer
+// iterations accumulated across steps and windows decided by a
+// fallback rung. Both are zero for table and online sessions.
+func (s *Session) ADMMStats() (outerIters, fallbacks uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.outerIters, s.fallbacks
+}
 
 // Table returns the session's Phase-1 table, or nil for an online
 // session.
@@ -157,7 +207,69 @@ func (s *Session) Step(ctx context.Context, st State) ([]float64, error) {
 	if s.ctrl != nil {
 		return s.stepTable(st), nil
 	}
+	if s.dsolver != nil {
+		return s.stepDMPC(ctx, st)
+	}
 	return s.stepOnline(ctx, st)
+}
+
+// stepDMPC decides one window through the distributed solver. The
+// downgrade ladder (bisect, else idle) runs per cluster inside Solve;
+// here the session only prepares the target, honors the degraded-
+// sensing invalidation contract, and folds the consensus stats into
+// the session counters and the engine's dmpc_* instruments.
+func (s *Session) stepDMPC(ctx context.Context, st State) ([]float64, error) {
+	e := s.engine
+	fmax := e.chip.FMax()
+	required := st.RequiredFreq
+	if math.IsNaN(required) || required < 0 {
+		required = 0
+	}
+	if required > fmax {
+		required = fmax
+	}
+	if required > 0 && required < 0.1*fmax {
+		required = 0.1 * fmax
+	}
+	if st.BlockTemps != nil && len(st.BlockTemps) != e.cfg.fp.NumBlocks() {
+		return nil, fmt.Errorf("protemp: state has %d block temps for %d blocks",
+			len(st.BlockTemps), e.cfg.fp.NumBlocks())
+	}
+
+	s.mu.Lock()
+	s.steps++
+	s.mu.Unlock()
+
+	s.solveMu.Lock()
+	defer s.solveMu.Unlock()
+
+	// A fully-degraded window solves on guessed state: run it, but drop
+	// every cluster's warm optimum and the consensus duals on both sides
+	// so the blind window neither inherits nor seeds warm state.
+	if st.SensingDegraded {
+		s.dsolver.Invalidate()
+		defer s.dsolver.Invalidate()
+	}
+
+	start := time.Now()
+	a, stats, err := s.dsolver.Solve(ctx, st.MaxCoreTemp, st.BlockTemps, required)
+	elapsed := time.Since(start)
+	s.mu.Lock()
+	s.solves += uint64(stats.ClusterSolves)
+	s.warmHits += uint64(stats.WarmHits)
+	s.warmRejects += uint64(stats.WarmRejects)
+	s.downgrades += uint64(stats.Downgrades)
+	s.idles += uint64(stats.Idles)
+	s.outerIters += uint64(stats.OuterIters)
+	if stats.Fallback {
+		s.fallbacks++
+	}
+	s.mu.Unlock()
+	e.observeDMPCStep(elapsed, stats, err)
+	if err != nil {
+		return nil, err
+	}
+	return a.Freqs, nil
 }
 
 func (s *Session) stepTable(st State) []float64 {
@@ -289,12 +401,16 @@ func (s *Session) noteIdle() {
 // rather than through the per-window flag. A table session has no warm
 // state; the call is a no-op.
 func (s *Session) InvalidateWarm() {
-	if s.online == nil {
-		return
+	switch {
+	case s.online != nil:
+		s.solveMu.Lock()
+		s.online.Invalidate()
+		s.solveMu.Unlock()
+	case s.dsolver != nil:
+		s.solveMu.Lock()
+		s.dsolver.Invalidate()
+		s.solveMu.Unlock()
 	}
-	s.solveMu.Lock()
-	s.online.Invalidate()
-	s.solveMu.Unlock()
 }
 
 // Policy adapts the session into a sim.Policy so it can drive
@@ -318,10 +434,14 @@ type sessionPolicy struct {
 
 // Name implements sim.Policy.
 func (p sessionPolicy) Name() string {
-	if p.s.Online() {
+	switch p.s.Mode() {
+	case "online":
 		return "Pro-Temp-Session-Online"
+	case "dmpc":
+		return "Pro-Temp-Session-DMPC"
+	default:
+		return "Pro-Temp-Session"
 	}
-	return "Pro-Temp-Session"
 }
 
 // Decide implements sim.Policy.
