@@ -342,6 +342,42 @@ func BenchmarkSessionStep(b *testing.B) {
 	})
 }
 
+// BenchmarkStepTraced measures the flight recorder's overhead on the
+// warm online Step: "off" is the default engine (the nil recorder
+// must cost nothing — the CI gate watches this pair drift apart),
+// "on" pays the per-step trace capture.
+func BenchmarkStepTraced(b *testing.B) {
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name string
+		opts []Option
+	}{
+		{"off", nil},
+		{"on", []Option{WithFlightRecorder(32, 8)}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			e, err := New(append([]Option{WithWindow(1e-3, 100)}, mode.opts...)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := e.NewOnlineSession()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Step(ctx, stepBenchState(e, 0)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Step(ctx, stepBenchState(e, i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // dmpcBenchEngine builds a quick-fidelity engine on the requested
 // floorplan (rows == 0 keeps the paper's Niagara plan) with the given
 // ADMM worker bound and cluster count (0 = defaults).

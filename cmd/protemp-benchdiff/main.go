@@ -24,6 +24,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"protemp/internal/cli"
 )
 
 // testEvent is the subset of the test2json stream the parser consumes.
@@ -87,6 +89,7 @@ func parseBench(path string) (map[string]float64, error) {
 }
 
 func main() {
+	cli.Init("protemp-benchdiff")
 	var (
 		basePath   = flag.String("base", "", "baseline go test -json output (required)")
 		headPath   = flag.String("head", "", "candidate go test -json output (required)")
@@ -94,18 +97,15 @@ func main() {
 	)
 	flag.Parse()
 	if *basePath == "" || *headPath == "" {
-		fmt.Fprintln(os.Stderr, "protemp-benchdiff: -base and -head are required")
-		os.Exit(2)
+		cli.Fatalf(2, "-base and -head are required")
 	}
 	base, err := parseBench(*basePath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "protemp-benchdiff: %v\n", err)
-		os.Exit(2)
+		cli.Fatalf(2, "%v", err)
 	}
 	head, err := parseBench(*headPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "protemp-benchdiff: %v\n", err)
-		os.Exit(2)
+		cli.Fatalf(2, "%v", err)
 	}
 	if len(base) == 0 {
 		// An empty baseline is a skip, not a pass/fail: first run on a
@@ -142,7 +142,6 @@ func main() {
 		}
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "protemp-benchdiff: ns/op regression beyond %.0f%%\n", *maxRegress)
-		os.Exit(1)
+		cli.Fatalf(1, "ns/op regression beyond %.0f%%", *maxRegress)
 	}
 }

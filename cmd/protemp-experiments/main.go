@@ -18,12 +18,12 @@ import (
 	"syscall"
 	"time"
 
+	"protemp/internal/cli"
 	"protemp/internal/experiments"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("protemp-experiments: ")
+	cli.Init("protemp-experiments")
 
 	var (
 		fidelity = flag.String("fidelity", "quick", "paper (0.4 ms, full grids) or quick (1 ms, reduced)")

@@ -30,14 +30,14 @@ import (
 	"time"
 
 	"protemp"
+	"protemp/internal/cli"
 	"protemp/internal/fleet"
 	"protemp/internal/floorplan"
 	"protemp/internal/sim"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("protemp-fleet: ")
+	cli.Init("protemp-fleet")
 
 	var (
 		scenarios  = flag.String("scenarios", "mixed,bursty,adversarial,diurnal", "comma-separated scenario names (see -list)")

@@ -18,15 +18,18 @@
 //	GET    /v1/fleet/{id}            job status and progress
 //	GET    /v1/fleet/{id}/results    ranked results once finished
 //	DELETE /v1/fleet/{id}            cancel (partial results kept) or delete
-//	GET    /metrics                  counters + gauges (cache, store, sessions, fleet)
+//	GET    /metrics                  counters + gauges (JSON, or Prometheus text via Accept)
 //	GET    /healthz                  liveness
+//	GET    /debug/traces             flight-recorder solve traces (list)
+//	GET    /debug/traces/{id}        one solve trace, full span tree
 //
 // Usage:
 //
 //	protemp-serve [-addr :8080] [-store DIR] [-session-ttl 15m]
 //	              [-shards 16] [-tmax 100] [-dt 0.0004] [-steps 250]
 //	              [-variant variable|uniform|gradient] [-floorplan file]
-//	              [-cache 8] [-workers N]
+//	              [-cache 8] [-workers N] [-flight 32] [-log text]
+//	              [-ops-addr :6060] [-mutex-profile-fraction N] [-block-profile-rate N]
 package main
 
 import (
@@ -34,21 +37,24 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"protemp"
+	"protemp/internal/cli"
 	"protemp/internal/core"
 	"protemp/internal/floorplan"
 	"protemp/internal/server"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("protemp-serve: ")
+	cli.Init("protemp-serve")
 
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
@@ -63,6 +69,11 @@ func main() {
 		cacheSize  = flag.Int("cache", 8, "in-memory table cache capacity")
 		workers    = flag.Int("workers", 0, "parallel Phase-1 solves (default GOMAXPROCS)")
 		drainWait  = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+		flightN    = flag.Int("flight", 32, "solve traces retained by the flight recorder (0 disables tracing)")
+		logFormat  = flag.String("log", "text", "request log format: text, json or off")
+		opsAddr    = flag.String("ops-addr", "", "opt-in ops listener serving net/http/pprof (empty = off)")
+		mutexFrac  = flag.Int("mutex-profile-fraction", 0, "runtime mutex profile sampling fraction (0 = off)")
+		blockRate  = flag.Int("block-profile-rate", 0, "runtime block profile sampling rate in ns (0 = off)")
 	)
 	flag.Parse()
 
@@ -74,6 +85,9 @@ func main() {
 	}
 	if *storeDir != "" {
 		opts = append(opts, protemp.WithTableStoreDir(*storeDir))
+	}
+	if *flightN > 0 {
+		opts = append(opts, protemp.WithFlightRecorder(*flightN, 0))
 	}
 	if *fpPath != "" {
 		f, err := os.Open(*fpPath)
@@ -98,6 +112,18 @@ func main() {
 		log.Fatalf("unknown variant %q", *variant)
 	}
 
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "off":
+		logger = nil
+	default:
+		log.Fatalf("unknown log format %q (want text, json or off)", *logFormat)
+	}
+
 	engine, err := protemp.New(opts...)
 	if err != nil {
 		log.Fatal(err)
@@ -110,9 +136,40 @@ func main() {
 		Engine:     engine,
 		Shards:     *shards,
 		SessionTTL: ttl,
+		Logger:     logger,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// The ops listener is a second, usually firewalled, address carrying
+	// the profiling surface — pprof never shares a port with the API.
+	if *opsAddr != "" {
+		if *mutexFrac > 0 {
+			runtime.SetMutexProfileFraction(*mutexFrac)
+		}
+		if *blockRate > 0 {
+			runtime.SetBlockProfileRate(*blockRate)
+		}
+		opsMux := http.NewServeMux()
+		opsMux.HandleFunc("/debug/pprof/", pprof.Index)
+		opsMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		opsMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		opsMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		opsMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		opsSrv := &http.Server{
+			Addr:              *opsAddr,
+			Handler:           opsMux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("ops listener on %s (pprof; mutex fraction %d, block rate %d)",
+				*opsAddr, *mutexFrac, *blockRate)
+			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("ops listener: %v", err)
+			}
+		}()
+		defer opsSrv.Close()
 	}
 
 	httpSrv := &http.Server{

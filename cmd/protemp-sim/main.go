@@ -7,12 +7,14 @@
 // Usage:
 //
 //	protemp-sim [-workload mixed|compute] [-seconds 10] [-seed 1]
-//	            [-policies notc,basic,protemp] [-assign first-idle|coolest]
+//	            [-policies notc,basic,protemp,online,dmpc] [-assign first-idle|coolest]
 //	            [-table table.json] [-trace trace.csv] [-dt 0.0004]
+//	            [-trace-dump traces.json]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,13 +24,14 @@ import (
 	"syscall"
 
 	"protemp"
+	"protemp/internal/cli"
+	"protemp/internal/obs"
 	"protemp/internal/sim"
 	"protemp/internal/workload"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("protemp-sim: ")
+	cli.Init("protemp-sim")
 
 	var (
 		kind      = flag.String("workload", "mixed", "synthetic workload: mixed or compute")
@@ -42,8 +45,16 @@ func main() {
 		steps     = flag.Int("steps", 250, "DFS window horizon in steps")
 		threshold = flag.Float64("threshold", 90, "Basic-DFS shutdown threshold in °C")
 		tmax      = flag.Float64("tmax", 100, "maximum temperature in °C")
+		traceDump = flag.String("trace-dump", "", "write captured solve traces (online/dmpc policies) to this JSON file")
 	)
 	flag.Parse()
+
+	// The flight recorder only captures online and dmpc solves — table
+	// lookups have no solve anatomy to trace.
+	var flight *obs.FlightRecorder
+	if *traceDump != "" {
+		flight = obs.NewFlightRecorder(32, 8)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -118,6 +129,21 @@ func main() {
 		case "protemp":
 			needTable = true
 			runs = append(runs, nil) // placeholder, filled below
+		case "online":
+			runs = append(runs, &sim.ProTempOnline{
+				Chip:    chip,
+				Window:  engine.Window(),
+				TMax:    *tmax,
+				Variant: engine.Variant(),
+				Flight:  flight,
+			})
+		case "dmpc":
+			pd, err := engine.DMPCPolicy(0, engine.Variant(), *tmax)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pd.Flight = flight
+			runs = append(runs, pd)
 		default:
 			log.Fatalf("unknown policy %q", p)
 		}
@@ -168,5 +194,17 @@ func main() {
 		fmt.Printf("%-18s %8.3f %8.3f %8.3f %8.3f %9.1f %9.4f %8.2f %8d\n",
 			res.Policy, fr[0], fr[1], fr[2], fr[3],
 			res.MaxCoreTemp, res.Wait.Mean(), res.Gradient.Mean(), res.Completed)
+	}
+
+	if *traceDump != "" {
+		traces := flight.Traces()
+		raw, err := json.MarshalIndent(traces, "", " ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*traceDump, raw, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d solve traces to %s", len(traces), *traceDump)
 	}
 }

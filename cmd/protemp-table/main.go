@@ -32,13 +32,13 @@ import (
 	"time"
 
 	"protemp"
+	"protemp/internal/cli"
 	"protemp/internal/core"
 	"protemp/internal/floorplan"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("protemp-table: ")
+	cli.Init("protemp-table")
 
 	var (
 		out      = flag.String("o", "table.json", "output path ('-' for stdout)")

@@ -16,14 +16,14 @@ import (
 	"sort"
 
 	"protemp"
+	"protemp/internal/cli"
 	"protemp/internal/floorplan"
 	"protemp/internal/linalg"
 	"protemp/internal/thermal"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("protemp-thermal: ")
+	cli.Init("protemp-thermal")
 
 	var (
 		fpPath  = flag.String("floorplan", "", "floorplan file (default built-in Niagara-8)")

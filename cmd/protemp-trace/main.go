@@ -13,12 +13,12 @@ import (
 	"log"
 	"os"
 
+	"protemp/internal/cli"
 	"protemp/internal/workload"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("protemp-trace: ")
+	cli.Init("protemp-trace")
 	if len(os.Args) < 2 {
 		log.Fatal("usage: protemp-trace gen|info [flags]")
 	}

@@ -9,11 +9,16 @@ import (
 	"protemp/internal/dmpc"
 	"protemp/internal/floorplan"
 	"protemp/internal/metrics"
+	"protemp/internal/obs"
 	"protemp/internal/power"
 	"protemp/internal/sim"
 	"protemp/internal/thermal"
 	"protemp/internal/workload"
 )
+
+// Version identifies this build of the library in protemp_build_info
+// and CLI -version output.
+const Version = "0.8.0"
 
 // Engine is the concurrency-safe entry point of the Pro-Temp
 // reproduction: one modeled chip (floorplan, power law, RC thermal
@@ -35,6 +40,8 @@ type Engine struct {
 	window *thermal.WindowResponse
 	cache  *tableCache
 	reg    *metrics.Registry
+	flight *obs.FlightRecorder // nil unless WithFlightRecorder
+	start  time.Time
 }
 
 // New builds an Engine; options override the paper's defaults.
@@ -73,7 +80,16 @@ func New(opts ...Option) (*Engine, error) {
 		window: window,
 		cache:  newTableCache(cfg.cacheSize, cfg.store, reg),
 		reg:    reg,
+		start:  time.Now(),
 	}
+	if cfg.flightLastN != 0 {
+		e.flight = obs.NewFlightRecorder(cfg.flightLastN, cfg.flightSlowN)
+	}
+	// Identity instruments: the build-info constant-1 gauge (labeled
+	// with version/goversion in the Prometheus exposition) and the
+	// uptime gauge MetricsSnapshot refreshes on every scrape.
+	e.reg.Gauge("protemp_build_info").Set(1)
+	e.reg.Gauge("uptime_seconds")
 	// Pre-register the sweep counters by folding in an empty ledger, so
 	// a scrape of a fresh engine sees the full key set at zero and the
 	// name list cannot drift from what generations record.
@@ -145,7 +161,21 @@ func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }
 // the online-step latency histogram (step_solve_nanos_p50/p95/p99 with
 // step_warm_hits/step_warm_rejects) — keyed by instrument name: the
 // payload a serving layer merges into its metrics endpoint.
-func (e *Engine) MetricsSnapshot() map[string]uint64 { return e.reg.Snapshot() }
+func (e *Engine) MetricsSnapshot() map[string]uint64 {
+	e.reg.Gauge("uptime_seconds").Set(int64(time.Since(e.start).Seconds()))
+	return e.reg.Snapshot()
+}
+
+// MetricsKinds returns the Prometheus metric kind ("counter" or
+// "gauge") of every key MetricsSnapshot emits — the typing half of a
+// text-exposition scrape (see metrics.WritePrometheus).
+func (e *Engine) MetricsKinds() map[string]string { return e.reg.Kinds() }
+
+// FlightRecorder returns the engine's solve-trace flight recorder, or
+// nil when the engine was built without WithFlightRecorder. The
+// recorder is safe for concurrent use; traces it returns are finished
+// and immutable.
+func (e *Engine) FlightRecorder() *obs.FlightRecorder { return e.flight }
 
 // TableKey returns the cache/store key for the table the given grids
 // and variant would generate on this engine — the filename (plus
@@ -315,6 +345,7 @@ func (e *Engine) newDMPCSolver(clusters int, v core.Variant, tmax float64) (*dmp
 			Clusters:   clusters,
 			MaxOuter:   e.cfg.admmMaxOuter,
 			PrimalTolC: e.cfg.admmTolC,
+			AcceptTolC: e.cfg.admmAcceptTolC,
 			Workers:    workers,
 		},
 	})

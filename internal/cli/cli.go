@@ -1,0 +1,28 @@
+// Package cli holds the few lines every protemp command shares, so
+// the tools cannot drift apart in how they log and exit: bare
+// messages (no timestamps — these are CLIs, not daemons) prefixed
+// with the tool's name, and an explicit-status fatal for tools whose
+// exit codes are part of their contract.
+package cli
+
+import (
+	"log"
+	"os"
+)
+
+// Init configures the standard logger the way every protemp tool
+// logs: flags cleared and the tool name as prefix, so captured or
+// piped diagnostics say who spoke. Call it first in main.
+func Init(tool string) {
+	log.SetFlags(0)
+	log.SetPrefix(tool + ": ")
+}
+
+// Fatalf logs the message and exits with the given status. It exists
+// for tools whose exit codes are API (protemp-benchdiff: 1 = real
+// regression, 2 = unreadable input); tools without such a contract
+// just use log.Fatal, which is Fatalf with code 1.
+func Fatalf(code int, format string, args ...any) {
+	log.Printf(format, args...)
+	os.Exit(code)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"protemp/internal/linalg"
+	"protemp/internal/obs"
 	"protemp/internal/power"
 	"protemp/internal/solver"
 	"protemp/internal/thermal"
@@ -68,6 +69,8 @@ type OnlineSolver struct {
 
 	prevX linalg.Vector // previous window's optimum; nil = cold
 	t0buf linalg.Vector // stable copy of the caller's thermal map
+
+	rec obs.Recorder // nil = tracing disabled
 }
 
 // NewOnlineSolver validates the spec and compiles the problem
@@ -106,6 +109,12 @@ func (o *OnlineSolver) Warm() bool { return o.prevX != nil }
 
 // Invalidate drops the warm state; the next Solve starts cold.
 func (o *OnlineSolver) Invalidate() { o.prevX = nil }
+
+// SetRecorder installs (or, with nil, removes) the trace recorder the
+// next Solve calls report to. Callers must never pass a typed-nil
+// concrete value; the disabled state is the nil interface. Like Solve
+// itself, SetRecorder must be serialized by the caller.
+func (o *OnlineSolver) SetRecorder(rec obs.Recorder) { o.rec = rec }
 
 // Solve computes the optimal frequency assignment for one control
 // window. t0 supplies the observed per-block thermal map (length
@@ -155,12 +164,24 @@ func (o *OnlineSolver) Solve(ctx context.Context, tstart float64, t0 []float64, 
 			o.prevX = nil
 			return nil, st, err
 		}
+		if o.rec != nil {
+			o.rec.SolveStart(ftarget)
+			o.rec.Rung("full-speed")
+			o.rec.SolveEnd(a.Feasible, nil)
+		}
 		return a, st, nil
 	}
 
 	hadPrev := o.prevX != nil
 	seed, gap := o.inst.warmSeed(spec, o.prevX)
-	a, x, warm, err := solveLadder(ctx, spec, o.inst.prob, o.plan.lay, o.inst.rows, seed, gap, o.ws)
+	if o.rec != nil {
+		o.rec.SolveStart(ftarget)
+	}
+	a, x, warm, err := solveLadder(ctx, spec, o.inst.prob, o.plan.lay, o.inst.rows, seed, gap, o.ws, o.rec)
+	if o.rec != nil {
+		feasible := err == nil && a != nil && a.Feasible
+		o.rec.SolveEnd(feasible, err)
+	}
 	if err != nil {
 		o.prevX = nil
 		return nil, st, err

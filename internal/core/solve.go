@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"protemp/internal/linalg"
+	"protemp/internal/obs"
 	"protemp/internal/solver"
 )
 
@@ -46,7 +47,7 @@ func SolveContext(ctx context.Context, s *Spec) (*Assignment, error) {
 	if err != nil {
 		return nil, err
 	}
-	a, _, _, err := solveLadder(ctx, s, prob, lay, rows, nil, 0, nil)
+	a, _, _, err := solveLadder(ctx, s, prob, lay, rows, nil, 0, nil, nil)
 	return a, err
 }
 
@@ -58,13 +59,18 @@ func SolveContext(ctx context.Context, s *Spec) (*Assignment, error) {
 // table sweep (warm-seeded, per-worker workspace), so both produce
 // interchangeable assignments. It returns the assignment, the raw
 // normalized optimum for seeding the next grid point (nil when
-// infeasible), and whether the warm seed carried the solve.
-func solveLadder(ctx context.Context, s *Spec, prob *solver.Problem, lay layout, rows []tempRow, warmSeed linalg.Vector, warmGap float64, ws *solver.Workspace) (*Assignment, linalg.Vector, bool, error) {
+// infeasible), and whether the warm seed carried the solve. A non-nil
+// rec observes the warm decision, the rung taken and every barrier
+// centering; the nil path costs only pointer checks.
+func solveLadder(ctx context.Context, s *Spec, prob *solver.Problem, lay layout, rows []tempRow, warmSeed linalg.Vector, warmGap float64, ws *solver.Workspace, rec obs.Recorder) (*Assignment, linalg.Vector, bool, error) {
 	n := s.Chip.NumCores()
 	phi := s.FTarget / s.Chip.FMax()
 	opts := solver.DefaultOptions()
 	opts.Tol = 1e-7
 	opts.Interrupt = ctx.Err
+	if rec != nil {
+		opts.Centering = rec.Centering
+	}
 
 	var res *solver.Result
 	var err error
@@ -74,6 +80,10 @@ func solveLadder(ctx context.Context, s *Spec, prob *solver.Problem, lay layout,
 		switch {
 		case err == nil && res.Centered:
 			warm = true
+			if rec != nil {
+				rec.WarmDecision(true, true, "")
+				rec.Rung("warm")
+			}
 		case ctx.Err() != nil:
 			return nil, nil, false, ctx.Err()
 		default:
@@ -83,21 +93,34 @@ func solveLadder(ctx context.Context, s *Spec, prob *solver.Problem, lay layout,
 			// then not a certificate) is not a verdict on the problem;
 			// fall back cold so warm results stay interchangeable with
 			// cold ones.
+			if rec != nil {
+				reason := "uncentered"
+				if err != nil {
+					reason = err.Error()
+				}
+				rec.WarmDecision(true, false, reason)
+			}
 			res, err = nil, nil
 		}
 	}
 	if res == nil {
 		start := heuristicStart(s, lay, rows, phi)
+		rung := "heuristic"
 		if start == nil {
 			// Near the capacity boundary only a non-uniform assignment is
 			// feasible; a physics-guided rebalance finds one directly where
 			// the generic Phase-I auxiliary problem converges too slowly.
 			start = rebalanceStart(s, lay, rows, phi)
+			rung = "rebalance"
 		}
 		if start != nil {
 			res, err = solver.BarrierWS(prob, start, opts, ws)
 		} else {
+			rung = "phase1"
 			res, err = solver.SolveWS(prob, neutralStart(lay, phi), opts, ws)
+		}
+		if rec != nil {
+			rec.Rung(rung)
 		}
 	}
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"protemp/internal/floorplan"
 	"protemp/internal/linalg"
 	"protemp/internal/metrics"
+	"protemp/internal/obs"
 	"protemp/internal/power"
 	"protemp/internal/thermal"
 )
@@ -188,6 +189,11 @@ type Solver struct {
 	// wall time (the per-cluster solve-latency histogram surfaced in
 	// metrics).
 	ClusterNanos *metrics.Histogram
+
+	// rec, when set, observes the consensus loop (outer iterations,
+	// fallback rung) and derives per-cluster sub-recorders for the
+	// cluster solvers. nil = tracing disabled.
+	rec obs.Recorder
 }
 
 // clusterSub is one cluster's compiled subproblem: a sub-chip of the
@@ -397,6 +403,11 @@ func (s *Solver) buildCluster(cl *Cluster) (*clusterSub, error) {
 	return cs, nil
 }
 
+// SetRecorder installs (or, with nil, removes) the trace recorder for
+// subsequent Solve calls. Like Solve it must be externally serialized;
+// the disabled state is the nil interface, never a typed-nil value.
+func (s *Solver) SetRecorder(rec obs.Recorder) { s.rec = rec }
+
 // Chip returns the chip the solver controls.
 func (s *Solver) Chip() *power.Chip { return s.cfg.Chip }
 
@@ -459,13 +470,23 @@ func (s *Solver) Solve(ctx context.Context, tstart float64, t0 []float64, ftarge
 		stats.PrimalResidC = primal
 		if primal <= s.opts.PrimalTolC {
 			stats.Converged = true
+			if s.rec != nil {
+				s.rec.Outer(it, primal, 0)
+			}
 			break
 		}
 		if primal > s.opts.StallFactor*prevPrimal {
+			if s.rec != nil {
+				s.rec.Outer(it, primal, 0)
+			}
 			break // stalled: stop burning iterations
 		}
 		prevPrimal = primal
-		stats.DualResidC = math.Max(stats.DualResidC, s.updateDuals())
+		dual := s.updateDuals()
+		stats.DualResidC = math.Max(stats.DualResidC, dual)
+		if s.rec != nil {
+			s.rec.Outer(it, primal, dual)
+		}
 	}
 
 	// An unconverged but acceptable iterate is still the decision: the
@@ -543,6 +564,11 @@ func (s *Solver) solveCluster(ctx context.Context, c int, tstart float64, t0g []
 	sub.idle = false
 	sub.err = nil
 	sub.peak, sub.gap = 0, 0
+	if s.rec != nil {
+		sub.ol.SetRecorder(s.rec.Cluster(c))
+	} else {
+		sub.ol.SetRecorder(nil)
+	}
 
 	for li, b := range sub.blocks {
 		sub.t0c[li] = t0g[b]
@@ -699,12 +725,18 @@ func (s *Solver) updateDuals() float64 {
 // upper bound on the true coupled system.
 func (s *Solver) fallback(ctx context.Context, tstart float64, t0g []float64, ftarget float64, stats *StepStats) (*core.Assignment, StepStats, error) {
 	if s.cfg.Chip.NumCores() <= s.opts.FallbackCores {
+		if s.rec != nil {
+			s.rec.Fallback("central")
+		}
 		a, err := s.centralSolve(ctx, tstart, t0g, ftarget, stats)
 		if err != nil {
 			s.Invalidate()
 			return nil, *stats, err
 		}
 		return a, *stats, nil
+	}
+	if s.rec != nil {
+		s.rec.Fallback("worst-case")
 	}
 	if err := s.solveRound(ctx, tstart, t0g, ftarget, stats, true); err != nil {
 		s.Invalidate()
@@ -745,6 +777,12 @@ func (s *Solver) centralSolve(ctx context.Context, tstart float64, t0g []float64
 	})
 	if s.centralErr != nil {
 		return nil, s.centralErr
+	}
+	if s.rec != nil {
+		// Cluster index -1 tags the centralized fallback's spans.
+		s.central.SetRecorder(s.rec.Cluster(-1))
+	} else {
+		s.central.SetRecorder(nil)
 	}
 	start := time.Now()
 	a, st, err := s.central.Solve(ctx, tstart, t0g, ftarget)

@@ -12,6 +12,7 @@ import (
 	"protemp/internal/estimate"
 	"protemp/internal/linalg"
 	"protemp/internal/metrics"
+	"protemp/internal/obs"
 	"protemp/internal/power"
 	"protemp/internal/sim"
 	"protemp/internal/thermal"
@@ -200,6 +201,12 @@ type Summary struct {
 	InnovP50C     float64 `json:"innov_p50_c,omitempty"`
 	InnovP95C     float64 `json:"innov_p95_c,omitempty"`
 	InnovP99C     float64 `json:"innov_p99_c,omitempty"`
+
+	// SlowestTrace is the slowest window's full solve trace of an
+	// online or dmpc run — captured automatically by a small per-cell
+	// flight recorder so a batch's worst latency cell comes with its
+	// anatomy attached. JSON results only; the CSV report ignores it.
+	SlowestTrace *obs.Trace `json:"slowest_trace,omitempty"`
 }
 
 // RunResult is one run's outcome: a summary, an error, or a skip mark
@@ -528,6 +535,7 @@ func (r *Runner) simulate(ctx context.Context, spec BatchSpec, run Run) (*Summar
 			s.StepSolveP95Ns = po.SolveNanos.Quantile(95)
 			s.StepSolveP99Ns = po.SolveNanos.Quantile(99)
 		}
+		s.SlowestTrace = po.Flight.Slowest()
 	}
 	if pd, ok := policy.(*sim.ProTempDMPC); ok {
 		s.StepSolves = uint64(pd.Solves)
@@ -542,6 +550,7 @@ func (r *Runner) simulate(ctx context.Context, spec BatchSpec, run Run) (*Summar
 			s.StepSolveP95Ns = pd.SolveNanos.Quantile(95)
 			s.StepSolveP99Ns = pd.SolveNanos.Quantile(99)
 		}
+		s.SlowestTrace = pd.Flight.Slowest()
 	}
 	if sr := simRes.Sense; sr != nil {
 		s.SenseWindows = sr.Windows
@@ -609,12 +618,15 @@ func (r *Runner) buildPolicy(ctx context.Context, p PolicySpec, tmax float64) (s
 		// first Decide and warm-starts every window's solve from the
 		// previous optimum; the histogram feeds the Summary's latency
 		// quantiles.
+		// The one-deep flight recorder keeps exactly the slowest
+		// window's trace for the Summary.
 		return &sim.ProTempOnline{
 			Chip:       chip,
 			Window:     r.eng.Window(),
 			TMax:       tmax,
 			Variant:    v,
 			SolveNanos: &metrics.Histogram{},
+			Flight:     obs.NewFlightRecorder(1, 1),
 		}, "", nil
 	case "protemp-dmpc":
 		v, err := core.ParseVariant(p.Variant, r.eng.Variant())
@@ -631,6 +643,7 @@ func (r *Runner) buildPolicy(ctx context.Context, p PolicySpec, tmax float64) (s
 		if pd.SolveNanos == nil {
 			pd.SolveNanos = &metrics.Histogram{}
 		}
+		pd.Flight = obs.NewFlightRecorder(1, 1)
 		return pd, "", nil
 	case "protemp":
 		v, err := core.ParseVariant(p.Variant, r.eng.Variant())

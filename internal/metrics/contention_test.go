@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRegistryUnderContention drives concurrent Histogram.Observe,
+// Registry.Snapshot, Histogram.Merge, counter/gauge traffic and lazy
+// registration from many goroutines at once. Run under -race it pins
+// that the registry's locking and the histogram's lock-free buckets
+// hold up, and it checks the aggregate counts survive the storm.
+func TestRegistryUnderContention(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	const (
+		writers   = 8
+		observers = 4
+		perWriter = 2000
+	)
+	var wg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(uint64(i%1000 + 1))
+				r.Counter("hits").Inc()
+				r.Gauge("level").Set(int64(i))
+			}
+		}(w)
+	}
+
+	// Mergers fold private histograms into the shared one mid-storm.
+	for m := 0; m < observers; m++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local Histogram
+			for i := 0; i < perWriter; i++ {
+				local.Observe(uint64(i + 1))
+			}
+			h.Merge(&local)
+		}()
+	}
+
+	// Scrapers snapshot (and lazily register) while writers run.
+	for s := 0; s < observers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				snap := r.Snapshot()
+				if snap["lat_count"] > uint64(writers*perWriter+observers*perWriter) {
+					t.Errorf("snapshot count %d exceeds total observations", snap["lat_count"])
+				}
+				_ = r.Kinds()
+				r.Histogram("lat").Quantile(99)
+				r.Counter("hits").Value()
+			}
+		}(s)
+	}
+
+	wg.Wait()
+
+	want := uint64(writers*perWriter + observers*perWriter)
+	if got := h.Count(); got != want {
+		t.Errorf("final histogram count = %d, want %d", got, want)
+	}
+	if got := r.Counter("hits").Value(); got != uint64(writers*perWriter) {
+		t.Errorf("final hits = %d, want %d", got, writers*perWriter)
+	}
+	snap := r.Snapshot()
+	if snap["lat_count"] != want {
+		t.Errorf("snapshot lat_count = %d, want %d", snap["lat_count"], want)
+	}
+	if snap["lat_p50"] == 0 {
+		t.Errorf("snapshot lat_p50 = 0, want nonzero")
+	}
+}

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PrometheusContentType is the content type of the text exposition
+// format version 0.0.4 that WritePrometheus emits.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// BuildInfo labels the constant-1 protemp_build_info sample in the
+// Prometheus exposition, the convention dashboards use to tell nodes
+// (and rollout waves) apart.
+type BuildInfo struct {
+	Version   string
+	GoVersion string
+}
+
+// Kinds returns the Prometheus metric kind ("counter" or "gauge") of
+// every key Snapshot emits: registered counters, gauges, and each
+// histogram's derived keys (its _count/_sum accumulators are counters,
+// its quantiles are gauges). A metrics endpoint merges the Kinds of
+// every registry it scrapes and hands the result to WritePrometheus.
+func (r *Registry) Kinds() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]string, len(r.counters)+len(r.gauges)+5*len(r.histograms))
+	for name := range r.counters {
+		out[name] = "counter"
+	}
+	for name := range r.gauges {
+		out[name] = "gauge"
+	}
+	for name := range r.histograms {
+		out[name+"_count"] = "counter"
+		out[name+"_sum"] = "counter"
+		out[name+"_p50"] = "gauge"
+		out[name+"_p95"] = "gauge"
+		out[name+"_p99"] = "gauge"
+	}
+	return out
+}
+
+// WritePrometheus emits the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line and one sample per metric,
+// keys in sorted order so scrapes and tests see stable output. Metric
+// names in the registry are already valid Prometheus names (snake_case
+// identifiers); values are the same unsigned integers the JSON
+// exposition reports, so the two formats never disagree. kinds (see
+// Registry.Kinds) types each sample; names it omits fall back to a
+// suffix heuristic. When info has a non-empty Version, the
+// protemp_build_info sample carries version/goversion labels instead
+// of a bare name.
+func WritePrometheus(w io.Writer, snap map[string]uint64, kinds map[string]string, info BuildInfo) error {
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		typ := kinds[name]
+		if typ == "" {
+			typ = "gauge"
+			if strings.HasSuffix(name, "_count") || strings.HasSuffix(name, "_sum") {
+				// Histogram accumulators only grow; anything else unknown
+				// is untyped and gauge is the safe default.
+				typ = "counter"
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ); err != nil {
+			return err
+		}
+		if name == "protemp_build_info" && info.Version != "" {
+			if _, err := fmt.Fprintf(w, "protemp_build_info{version=%q,goversion=%q} %d\n",
+				info.Version, info.GoVersion, snap[name]); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, snap[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

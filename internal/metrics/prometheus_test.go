@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("step_solves").Add(42)
+	r.Gauge("uptime_seconds").Set(7)
+	r.Gauge("protemp_build_info").Set(1)
+	h := r.Histogram("step_solve_nanos")
+	h.Observe(1000)
+	h.Observe(2000)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r.Snapshot(), r.Kinds(), BuildInfo{Version: "0.8.0", GoVersion: "go1.24"}); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+
+	// Every line must be valid text exposition: a # TYPE comment or a
+	// sample `name{labels} value`.
+	sample := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? [0-9]+$`)
+	typeLine := regexp.MustCompile(`^# TYPE [a-zA-Z_][a-zA-Z0-9_]* (counter|gauge)$`)
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if typeLine.MatchString(line) || sample.MatchString(line) {
+			continue
+		}
+		t.Errorf("invalid exposition line: %q", line)
+	}
+
+	for _, want := range []string{
+		"step_solves 42\n",
+		"uptime_seconds 7\n",
+		`protemp_build_info{version="0.8.0",goversion="go1.24"} 1` + "\n",
+		"# TYPE step_solve_nanos_count counter\n",
+		"step_solve_nanos_count 2\n",
+		"step_solve_nanos_sum 3000\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Sorted, so TYPE lines precede their sample and output is stable.
+	if strings.Index(out, "# TYPE step_solves counter\n") > strings.Index(out, "step_solves 42\n") {
+		t.Errorf("TYPE line does not precede its sample:\n%s", out)
+	}
+	var sb2 strings.Builder
+	if err := WritePrometheus(&sb2, r.Snapshot(), r.Kinds(), BuildInfo{Version: "0.8.0", GoVersion: "go1.24"}); err != nil {
+		t.Fatalf("WritePrometheus (second): %v", err)
+	}
+	if sb2.String() != out {
+		t.Errorf("exposition not stable across identical snapshots")
+	}
+}
+
+func TestWritePrometheusBareBuildInfoWithoutVersion(t *testing.T) {
+	snap := map[string]uint64{"protemp_build_info": 1}
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, snap, nil, BuildInfo{}); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if !strings.Contains(sb.String(), "protemp_build_info 1\n") {
+		t.Errorf("expected bare sample without labels, got:\n%s", sb.String())
+	}
+}

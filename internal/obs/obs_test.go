@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilFlightRecorderIsDisabled(t *testing.T) {
+	var f *FlightRecorder
+	tr := f.StartStep("online")
+	if tr != nil {
+		t.Fatalf("nil recorder StartStep = %v, want nil", tr)
+	}
+	f.EndStep(tr, nil) // must not panic
+	if got := f.Traces(); got != nil {
+		t.Fatalf("nil recorder Traces = %v, want nil", got)
+	}
+	if got := f.Trace(1); got != nil {
+		t.Fatalf("nil recorder Trace = %v, want nil", got)
+	}
+	if got := f.Slowest(); got != nil {
+		t.Fatalf("nil recorder Slowest = %v, want nil", got)
+	}
+}
+
+func TestNilPathZeroAllocs(t *testing.T) {
+	var f *FlightRecorder
+	allocs := testing.AllocsPerRun(100, func() {
+		tr := f.StartStep("online")
+		f.EndStep(tr, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled flight recorder allocates %.1f per step, want 0", allocs)
+	}
+}
+
+func TestTraceRecordsSolveAnatomy(t *testing.T) {
+	f := NewFlightRecorder(4, 2)
+	tr := f.StartStep("online")
+	if tr == nil || tr.ID == 0 {
+		t.Fatalf("StartStep = %+v, want trace with nonzero ID", tr)
+	}
+
+	tr.SolveStart(2.0e9)
+	tr.WarmDecision(true, false, "uncentered")
+	tr.Centering(10, 7, false)
+	tr.Centering(100, 5, true)
+	tr.Rung("heuristic")
+	tr.SolveEnd(true, nil)
+
+	tr.SolveStart(1.5e9)
+	tr.Rung("bisect")
+	tr.SolveEnd(false, errors.New("boom"))
+	tr.Fallback("bisect-downgrade")
+
+	f.EndStep(tr, nil)
+
+	if len(tr.Solves) != 2 {
+		t.Fatalf("len(Solves) = %d, want 2", len(tr.Solves))
+	}
+	s0 := tr.Solves[0]
+	if s0.Cluster != -1 || !s0.WarmHad || s0.WarmAccepted || s0.WarmReason != "uncentered" {
+		t.Errorf("span 0 warm decision = %+v", s0)
+	}
+	if s0.Rung != "heuristic" || s0.NewtonIters != 12 || len(s0.Centerings) != 2 {
+		t.Errorf("span 0 ladder = %+v", s0)
+	}
+	if s0.Centerings[1].T != 100 || s0.Centerings[1].Newton != 5 || !s0.Centerings[1].Converged {
+		t.Errorf("span 0 centering[1] = %+v", s0.Centerings[1])
+	}
+	if s1 := tr.Solves[1]; s1.Err != "boom" || s1.Feasible {
+		t.Errorf("span 1 = %+v", s1)
+	}
+	if tr.FallbackRung != "bisect-downgrade" {
+		t.Errorf("FallbackRung = %q", tr.FallbackRung)
+	}
+	if tr.ElapsedNs <= 0 {
+		t.Errorf("ElapsedNs = %d, want > 0", tr.ElapsedNs)
+	}
+
+	// Fallback steps are retained even after the last-N ring cycles.
+	if got := f.Trace(tr.ID); got != tr {
+		t.Fatalf("Trace(%d) = %v, want the filed trace", tr.ID, got)
+	}
+}
+
+func TestClusterSubRecordersAppendConcurrently(t *testing.T) {
+	f := NewFlightRecorder(4, 2)
+	tr := f.StartStep("dmpc")
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		rec := tr.Cluster(c)
+		wg.Add(1)
+		go func(c int, rec Recorder) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				rec.SolveStart(1e9)
+				rec.Centering(10, 3, true)
+				rec.Rung("warm")
+				rec.SolveEnd(true, nil)
+			}
+		}(c, rec)
+	}
+	wg.Wait()
+	tr.Outer(1, 0.4, 0.1)
+	tr.Outer(2, 0.05, 0.02)
+	f.EndStep(tr, nil)
+
+	if len(tr.Solves) != 24 {
+		t.Fatalf("len(Solves) = %d, want 24", len(tr.Solves))
+	}
+	seen := map[int]int{}
+	for _, s := range tr.Solves {
+		seen[s.Cluster]++
+	}
+	for c := 0; c < 8; c++ {
+		if seen[c] != 3 {
+			t.Errorf("cluster %d spans = %d, want 3", c, seen[c])
+		}
+	}
+	if len(tr.Outers) != 2 || tr.Outers[1].Iter != 2 || tr.Outers[1].PrimalC != 0.05 {
+		t.Errorf("Outers = %+v", tr.Outers)
+	}
+}
+
+func TestFlightRecorderRetention(t *testing.T) {
+	f := NewFlightRecorder(3, 2)
+	var slow, errored *Trace
+	for i := 0; i < 10; i++ {
+		tr := f.StartStep("online")
+		switch i {
+		case 2:
+			// Make one early trace decisively the slowest.
+			tr.Start = tr.Start.Add(-time.Second)
+			slow = tr
+			f.EndStep(tr, nil)
+		case 4:
+			errored = tr
+			f.EndStep(tr, errors.New("solver exploded"))
+		default:
+			f.EndStep(tr, nil)
+		}
+	}
+
+	all := f.Traces()
+	ids := map[uint64]bool{}
+	for _, tr := range all {
+		ids[tr.ID] = true
+	}
+	// Last-3 ring holds the newest three.
+	for _, want := range []uint64{8, 9, 10} {
+		if !ids[want] {
+			t.Errorf("Traces missing recent id %d (got %v)", want, ids)
+		}
+	}
+	if !ids[slow.ID] {
+		t.Errorf("Traces dropped the slowest trace %d", slow.ID)
+	}
+	if !ids[errored.ID] {
+		t.Errorf("Traces dropped the errored trace %d", errored.ID)
+	}
+	if got := f.Slowest(); got != slow {
+		t.Errorf("Slowest = %v, want trace %d", got, slow.ID)
+	}
+	if got := f.Trace(errored.ID); got == nil || got.Err != "solver exploded" {
+		t.Errorf("Trace(%d) = %+v", errored.ID, got)
+	}
+	if got := f.Trace(99); got != nil {
+		t.Errorf("Trace(99) = %v, want nil", got)
+	}
+	// Newest first.
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID <= all[i].ID {
+			t.Errorf("Traces not sorted newest-first: %d before %d", all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	f := NewFlightRecorder(2, 1)
+	tr := f.StartStep("dmpc")
+	rec := tr.Cluster(1)
+	rec.SolveStart(1e9)
+	rec.WarmDecision(true, true, "")
+	rec.Centering(50, 4, true)
+	rec.Rung("warm")
+	rec.SolveEnd(true, nil)
+	tr.Outer(1, 0.2, 0.05)
+	tr.Fallback("central")
+	f.EndStep(tr, nil)
+
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Trace
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.ID != tr.ID || back.Mode != "dmpc" || back.FallbackRung != "central" {
+		t.Errorf("round trip lost header: id=%d mode=%q fallback=%q", back.ID, back.Mode, back.FallbackRung)
+	}
+	if len(back.Solves) != 1 || back.Solves[0].Cluster != 1 || back.Solves[0].Rung != "warm" {
+		t.Errorf("round trip lost spans: %+v", back.Solves)
+	}
+	if len(back.Outers) != 1 || back.Outers[0].PrimalC != 0.2 {
+		t.Errorf("round trip lost outers: %+v", back.Outers)
+	}
+}

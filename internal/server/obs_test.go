@@ -1,0 +1,201 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"protemp"
+	"protemp/internal/metrics"
+	"protemp/internal/obs"
+)
+
+// TestMetricsContentNegotiation pins the /metrics dual exposition:
+// plain GETs keep the JSON object existing scrapers parse, while an
+// Accept of text/plain (what Prometheus sends) switches the same
+// samples to the text exposition format with a labeled build-info
+// sample.
+func TestMetricsContentNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, fastEngine(t))
+
+	// Default: JSON, as before.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default content type %q", ct)
+	}
+	var snap map[string]uint64
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode JSON metrics: %v", err)
+	}
+	resp.Body.Close()
+	if _, ok := snap["protemp_build_info"]; !ok {
+		t.Fatalf("JSON metrics missing protemp_build_info: %v", snap)
+	}
+	if _, ok := snap["http_requests"]; !ok {
+		t.Fatalf("JSON metrics missing http_requests: %v", snap)
+	}
+
+	// Prometheus scrape: Accept: text/plain.
+	req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.PrometheusContentType {
+		t.Fatalf("negotiated content type %q, want %q", ct, metrics.PrometheusContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE http_requests counter\n",
+		fmt.Sprintf("protemp_build_info{version=%q,goversion=", protemp.Version),
+		"# TYPE uptime_seconds gauge\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// Every sample the JSON view reports must appear in the text view
+	// (same merged snapshot, two formats). http_requests differs by the
+	// scrapes themselves, so compare key presence, not values.
+	for name := range snap {
+		if !strings.Contains(text, "\n"+name) && !strings.HasPrefix(text, name) &&
+			!strings.Contains(text, "\n"+name+"{") {
+			t.Errorf("exposition missing sample %q", name)
+		}
+	}
+
+	// X-Request-Id is stamped on every response.
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Errorf("missing X-Request-Id header")
+	}
+}
+
+// TestDebugTracesDisabled pins the contract when the engine has no
+// flight recorder: both endpoints 404 with a JSON error.
+func TestDebugTracesDisabled(t *testing.T) {
+	_, ts := newTestServer(t, fastEngine(t))
+	for _, path := range []string{"/debug/traces", "/debug/traces/1"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestDebugTracesDMPCFallback drives a DMPC session into the
+// centralized consensus fallback and asserts the flight recorder
+// captured the whole anatomy end to end over HTTP: the step shows up
+// in the /debug/traces listing and /debug/traces/{id} returns the full
+// span tree — per-cluster solve spans, the ADMM outer-iteration
+// timeline, and the "central" fallback rung with its cluster -1 spans.
+func TestDebugTracesDMPCFallback(t *testing.T) {
+	// One ADMM sweep against an unmeetable consensus tolerance on a
+	// 2-cluster partition: the boundary disagreement cannot close in a
+	// single round, and 8 cores is within the centralized-fallback
+	// budget, so every window walks the "central" rung.
+	engine := fastEngine(t,
+		protemp.WithFlightRecorder(8, 4),
+		protemp.WithClusters(2),
+		protemp.WithADMMIterations(1),
+		protemp.WithADMMTolerance(1e-9),
+		protemp.WithADMMAcceptance(1e-9),
+	)
+	_, ts := newTestServer(t, engine)
+
+	var info sessionInfoResponse
+	resp := postJSON(t, ts.URL+"/v1/sessions", map[string]any{"mode": "dmpc"}, &info)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create dmpc session: status %d", resp.StatusCode)
+	}
+	var step stepResponse
+	resp = postJSON(t, ts.URL+"/v1/sessions/"+info.ID+"/step",
+		stepRequest{MaxCoreTempC: 60, RequiredFreqHz: 5e8}, &step)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("step: status %d", resp.StatusCode)
+	}
+
+	// Listing shows the traced step.
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Traces []traceSummary `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatalf("decode listing: %v", err)
+	}
+	resp.Body.Close()
+	if len(list.Traces) == 0 {
+		t.Fatal("no traces listed after a traced step")
+	}
+	head := list.Traces[0]
+	if head.Mode != "dmpc" || head.Solves == 0 || head.Fallback != "central" {
+		t.Fatalf("listed trace %+v, want a dmpc trace with solves and fallback=central", head)
+	}
+
+	// Detail returns the full span tree.
+	resp, err = http.Get(fmt.Sprintf("%s/debug/traces/%d", ts.URL, head.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr obs.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	resp.Body.Close()
+	if tr.ID != head.ID || tr.FallbackRung != "central" {
+		t.Fatalf("trace header %d fallback=%q", tr.ID, tr.FallbackRung)
+	}
+	if len(tr.Outers) == 0 {
+		t.Fatalf("trace has no ADMM outer iterations: %+v", tr.Outers)
+	}
+	if tr.Outers[0].PrimalC <= 1e-9 {
+		t.Errorf("outer round primal residual %g should exceed the tolerance", tr.Outers[0].PrimalC)
+	}
+	clusters, central := map[int]bool{}, false
+	for _, sp := range tr.Solves {
+		if sp.Cluster >= 0 {
+			clusters[sp.Cluster] = true
+		} else {
+			central = true
+		}
+		if sp.Rung == "" {
+			t.Errorf("span without a ladder rung: %+v", sp)
+		}
+	}
+	if len(clusters) != 2 {
+		t.Errorf("spans cover clusters %v, want both of 2", clusters)
+	}
+	if !central {
+		t.Errorf("no cluster -1 (centralized fallback) spans in %d spans", len(tr.Solves))
+	}
+
+	// Unknown ids are 404, junk ids are 400.
+	resp, _ = http.Get(ts.URL + "/debug/traces/999999")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = http.Get(ts.URL + "/debug/traces/bogus")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("junk id: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -6,8 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"protemp"
@@ -47,6 +52,10 @@ type Config struct {
 	// cap are pruned oldest-first, and submissions are refused while
 	// that many jobs are still running (default 32).
 	MaxFleetJobs int
+	// Logger receives one structured record per request (method, path,
+	// status, bytes, elapsed, request id). Nil discards them; pass
+	// slog.Default() (or any handler) to see traffic.
+	Logger *slog.Logger
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -62,6 +71,8 @@ type Server struct {
 	reg      *metrics.Registry
 	mux      *http.ServeMux
 	cfg      Config
+	log      *slog.Logger
+	reqID    atomic.Uint64
 
 	requests      *metrics.Counter
 	errorsCount   *metrics.Counter
@@ -99,14 +110,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxFleetJobs == 0 {
 		cfg.MaxFleetJobs = 32
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	reg := metrics.NewRegistry()
 	s := &Server{
-		engine:        cfg.Engine,
-		sessions:      newSessionManager(cfg.Shards, cfg.SessionTTL, cfg.ReapInterval, reg, cfg.now),
-		fleet:         newFleetManager(cfg.Engine, cfg.MaxFleetRuns, cfg.MaxFleetJobs, reg, cfg.now),
-		reg:           reg,
-		mux:           http.NewServeMux(),
-		cfg:           cfg,
+		engine:         cfg.Engine,
+		sessions:       newSessionManager(cfg.Shards, cfg.SessionTTL, cfg.ReapInterval, reg, cfg.now),
+		fleet:          newFleetManager(cfg.Engine, cfg.MaxFleetRuns, cfg.MaxFleetJobs, reg, cfg.now),
+		reg:            reg,
+		mux:            http.NewServeMux(),
+		cfg:            cfg,
+		log:            cfg.Logger,
 		requests:       reg.Counter("http_requests"),
 		errorsCount:    reg.Counter("http_errors"),
 		streamWindows:  reg.Counter("stream_windows"),
@@ -129,17 +144,64 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/fleet/{id}", s.handleFleetDelete)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
 	return s, nil
 }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request gets a serving id
+// (echoed as X-Request-Id so clients can quote it back) and one
+// structured log record on completion.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	s.mux.ServeHTTP(w, r)
+	id := s.reqID.Add(1)
+	w.Header().Set("X-Request-Id", strconv.FormatUint(id, 10))
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.Uint64("req_id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.status),
+		slog.Int64("bytes", sw.bytes),
+		slog.Duration("elapsed", time.Since(start)),
+	)
+}
+
+// statusWriter captures the response status and size for the request
+// log. It forwards Flush so the NDJSON stream handler can still push
+// windows as they complete.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if !sw.wrote {
+		sw.status = status
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	sw.wrote = true
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // Shutdown gracefully drains the server: new sessions, steps and fleet
@@ -384,11 +446,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics merges the engine's counters (table cache and store)
 // with the serving counters and gauges (active sessions, in-flight
-// fleet runs and jobs) into one flat JSON object.
+// fleet runs and jobs) into one flat JSON object, or — when the Accept
+// header asks for text/plain or OpenMetrics — the same samples in the
+// Prometheus text exposition format, so a scrape_config needs nothing
+// beyond the endpoint. JSON stays the default for existing clients.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	merged := s.engine.MetricsSnapshot()
 	for name, v := range s.reg.Snapshot() {
 		merged[name] = v
+	}
+	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics") {
+		kinds := s.engine.MetricsKinds()
+		for name, kind := range s.reg.Kinds() {
+			kinds[name] = kind
+		}
+		w.Header().Set("Content-Type", metrics.PrometheusContentType)
+		metrics.WritePrometheus(w, merged, kinds, metrics.BuildInfo{
+			Version:   protemp.Version,
+			GoVersion: runtime.Version(),
+		})
+		return
 	}
 	// encoding/json emits map keys in sorted order — stable output
 	// for scrapers and tests.
@@ -396,6 +474,59 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	enc.Encode(merged)
+}
+
+// traceSummary is one row of the /debug/traces listing; the full span
+// tree of a trace hangs off /debug/traces/{id}.
+type traceSummary struct {
+	ID        uint64    `json:"id"`
+	Mode      string    `json:"mode"`
+	Start     time.Time `json:"start"`
+	ElapsedMs float64   `json:"elapsed_ms"`
+	Solves    int       `json:"solves"`
+	Err       string    `json:"err,omitempty"`
+	Fallback  string    `json:"fallback,omitempty"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	fr := s.engine.FlightRecorder()
+	if fr == nil {
+		s.writeError(w, http.StatusNotFound, "flight recorder disabled (enable the engine's WithFlightRecorder option)")
+		return
+	}
+	traces := fr.Traces()
+	out := make([]traceSummary, 0, len(traces))
+	for _, tr := range traces {
+		out = append(out, traceSummary{
+			ID:        tr.ID,
+			Mode:      tr.Mode,
+			Start:     tr.Start,
+			ElapsedMs: float64(tr.ElapsedNs) / 1e6,
+			Solves:    len(tr.Solves),
+			Err:       tr.Err,
+			Fallback:  tr.FallbackRung,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"traces": out})
+}
+
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	fr := s.engine.FlightRecorder()
+	if fr == nil {
+		s.writeError(w, http.StatusNotFound, "flight recorder disabled (enable the engine's WithFlightRecorder option)")
+		return
+	}
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "trace id %q is not a number", r.PathValue("id"))
+		return
+	}
+	tr := fr.Trace(id)
+	if tr == nil {
+		s.writeError(w, http.StatusNotFound, "trace %d not retained (aged out of the flight recorder or never recorded)", id)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, tr)
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"protemp/internal/dmpc"
 	"protemp/internal/linalg"
 	"protemp/internal/metrics"
+	"protemp/internal/obs"
 )
 
 // ProTempDMPC is the distributed counterpart of ProTempOnline: the
@@ -40,6 +41,9 @@ type ProTempDMPC struct {
 	// wall time (callers wanting quantiles supply a histogram).
 	SolveNanosTotal int64
 	SolveNanos      *metrics.Histogram
+	// Flight, when non-nil, records one solve trace per window (cluster
+	// spans plus the ADMM outer-iteration timeline). Nil adds nothing.
+	Flight *obs.FlightRecorder
 }
 
 // Name implements Policy.
@@ -65,8 +69,16 @@ func (p *ProTempDMPC) Decide(st WindowState) linalg.Vector {
 		required = 0.1 * chip.FMax()
 	}
 
+	tr := p.Flight.StartStep("dmpc")
+	if tr != nil {
+		p.Solver.SetRecorder(tr)
+	}
 	start := time.Now()
 	a, stats, err := p.Solver.Solve(context.Background(), st.MaxCoreTemp, st.BlockTemps, required)
+	if tr != nil {
+		p.Solver.SetRecorder(nil)
+		p.Flight.EndStep(tr, err)
+	}
 	elapsed := time.Since(start).Nanoseconds()
 	p.SolveNanosTotal += elapsed
 	if p.SolveNanos != nil {

@@ -8,6 +8,7 @@ import (
 	"protemp/internal/core"
 	"protemp/internal/linalg"
 	"protemp/internal/metrics"
+	"protemp/internal/obs"
 	"protemp/internal/power"
 	"protemp/internal/thermal"
 )
@@ -48,9 +49,14 @@ type ProTempOnline struct {
 	// wall time — callers wanting p50/p95/p99 (the fleet runner) supply
 	// a histogram; nil skips the per-solve observation.
 	SolveNanos *metrics.Histogram
+	// Flight, when non-nil, records one solve trace per window — the
+	// sim/fleet analogue of the engine's flight recorder. Nil (the
+	// default) adds nothing to the window path.
+	Flight *obs.FlightRecorder
 
 	ol       *core.OnlineSolver
 	compiled bool // compile attempted; ol == nil afterwards means solve cold
+	tr       *obs.Trace
 }
 
 // Name implements Policy.
@@ -59,6 +65,26 @@ func (p *ProTempOnline) Name() string { return "Pro-Temp-Online" }
 // Decide implements Policy. On any solver failure it falls back to an
 // idle window, which is always thermally safe.
 func (p *ProTempOnline) Decide(st WindowState) linalg.Vector {
+	if p.Flight == nil {
+		freqs, _ := p.decide(st, nil)
+		return freqs
+	}
+	tr := p.Flight.StartStep("online")
+	p.tr = tr
+	freqs, err := p.decide(st, tr)
+	p.tr = nil
+	if p.ol != nil {
+		p.ol.SetRecorder(nil)
+	}
+	p.Flight.EndStep(tr, err)
+	return freqs
+}
+
+// decide is the window decision rule; tr, when non-nil, receives the
+// solve anatomy. The returned error reports why a window idled (nil
+// when the decision is a real assignment) — Decide's trace filing
+// uses it, the policy API swallows it.
+func (p *ProTempOnline) decide(st WindowState, tr *obs.Trace) (linalg.Vector, error) {
 	n := p.Chip.NumCores()
 	// A full-dropout sensing window means this state is pure prediction:
 	// drop the warm optimum so the blind window's solution never seeds
@@ -77,7 +103,7 @@ func (p *ProTempOnline) Decide(st WindowState) linalg.Vector {
 
 	a, err := p.solve(st.MaxCoreTemp, st.BlockTemps, required)
 	if err == nil && a.Feasible {
-		return linalg.VectorOf(a.Freqs...)
+		return linalg.VectorOf(a.Freqs...), nil
 	}
 	p.Infeasible++
 
@@ -85,6 +111,11 @@ func (p *ProTempOnline) Decide(st WindowState) linalg.Vector {
 	// largest supportable uniform target cheaply, then re-solve the full
 	// program just inside it (the run-time analogue of the paper's
 	// "next lower frequency point" fallback).
+	if tr != nil {
+		tr.Fallback("bisect-downgrade")
+		tr.SolveStart(required)
+		tr.Rung("bisect")
+	}
 	spec := &core.Spec{
 		Chip:    p.Chip,
 		Window:  p.Window,
@@ -95,14 +126,17 @@ func (p *ProTempOnline) Decide(st WindowState) linalg.Vector {
 		T0:      st.BlockTemps,
 	}
 	maxF, _, err := core.SolveUniformBisect(spec)
+	if tr != nil {
+		tr.SolveEnd(maxF > 0, err)
+	}
 	if err != nil || maxF <= 0 {
-		return linalg.NewVector(n)
+		return linalg.NewVector(n), err
 	}
 	a, err = p.solve(st.MaxCoreTemp, st.BlockTemps, math.Min(required, 0.98*maxF))
 	if err != nil || !a.Feasible {
-		return linalg.NewVector(n)
+		return linalg.NewVector(n), err
 	}
-	return linalg.VectorOf(a.Freqs...)
+	return linalg.VectorOf(a.Freqs...), nil
 }
 
 // solve runs one timed, warm-capable solve, compiling the online
@@ -124,6 +158,9 @@ func (p *ProTempOnline) solve(tstart float64, t0 []float64, ftarget float64) (*c
 		err   error
 	)
 	if p.ol != nil {
+		if p.tr != nil {
+			p.ol.SetRecorder(p.tr)
+		}
 		a, stats, err = p.ol.Solve(context.Background(), tstart, t0, ftarget)
 	} else {
 		a, err = core.Solve(&core.Spec{

@@ -34,6 +34,11 @@ type Options struct {
 	// cancellation plumbs through here so a caller's deadline reaches
 	// into the innermost centering loop.
 	Interrupt func() error
+	// Centering, if non-nil, is invoked after every centering stage
+	// with the barrier weight t, the Newton iterations spent, and
+	// whether the stage converged. Tracing plumbs through here; the
+	// hot path pays only a nil check when unset.
+	Centering func(t float64, newtonIters int, converged bool)
 }
 
 // DefaultOptions returns the tuning used throughout the project.
@@ -199,6 +204,9 @@ func BarrierWS(p *Problem, x0 linalg.Vector, opts Options, ws *Workspace) (*Resu
 		iters, stopped, converged, err := center(p, x, t, o, ws)
 		res.NewtonIters += iters
 		res.Centered = converged
+		if o.Centering != nil {
+			o.Centering(t, iters, converged && err == nil)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,95 @@
+package protemp
+
+import (
+	"context"
+	"testing"
+)
+
+// TestStepDisabledRecorderAllocations pins the tentpole's overhead
+// contract: an engine without WithFlightRecorder must pay nothing for
+// the tracing layer's existence. The warm Step path on a fixed
+// repeated state is allocation-deterministic, so any increase over
+// the pinned ceiling means tracing leaked into the disabled hot path
+// (the classic culprit is a deferred closure capturing a named
+// return, which heap-allocates whether or not the recorder is nil).
+func TestStepDisabledRecorderAllocations(t *testing.T) {
+	ctx := context.Background()
+	step := func(t *testing.T, opts ...Option) float64 {
+		t.Helper()
+		e, err := New(append([]Option{WithWindow(1e-3, 100)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := e.NewOnlineSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := stepBenchState(e, 3)
+		if _, err := s.Step(ctx, st); err != nil {
+			t.Fatal(err) // prime the warm chain
+		}
+		return testing.AllocsPerRun(30, func() {
+			if _, err := s.Step(ctx, st); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	// Measured 216 allocs/op for the warm solve itself; the ceiling
+	// leaves no headroom for the disabled recorder on purpose.
+	disabled := step(t)
+	if disabled > 216 {
+		t.Errorf("disabled-recorder warm Step = %.0f allocs/op, want <= 216 (tracing leaked into the hot path?)", disabled)
+	}
+
+	// Sanity: with the flight recorder on, the same step records — the
+	// extra allocations are the trace being built.
+	enabled := step(t, WithFlightRecorder(4, 2))
+	if enabled <= disabled {
+		t.Errorf("enabled recorder adds no allocations (disabled %.0f, enabled %.0f) — is it recording?", disabled, enabled)
+	}
+}
+
+// TestEngineFlightRecorderCapturesStep pins the facade wiring: a
+// flight-recorder engine captures online Step anatomy end to end.
+func TestEngineFlightRecorderCapturesStep(t *testing.T) {
+	e, err := New(WithWindow(1e-3, 100), WithFlightRecorder(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.NewOnlineSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := s.Step(ctx, stepBenchState(e, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := e.FlightRecorder()
+	if fr == nil {
+		t.Fatal("FlightRecorder() = nil on a WithFlightRecorder engine")
+	}
+	traces := fr.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("captured %d traces, want 3", len(traces))
+	}
+	tr := traces[0]
+	if tr.Mode != "online" || len(tr.Solves) == 0 || tr.ElapsedNs <= 0 {
+		t.Fatalf("trace %+v lacks online solve anatomy", tr)
+	}
+	sp := tr.Solves[0]
+	if sp.Rung == "" || len(sp.Centerings) == 0 {
+		t.Fatalf("span %+v lacks rung/centering detail", sp)
+	}
+
+	// Default engines stay dark.
+	plain, err := New(WithWindow(1e-3, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.FlightRecorder() != nil {
+		t.Fatal("default engine has a flight recorder")
+	}
+}

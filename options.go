@@ -36,10 +36,14 @@ type engineConfig struct {
 	observer      core.SweepObserver
 	// Distributed-MPC (ADMM) configuration; zero fields select the
 	// dmpc package defaults.
-	clusters     int
-	admmMaxOuter int
-	admmTolC     float64
-	admmWorkers  int
+	clusters       int
+	admmMaxOuter   int
+	admmTolC       float64
+	admmAcceptTolC float64
+	admmWorkers    int
+	// Flight-recorder configuration; zero lastN leaves tracing off.
+	flightLastN int
+	flightSlowN int
 }
 
 func defaultEngineConfig() engineConfig {
@@ -263,6 +267,43 @@ func WithADMMTolerance(tolC float64) Option {
 			return fmt.Errorf("protemp: non-positive ADMM tolerance %g", tolC)
 		}
 		c.admmTolC = tolC
+		return nil
+	}
+}
+
+// WithADMMAcceptance sets the acceptance band in °C for an unconverged
+// distributed-MPC iterate: primal residuals at or under it keep the
+// latest decision (the duals carry the contraction into the next
+// window), while residuals beyond it trigger the fallback ladder
+// (default 1.0, never below the consensus tolerance).
+func WithADMMAcceptance(tolC float64) Option {
+	return func(c *engineConfig) error {
+		if tolC <= 0 {
+			return fmt.Errorf("protemp: non-positive ADMM acceptance band %g", tolC)
+		}
+		c.admmAcceptTolC = tolC
+		return nil
+	}
+}
+
+// WithFlightRecorder enables the engine's solve-trace flight recorder:
+// every MPC Session.Step records a structured trace (warm-seed
+// decision, ladder rung, barrier centerings, and for distributed
+// sessions per-cluster spans plus the ADMM residual timeline), and the
+// recorder retains the last lastN traces, the slowest slowN, and every
+// errored or fallback step. Non-positive arguments select the defaults
+// (obs.DefaultLastN / obs.DefaultSlowN). Without this option tracing
+// is off and Step pays only a nil check.
+func WithFlightRecorder(lastN, slowN int) Option {
+	return func(c *engineConfig) error {
+		if lastN <= 0 {
+			lastN = -1 // normalized: any non-positive means "default"
+		}
+		if slowN <= 0 {
+			slowN = -1
+		}
+		c.flightLastN = lastN
+		c.flightSlowN = slowN
 		return nil
 	}
 }

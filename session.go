@@ -10,6 +10,7 @@ import (
 	"protemp/internal/core"
 	"protemp/internal/dmpc"
 	"protemp/internal/linalg"
+	"protemp/internal/obs"
 	"protemp/internal/sim"
 )
 
@@ -251,6 +252,25 @@ func (s *Session) stepDMPC(ctx context.Context, st State) ([]float64, error) {
 		defer s.dsolver.Invalidate()
 	}
 
+	// Tracing: the recorder install/teardown and the trace itself exist
+	// only on the enabled branch, so a flight-less engine pays one nil
+	// check here. The solver holds the recorder only for the duration of
+	// this step (caller holds solveMu).
+	if fr := s.engine.flight; fr != nil {
+		tr := fr.StartStep("dmpc")
+		s.dsolver.SetRecorder(tr)
+		freqs, err := s.solveDMPCWindow(ctx, st, required)
+		s.dsolver.SetRecorder(nil)
+		fr.EndStep(tr, err)
+		return freqs, err
+	}
+	return s.solveDMPCWindow(ctx, st, required)
+}
+
+// solveDMPCWindow runs one distributed window solve (caller holds
+// solveMu) and folds the consensus stats into the session counters and
+// the engine's dmpc_* instruments.
+func (s *Session) solveDMPCWindow(ctx context.Context, st State, required float64) ([]float64, error) {
 	start := time.Now()
 	a, stats, err := s.dsolver.Solve(ctx, st.MaxCoreTemp, st.BlockTemps, required)
 	elapsed := time.Since(start)
@@ -265,7 +285,7 @@ func (s *Session) stepDMPC(ctx context.Context, st State) ([]float64, error) {
 		s.fallbacks++
 	}
 	s.mu.Unlock()
-	e.observeDMPCStep(elapsed, stats, err)
+	s.engine.observeDMPCStep(elapsed, stats, err)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +315,6 @@ func (s *Session) stepTable(st State) []float64 {
 // Step under a live context performs a correct cold solve.
 func (s *Session) stepOnline(ctx context.Context, st State) ([]float64, error) {
 	e := s.engine
-	n := e.chip.NumCores()
 	fmax := e.chip.FMax()
 	required := st.RequiredFreq
 	if math.IsNaN(required) || required < 0 {
@@ -328,6 +347,27 @@ func (s *Session) stepOnline(ctx context.Context, st State) ([]float64, error) {
 		defer s.online.Invalidate()
 	}
 
+	// Tracing mirrors stepDMPC: recorder install/teardown only on the
+	// enabled branch, so the disabled hot path pays one nil check and
+	// allocates nothing.
+	if fr := s.engine.flight; fr != nil {
+		tr := fr.StartStep("online")
+		s.online.SetRecorder(tr)
+		freqs, err := s.solveOnlineWindow(ctx, st, required, tr)
+		s.online.SetRecorder(nil)
+		fr.EndStep(tr, err)
+		return freqs, err
+	}
+	return s.solveOnlineWindow(ctx, st, required, nil)
+}
+
+// solveOnlineWindow runs one centralized window decision (caller holds
+// solveMu): solve at the required target, and if that is unsupportable
+// walk the bisect-downgrade ladder. A non-nil tr additionally records
+// the bisection as a span and marks the step a fallback.
+func (s *Session) solveOnlineWindow(ctx context.Context, st State, required float64, tr *obs.Trace) ([]float64, error) {
+	e := s.engine
+	n := e.chip.NumCores()
 	a, err := s.solveOnline(ctx, st.MaxCoreTemp, st.BlockTemps, required)
 	if err != nil {
 		return nil, err
@@ -345,7 +385,15 @@ func (s *Session) stepOnline(ctx context.Context, st State) ([]float64, error) {
 	// the warm state is invalidated, never corrupted.
 	spec := e.spec(st.MaxCoreTemp, required, e.cfg.variant)
 	spec.T0 = st.BlockTemps
+	if tr != nil {
+		tr.Fallback("bisect-downgrade")
+		tr.SolveStart(required)
+		tr.Rung("bisect")
+	}
 	maxF, _, err := core.SolveUniformBisectContext(ctx, spec)
+	if tr != nil {
+		tr.SolveEnd(maxF > 0, err)
+	}
 	if err != nil {
 		return nil, err
 	}
