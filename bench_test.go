@@ -321,6 +321,35 @@ func BenchmarkSessionStep(b *testing.B) {
 			b.Fatal("warm benchmark never warm-started")
 		}
 	})
+	b.Run("warm/gradient", func(b *testing.B) {
+		// The gradient variant's warm serving path: dominated by the
+		// pairwise-row Hessian assembly the structured (SYRK-batched)
+		// backend accelerates, and by the barrier schedule (the
+		// variant-aware μ keeps every centering inside Newton's fast
+		// region — see core.solveLadder).
+		e, err := New(WithWindow(1e-3, 100), WithVariant(core.VariantGradient))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := e.NewOnlineSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Step(ctx, stepBenchState(e, 0)); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Step(ctx, stepBenchState(e, i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if hits, _ := s.WarmStats(); b.N > 4 && hits == 0 {
+			b.Fatal("gradient warm benchmark never warm-started")
+		}
+	})
 	b.Run("warm/sessionsN", func(b *testing.B) {
 		e := stepBenchEngine(b)
 		b.ReportAllocs()

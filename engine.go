@@ -97,6 +97,8 @@ func New(opts ...Option) (*Engine, error) {
 	// Likewise the online-step instruments, registered (not observed) so
 	// /metrics exposes the step_* schema at zero before the first Step.
 	e.reg.Histogram("step_solve_nanos")
+	e.reg.Histogram("solve_assemble_nanos")
+	e.reg.Histogram("solve_factor_nanos")
 	for _, name := range []string{"step_solves", "step_warm_hits", "step_warm_rejects", "step_solve_errors"} {
 		e.reg.Counter(name)
 	}
@@ -306,6 +308,13 @@ func (e *Engine) recordSweep(s core.TableStats) {
 // outcome into the step_* counters. Sessions call it once per solve.
 func (e *Engine) observeStepSolve(d time.Duration, st core.OnlineStepStats, err error) {
 	e.reg.Histogram("step_solve_nanos").ObserveDuration(d.Nanoseconds())
+	// Assembly/factorization split (only for solves that actually entered
+	// the barrier — degenerate full-speed steps report zeros and would
+	// skew the distributions toward 0).
+	if st.NewtonIters > 0 {
+		e.reg.Histogram("solve_assemble_nanos").ObserveDuration(st.AssembleNanos)
+		e.reg.Histogram("solve_factor_nanos").ObserveDuration(st.FactorNanos)
+	}
 	e.reg.Counter("step_solves").Inc()
 	if st.Warm {
 		e.reg.Counter("step_warm_hits").Inc()

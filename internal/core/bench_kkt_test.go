@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"protemp/internal/floorplan"
+	"protemp/internal/power"
+	"protemp/internal/thermal"
+)
+
+// kktBenchFix caches the per-size chip/window fixtures so the dense
+// and arrow lanes of one size share the (expensive, setup-only)
+// thermal window precompute. Benchmarks run sequentially, so a plain
+// map is safe.
+var kktBenchFix = map[int]fixture{}
+
+func kktBenchFixture(b *testing.B, cores int) fixture {
+	b.Helper()
+	if f, ok := kktBenchFix[cores]; ok {
+		return f
+	}
+	var (
+		fp  *floorplan.Floorplan
+		cm  power.CoreModel
+		err error
+	)
+	switch cores {
+	case 8:
+		fp = floorplan.Niagara()
+		cm = power.NiagaraCore()
+	case 64:
+		fp, err = floorplan.ManyCore(8, 8)
+		cm = power.CoreModel{FMax: 750e6, PMax: 0.9}
+	case 256:
+		fp, err = floorplan.ManyCore(16, 16)
+		cm = power.CoreModel{FMax: 750e6, PMax: 0.9}
+	default:
+		b.Fatalf("no fixture for %d cores", cores)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	chip, err := power.NewChip(fp, cm, power.UncoreShare)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := thermal.NewRC(fp, thermal.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	disc, err := model.Discretize(1e-3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	window, err := disc.Window(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := fixture{chip: chip, model: model, window: window}
+	kktBenchFix[cores] = f
+	return f
+}
+
+// BenchmarkNewtonDirection prices the tentpole directly: the warm
+// online solve — whose cost is the Newton loop's assemble + KKT
+// factor — on the dense 2n×2n Cholesky path versus the structured
+// arrow (block-elimination + Schur) path, across chip sizes. The two
+// lanes of each size solve the identical window sequence; only the
+// backend differs. CI records this pair as BENCH_kkt.json under the
+// regression gate.
+func BenchmarkNewtonDirection(b *testing.B) {
+	ctx := context.Background()
+	for _, cores := range []int{8, 64, 256} {
+		for _, mode := range []string{"dense", "arrow"} {
+			b.Run(fmt.Sprintf("%s/cores%d", mode, cores), func(b *testing.B) {
+				f := kktBenchFixture(b, cores)
+				tmax, base := 95.0, 70.0
+				if cores == 8 {
+					tmax, base = 100.0, 58.0
+				}
+				o, err := NewOnlineSolver(OnlineSpec{Chip: f.chip, Window: f.window, TMax: tmax})
+				if err != nil {
+					b.Fatal(err)
+				}
+				switch mode {
+				case "dense":
+					o.plan.pattern = nil
+					o.inst.prob.Pattern = nil
+				case "arrow":
+					if o.plan.pattern == nil {
+						b.Fatal("compiled plan has no Hessian pattern")
+					}
+				}
+				nb := f.chip.Floorplan().NumBlocks()
+				maps := make([][]float64, 4)
+				for k := range maps {
+					m := make([]float64, nb)
+					for j := range m {
+						m[j] = base + float64(k) + 2*float64(j%4)
+					}
+					maps[k] = m
+				}
+				ftarget := 0.4 * f.chip.FMax()
+				if _, _, err := o.Solve(ctx, 0, maps[0], ftarget); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a, _, err := o.Solve(ctx, 0, maps[i%len(maps)], ftarget)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !a.Feasible {
+						b.Fatal("benchmark window unexpectedly infeasible")
+					}
+				}
+			})
+		}
+	}
+}

@@ -40,6 +40,11 @@ type OnlineStepStats struct {
 	WarmRejected bool
 	// NewtonIters is the solve's Newton-iteration cost.
 	NewtonIters int
+	// AssembleNanos and FactorNanos split the solve's wall time into
+	// Hessian assembly vs KKT factorization+solve; zero for degenerate
+	// (full-speed) steps that never enter the barrier.
+	AssembleNanos int64
+	FactorNanos   int64
 }
 
 // OnlineSolver is the warm-started engine of the online MPC hot path:
@@ -189,6 +194,8 @@ func (o *OnlineSolver) Solve(ctx context.Context, tstart float64, t0 []float64, 
 	st.Warm = warm
 	st.WarmRejected = hadPrev && !warm
 	st.NewtonIters = a.NewtonIters
+	st.AssembleNanos = a.AssembleNanos
+	st.FactorNanos = a.FactorNanos
 	if a.Feasible {
 		o.prevX = x
 	}

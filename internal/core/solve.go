@@ -68,6 +68,16 @@ func solveLadder(ctx context.Context, s *Spec, prob *solver.Problem, lay layout,
 	opts := solver.DefaultOptions()
 	opts.Tol = 1e-7
 	opts.Interrupt = ctx.Err
+	if s.Variant == VariantGradient {
+		// The gradient variant's pairwise rows make the barrier stiff:
+		// at the default μ=20 each weight jump slams the iterate against
+		// the coupling boundary and Newton creeps for hundreds of
+		// iterations per stage (exhausting MaxNewton, so the final stage
+		// is uncentered and every warm seed is rejected). A gentler
+		// schedule keeps each stage inside Newton's fast region: ~10×
+		// fewer total iterations and a certifiably centered result.
+		opts.Mu = 10
+	}
 	if rec != nil {
 		opts.Centering = rec.Centering
 	}
@@ -132,11 +142,13 @@ func solveLadder(ctx context.Context, s *Spec, prob *solver.Problem, lay layout,
 	}
 
 	a := &Assignment{
-		Feasible:    true,
-		Freqs:       make([]float64, n),
-		Powers:      make([]float64, n),
-		Gap:         res.Gap,
-		NewtonIters: res.NewtonIters,
+		Feasible:      true,
+		Freqs:         make([]float64, n),
+		Powers:        make([]float64, n),
+		Gap:           res.Gap,
+		NewtonIters:   res.NewtonIters,
+		AssembleNanos: res.AssembleNanos,
+		FactorNanos:   res.FactorNanos,
 	}
 	for j := 0; j < n; j++ {
 		model := s.Chip.CoreModelOf(j)

@@ -189,4 +189,9 @@ type Assignment struct {
 	Gap float64
 	// NewtonIters counts solver work, for the §5.1 cost accounting.
 	NewtonIters int
+	// AssembleNanos and FactorNanos split the solver's wall time into
+	// Hessian assembly vs KKT factorization+solve (zero for degenerate
+	// paths that never enter the barrier, e.g. full speed).
+	AssembleNanos int64
+	FactorNanos   int64
 }

@@ -45,6 +45,12 @@ type sweepPlan struct {
 	// gradPairs compiles the VariantGradient pairwise constraints:
 	// coefficient vectors are constant, offsets are row c0 differences.
 	gradPairs []gradPair
+
+	// pattern is the compiled arrow-structure hint of the problem's
+	// barrier Hessian, shared read-only by every instance (the solver
+	// re-verifies it per solve). nil means the structure did not
+	// compile and solves stay on the dense path.
+	pattern *solver.HessianPattern
 }
 
 // planRow is one compiled temperature row.
@@ -280,6 +286,20 @@ func compileSweep(ts TableSpec, t0 linalg.Vector) (*sweepPlan, error) {
 			}
 		}
 	}
+
+	// Compile the arrow-structure hint against a probe instance: every
+	// sibling instance shares the same coefficient vectors, so the one
+	// pattern serves the sweep, the online MPC path and every DMPC
+	// cluster. The f block is the frequency variables — lay.fIdx is the
+	// identity over [0, nf). A structure that fails to compile is not an
+	// error; those solves simply stay dense.
+	nf := n
+	if ts.Variant == VariantUniform {
+		nf = 1
+	}
+	if pat, err := solver.CompileHessianPattern(pl.instance().prob, nf); err == nil {
+		pl.pattern = pat
+	}
 	return pl, nil
 }
 
@@ -331,6 +351,7 @@ func (pl *sweepPlan) instance() *sweepInstance {
 		in.grad[i] = &solver.Affine{A: gp.a, NZ: gp.nz}
 		in.prob.Constraints = append(in.prob.Constraints, in.grad[i])
 	}
+	in.prob.Pattern = pl.pattern
 	return in
 }
 
@@ -487,7 +508,11 @@ func (in *sweepInstance) warmSeed(s *Spec, prevX linalg.Vector) (linalg.Vector, 
 			continue
 		}
 		if lay.variant == VariantGradient {
-			x[lay.gIdx()] = maxPairGap(s, in.rows, pn) + 1
+			// A tight margin keeps the seed's objective gap — and so the
+			// derived warm barrier weight — close to the optimum: tgrad at
+			// the optimum sits on the max pair gap, and every 0.1 °C of
+			// extra slack here costs the warm solve an extra outer stage.
+			x[lay.gIdx()] = maxPairGap(s, in.rows, pn) + 0.05
 		}
 		// Suboptimality bound: the seed costs obj(x); the new optimum
 		// costs at least the neighbor's obj(prevX) minus its solve

@@ -1,0 +1,215 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// ArrowKKT is a symmetric positive definite system with the arrow
+// (bordered block) structure of the Pro-Temp Newton/KKT matrix over the
+// variable split x = [f (nf entries) | d (dense block)]:
+//
+//	H = | diag(DF) + VF·VFᵀ   Cᵀ |
+//	    | C                    S  |
+//
+// where C couples each f variable i to at most one dense column Col[i]
+// with coefficient CF[i] (the per-core power-frequency barrier), VF is
+// the single rank-one border the workload constraint contributes (all
+// zero when absent), and S is the dense block the temperature rows
+// accumulate. Factoring eliminates the cheap f block first, so the
+// dense Cholesky is |d|×|d| instead of (nf+|d|)×(nf+|d|).
+type ArrowKKT struct {
+	DF  Vector     // f-block diagonal, length nf
+	VF  Vector     // rank-one border over f (zero vector when absent)
+	CF  Vector     // coupling coefficient of f i into dense column Col[i]
+	Col []int      // dense column coupled to f i, or -1 for none
+	S   *PackedSym // dense block (lower triangle)
+}
+
+// MaxAbs returns the largest absolute entry of the assembled H, used to
+// scale the regularization ladder exactly like the dense path's
+// Matrix.MaxAbs.
+func (k *ArrowKKT) MaxAbs() float64 {
+	max := k.S.MaxAbs()
+	for i, d := range k.DF {
+		v := math.Abs(d + k.VF[i]*k.VF[i])
+		if v > max {
+			max = v
+		}
+		if c := math.Abs(k.CF[i]); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// MulVec writes (H + reg·I)·x into dst for the assembled system, the
+// residual operator iterative refinement needs. dst must not alias x.
+func (k *ArrowKKT) MulVec(dst, x Vector, reg float64) {
+	nf := len(k.DF)
+	xf, xd := x[:nf], x[nf:]
+	df, dd := dst[:nf], dst[nf:]
+	vx := 0.0
+	for i, v := range k.VF {
+		vx += v * xf[i]
+	}
+	for i, d := range k.DF {
+		df[i] = (d+reg)*xf[i] + k.VF[i]*vx
+	}
+	k.S.MulVec(dd, xd)
+	if reg != 0 {
+		for i, xi := range xd {
+			dd[i] += reg * xi
+		}
+	}
+	for i, c := range k.CF {
+		if col := k.Col[i]; col >= 0 && c != 0 {
+			df[i] += c * xd[col]
+			dd[col] += c * xf[i]
+		}
+	}
+}
+
+// ArrowFactor factors an ArrowKKT by block elimination: the f block
+// D̃ = diag(DF+reg) + VF·VFᵀ inverts in closed form (Sherman–Morrison),
+// and the dense block factors its Schur complement
+//
+//	Ŝ = (S + reg·I) − C·D̃⁻¹·Cᵀ
+//	  = (S + reg·I) − Σ_i (CF_i²/dfr_i)·e_{Col_i}e_{Col_i}ᵀ + β·t·tᵀ
+//
+// with dfr = DF+reg, w = VF/dfr, β = 1/(1+VF·w) and t = C·w — a
+// diagonal correction plus one rank-one update, then a packed Cholesky.
+// Factoring with reg > 0 is exactly the dense path's H + reg·I.
+type ArrowFactor struct {
+	nf, nd int
+	dfr    Vector // DF + reg
+	w      Vector // VF / dfr
+	cf     Vector // CF at factor time
+	col    []int
+	beta   float64
+	hasV   bool
+	schur  *PackedSym
+	chol   PackedChol
+	tvec   Vector // C·w, reused as dense-block scratch in SolveInto
+	yf     Vector // f-block scratch
+	yd     Vector // dense-block scratch
+}
+
+// ensure sizes the factor buffers for an nf/nd split.
+func (f *ArrowFactor) ensure(nf, nd int) {
+	if f.nf == nf && f.nd == nd && f.schur != nil {
+		return
+	}
+	f.nf, f.nd = nf, nd
+	f.dfr = NewVector(nf)
+	f.w = NewVector(nf)
+	f.cf = NewVector(nf)
+	f.col = make([]int, nf)
+	f.schur = NewPackedSym(nd)
+	f.tvec = NewVector(nd)
+	f.yf = NewVector(nf)
+	f.yd = NewVector(nd)
+	f.chol = PackedChol{}
+}
+
+// Factor computes the block-elimination factorization of k + reg·I,
+// reusing all buffers. The input is not modified. Returns
+// ErrNotPositiveDefinite when the f diagonal or the Schur complement
+// fails positive definiteness; the factor is then unspecified.
+func (f *ArrowFactor) Factor(k *ArrowKKT, reg float64) error {
+	nf, nd := len(k.DF), k.S.N()
+	f.ensure(nf, nd)
+	copy(f.cf, k.CF)
+	copy(f.col, k.Col)
+
+	vDotW := 0.0
+	f.hasV = false
+	for i, d := range k.DF {
+		dfr := d + reg
+		if dfr <= 0 || math.IsNaN(dfr) {
+			return fmt.Errorf("%w: f diagonal %d", ErrNotPositiveDefinite, i)
+		}
+		f.dfr[i] = dfr
+		v := k.VF[i]
+		if v != 0 {
+			f.hasV = true
+		}
+		f.w[i] = v / dfr
+		vDotW += v * f.w[i]
+	}
+	f.beta = 1 / (1 + vDotW)
+
+	f.schur.CopyFrom(k.S)
+	if reg > 0 {
+		f.schur.AddDiag(reg)
+	}
+	for i := range f.tvec {
+		f.tvec[i] = 0
+	}
+	for i, c := range f.cf {
+		if col := f.col[i]; col >= 0 && c != 0 {
+			f.schur.AddAt(col, col, -c*c/f.dfr[i])
+			f.tvec[col] += c * f.w[i]
+		}
+	}
+	if f.hasV {
+		f.schur.AddScaledOuter(f.beta, f.tvec)
+	}
+	return f.chol.Factor(f.schur)
+}
+
+// applyFInv writes D̃⁻¹·r over the f block: dst = r/dfr − β·w·(w·r).
+// dst may alias r.
+func (f *ArrowFactor) applyFInv(dst, r Vector) {
+	if f.hasV {
+		wr := 0.0
+		for i, ri := range r {
+			wr += f.w[i] * ri
+		}
+		bwr := f.beta * wr
+		for i, ri := range r {
+			dst[i] = ri/f.dfr[i] - bwr*f.w[i]
+		}
+		return
+	}
+	for i, ri := range r {
+		dst[i] = ri / f.dfr[i]
+	}
+}
+
+// SolveInto solves H x = b (with H the factored system) into the
+// caller-owned x, allocating nothing. x may alias b.
+func (f *ArrowFactor) SolveInto(x, b Vector) error {
+	n := f.nf + f.nd
+	if len(b) != n {
+		return fmt.Errorf("%w: rhs length %d, want %d", ErrDimension, len(b), n)
+	}
+	if len(x) != n {
+		return fmt.Errorf("%w: solution length %d, want %d", ErrDimension, len(x), n)
+	}
+	bf, bd := b[:f.nf], b[f.nf:]
+
+	// yf = D̃⁻¹ bf; yd = bd − C yf; xd = Ŝ⁻¹ yd.
+	f.applyFInv(f.yf, bf)
+	copy(f.yd, bd)
+	for i, c := range f.cf {
+		if col := f.col[i]; col >= 0 && c != 0 {
+			f.yd[col] -= c * f.yf[i]
+		}
+	}
+	if err := f.chol.SolveInto(f.yd, f.yd); err != nil {
+		return err
+	}
+	// xf = D̃⁻¹ (bf − Cᵀ xd).
+	for i := range f.yf {
+		t := bf[i]
+		if col := f.col[i]; col >= 0 {
+			t -= f.cf[i] * f.yd[col]
+		}
+		f.yf[i] = t
+	}
+	f.applyFInv(f.yf, f.yf)
+	copy(x[:f.nf], f.yf)
+	copy(x[f.nf:], f.yd)
+	return nil
+}

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -194,5 +195,68 @@ func TestMatrixMulVecLinearityProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// naiveMulIJK is the textbook i-j-k triple loop: the inner k walks a
+// COLUMN of b (stride b.cols), missing cache on every step once b
+// outgrows L1. It exists only as the benchmark baseline for the
+// shipped Mul, whose i-k-j ordering streams rows of b contiguously.
+func naiveMulIJK(m, a, b *Matrix) *Matrix {
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < b.cols; j++ {
+			var s float64
+			for k := 0; k < a.cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			m.Set(i, j, s)
+		}
+	}
+	return m
+}
+
+func TestNaiveMulMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b := randomMatrix(rng, 23), randomMatrix(rng, 23)
+	got := NewMatrix(23, 23).Mul(a, b)
+	want := naiveMulIJK(NewMatrix(23, 23), a, b)
+	if !got.Equal(want, 1e-10*(1+want.MaxAbs())) {
+		t.Fatal("i-k-j Mul diverges from naive i-j-k reference")
+	}
+}
+
+// BenchmarkMatrixMul pins the loop-ordering win: the naive lane is the
+// i-j-k reference, the ikj lane is the shipped kernel. Run both to see
+// the before/after of the cache-friendly ordering.
+func BenchmarkMatrixMul(bm *testing.B) {
+	for _, n := range []int{64, 256} {
+		rng := rand.New(rand.NewSource(11))
+		a, b := randomMatrix(rng, n), randomMatrix(rng, n)
+		dst := NewMatrix(n, n)
+		bm.Run(fmt.Sprintf("naive_ijk/n%d", n), func(bm *testing.B) {
+			for i := 0; i < bm.N; i++ {
+				naiveMulIJK(dst, a, b)
+			}
+		})
+		bm.Run(fmt.Sprintf("ikj/n%d", n), func(bm *testing.B) {
+			for i := 0; i < bm.N; i++ {
+				dst.Mul(a, b)
+			}
+		})
+	}
+}
+
+// BenchmarkMulVecT exercises the transposed matvec's row walk (the
+// structured assembly's gradient accumulation path).
+func BenchmarkMulVecT(bm *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomMatrix(rng, 256)
+	x, dst := NewVector(256), NewVector(256)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		a.MulVecT(dst, x)
 	}
 }

@@ -40,8 +40,10 @@ type Recorder interface {
 	// "bisect", ...
 	Rung(name string)
 	// Centering records one barrier centering: the barrier parameter t,
-	// the Newton iterations spent, and whether the centering converged.
-	Centering(t float64, newtonIters int, converged bool)
+	// the Newton iterations spent, whether the centering converged, and
+	// the centering's wall time split into Hessian assembly, KKT
+	// factorization+solve, and line search (nanoseconds).
+	Centering(t float64, newtonIters int, converged bool, assembleNs, factorNs, linesearchNs int64)
 	// SolveEnd closes the open span with the solver verdict.
 	SolveEnd(feasible bool, err error)
 	// Outer records one ADMM consensus round with its residuals (°C).
@@ -54,11 +56,17 @@ type Recorder interface {
 	Cluster(c int) Recorder
 }
 
-// CenteringStep is one barrier centering inside a solve span.
+// CenteringStep is one barrier centering inside a solve span. The
+// *Ns fields split the centering's wall time by phase, so a trace
+// shows whether a slow solve spent its budget assembling Hessians,
+// factoring them, or backtracking.
 type CenteringStep struct {
-	T         float64 `json:"t"`
-	Newton    int     `json:"newton"`
-	Converged bool    `json:"converged"`
+	T            float64 `json:"t"`
+	Newton       int     `json:"newton"`
+	Converged    bool    `json:"converged"`
+	AssembleNs   int64   `json:"assemble_ns,omitempty"`
+	FactorNs     int64   `json:"factor_ns,omitempty"`
+	LinesearchNs int64   `json:"linesearch_ns,omitempty"`
 }
 
 // SolveSpan is one solver invocation: a monolithic window solve, one
@@ -129,9 +137,12 @@ func (t *Trace) Rung(name string) {
 }
 
 // Centering implements Recorder.
-func (t *Trace) Centering(tval float64, newtonIters int, converged bool) {
+func (t *Trace) Centering(tval float64, newtonIters int, converged bool, assembleNs, factorNs, linesearchNs int64) {
 	t.mu.Lock()
-	t.cur.Centerings = append(t.cur.Centerings, CenteringStep{T: tval, Newton: newtonIters, Converged: converged})
+	t.cur.Centerings = append(t.cur.Centerings, CenteringStep{
+		T: tval, Newton: newtonIters, Converged: converged,
+		AssembleNs: assembleNs, FactorNs: factorNs, LinesearchNs: linesearchNs,
+	})
 	t.cur.NewtonIters += newtonIters
 	t.mu.Unlock()
 }
@@ -193,8 +204,11 @@ func (c *clusterRecorder) WarmDecision(had, accepted bool, reason string) {
 
 func (c *clusterRecorder) Rung(name string) { c.cur.Rung = name }
 
-func (c *clusterRecorder) Centering(tval float64, newtonIters int, converged bool) {
-	c.cur.Centerings = append(c.cur.Centerings, CenteringStep{T: tval, Newton: newtonIters, Converged: converged})
+func (c *clusterRecorder) Centering(tval float64, newtonIters int, converged bool, assembleNs, factorNs, linesearchNs int64) {
+	c.cur.Centerings = append(c.cur.Centerings, CenteringStep{
+		T: tval, Newton: newtonIters, Converged: converged,
+		AssembleNs: assembleNs, FactorNs: factorNs, LinesearchNs: linesearchNs,
+	})
 	c.cur.NewtonIters += newtonIters
 }
 

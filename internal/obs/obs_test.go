@@ -46,8 +46,8 @@ func TestTraceRecordsSolveAnatomy(t *testing.T) {
 
 	tr.SolveStart(2.0e9)
 	tr.WarmDecision(true, false, "uncentered")
-	tr.Centering(10, 7, false)
-	tr.Centering(100, 5, true)
+	tr.Centering(10, 7, false, 1000, 2000, 500)
+	tr.Centering(100, 5, true, 1100, 2100, 600)
 	tr.Rung("heuristic")
 	tr.SolveEnd(true, nil)
 
@@ -70,6 +70,9 @@ func TestTraceRecordsSolveAnatomy(t *testing.T) {
 	}
 	if s0.Centerings[1].T != 100 || s0.Centerings[1].Newton != 5 || !s0.Centerings[1].Converged {
 		t.Errorf("span 0 centering[1] = %+v", s0.Centerings[1])
+	}
+	if c := s0.Centerings[1]; c.AssembleNs != 1100 || c.FactorNs != 2100 || c.LinesearchNs != 600 {
+		t.Errorf("span 0 centering[1] timing = %+v", c)
 	}
 	if s1 := tr.Solves[1]; s1.Err != "boom" || s1.Feasible {
 		t.Errorf("span 1 = %+v", s1)
@@ -98,7 +101,7 @@ func TestClusterSubRecordersAppendConcurrently(t *testing.T) {
 			defer wg.Done()
 			for round := 0; round < 3; round++ {
 				rec.SolveStart(1e9)
-				rec.Centering(10, 3, true)
+				rec.Centering(10, 3, true, 0, 0, 0)
 				rec.Rung("warm")
 				rec.SolveEnd(true, nil)
 			}
@@ -185,7 +188,7 @@ func TestTraceJSONRoundTrip(t *testing.T) {
 	rec := tr.Cluster(1)
 	rec.SolveStart(1e9)
 	rec.WarmDecision(true, true, "")
-	rec.Centering(50, 4, true)
+	rec.Centering(50, 4, true, 0, 0, 0)
 	rec.Rung("warm")
 	rec.SolveEnd(true, nil)
 	tr.Outer(1, 0.2, 0.05)

@@ -3,6 +3,7 @@ package solver
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"protemp/internal/linalg"
 )
@@ -35,10 +36,12 @@ type Options struct {
 	// into the innermost centering loop.
 	Interrupt func() error
 	// Centering, if non-nil, is invoked after every centering stage
-	// with the barrier weight t, the Newton iterations spent, and
-	// whether the stage converged. Tracing plumbs through here; the
-	// hot path pays only a nil check when unset.
-	Centering func(t float64, newtonIters int, converged bool)
+	// with the barrier weight t, the Newton iterations spent, whether
+	// the stage converged, and the stage's wall time split into its
+	// three phases: Hessian assembly, factorization+solve, and line
+	// search (nanoseconds). Tracing plumbs through here; the hot path
+	// pays only a nil check when unset.
+	Centering func(t float64, newtonIters int, converged bool, assembleNs, factorNs, linesearchNs int64)
 }
 
 // DefaultOptions returns the tuning used throughout the project.
@@ -145,6 +148,14 @@ type Result struct {
 	// central path, so Gap is not a trustworthy certificate — warm-start
 	// callers treat such a result as a miss and re-solve cold.
 	Centered bool
+	// AssembleNanos, FactorNanos and LinesearchNanos split the solve's
+	// wall time across its three phases — Hessian assembly, KKT
+	// factorization+solve, and backtracking line search — summed over
+	// all centerings, so callers can see which phase a structural
+	// optimization actually moved.
+	AssembleNanos   int64
+	FactorNanos     int64
+	LinesearchNanos int64
 }
 
 // KKTResidual returns ‖∇f0(X) + Σ λ_i ∇fi(X)‖∞, the stationarity
@@ -199,18 +210,36 @@ func BarrierWS(p *Problem, x0 linalg.Vector, opts Options, ws *Workspace) (*Resu
 	m := float64(len(p.Constraints))
 	res := &Result{}
 
+	// Backend selection: the structured path needs a compiled pattern
+	// that still describes this problem instance (a pointer walk);
+	// anything else — no pattern, a Phase-I augmentation, a hand-built
+	// problem — stays dense. Both backends live in the workspace, so
+	// neither branch allocates.
+	var ops kktOps
+	if p.Pattern != nil && p.Pattern.matches(p) {
+		ws.ensureArrow(p.Pattern)
+		ws.aops = arrowOps{p: p, pat: p.Pattern, ws: ws}
+		ops = &ws.aops
+	} else {
+		ws.dops = denseOps{p: p, ws: ws}
+		ops = &ws.dops
+	}
+
 	for outer := 0; outer < o.MaxOuter; outer++ {
 		res.OuterIters++
-		iters, stopped, converged, err := center(p, x, t, o, ws)
-		res.NewtonIters += iters
-		res.Centered = converged
+		cs, err := center(x, t, o, ws, ops)
+		res.NewtonIters += cs.iters
+		res.Centered = cs.converged
+		res.AssembleNanos += cs.assembleNs
+		res.FactorNanos += cs.factorNs
+		res.LinesearchNanos += cs.linesearchNs
 		if o.Centering != nil {
-			o.Centering(t, iters, converged && err == nil)
+			o.Centering(t, cs.iters, cs.converged && err == nil, cs.assembleNs, cs.factorNs, cs.linesearchNs)
 		}
 		if err != nil {
 			return nil, err
 		}
-		if stopped {
+		if cs.stopped {
 			res.StoppedEarly = true
 			break
 		}
@@ -243,35 +272,54 @@ const machEps = 2.220446049250313e-16
 // than a few pointless.
 const maxPolish = 6
 
+// centerStats reports one centering stage: iteration count, whether
+// StopEarly fired, whether the stage converged (reached a
+// decrement/polish/descent exit rather than exhausting MaxNewton — the
+// condition under which the iterate certifiably sits near the central
+// path), and the stage's wall time split by phase.
+type centerStats struct {
+	iters                              int
+	stopped, converged                 bool
+	assembleNs, factorNs, linesearchNs int64
+}
+
 // center minimizes t·f0(x) + φ(x) over the strictly feasible set by
-// damped Newton, updating x in place and drawing all scratch from ws.
-// It returns the iteration count, whether StopEarly fired, and whether
-// the stage converged (reached a decrement/polish/descent exit rather
-// than exhausting MaxNewton — the condition under which the iterate
-// certifiably sits near the central path).
-func center(p *Problem, x linalg.Vector, t float64, o Options, ws *Workspace) (int, bool, bool, error) {
-	grad, gi, hess := ws.grad, ws.gi, ws.hess
+// damped Newton, updating x in place. All problem evaluation and linear
+// algebra goes through ops (dense or structured backend), which draws
+// its scratch from ws; the two backends produce equivalent iterates.
+func center(x linalg.Vector, t float64, o Options, ws *Workspace, ops kktOps) (centerStats, error) {
+	grad := ws.grad
 	dx, xTrial := ws.dx, ws.xTrial
 	polish, lastPolish := 0, math.Inf(1)
+	var cs centerStats
 
 	for iter := 1; iter <= o.MaxNewton; iter++ {
+		cs.iters = iter
 		if o.Interrupt != nil {
 			if err := o.Interrupt(); err != nil {
-				return iter - 1, false, false, err
+				cs.iters = iter - 1
+				return cs, err
 			}
 		}
 		if o.StopEarly != nil && o.StopEarly(x) {
-			return iter - 1, true, true, nil
+			cs.iters = iter - 1
+			cs.stopped, cs.converged = true, true
+			return cs, nil
 		}
 		// Assemble gradient and Hessian of t·f0 + φ.
-		val, ok := assemble(p, x, t, grad, gi, hess)
+		tMark := time.Now()
+		val, ok := ops.assemble(x, t)
+		cs.assembleNs += time.Since(tMark).Nanoseconds()
 		if !ok {
-			return iter, false, false, fmt.Errorf("%w: iterate left the domain", ErrNumerical)
+			return cs, fmt.Errorf("%w: iterate left the domain", ErrNumerical)
 		}
 
 		// Newton direction: solve H dx = -grad, regularizing if needed.
-		if !newtonDirection(ws, grad, dx) {
-			return iter, false, false, fmt.Errorf("%w: KKT system unsolvable", ErrNumerical)
+		tMark = time.Now()
+		solved := ops.direction(dx)
+		cs.factorNs += time.Since(tMark).Nanoseconds()
+		if !solved {
+			return cs, fmt.Errorf("%w: KKT system unsolvable", ErrNumerical)
 		}
 
 		// Newton decrement: λ² = -gradᵀdx (dx solves H dx = -grad).
@@ -281,7 +329,8 @@ func center(p *Problem, x linalg.Vector, t float64, o Options, ws *Workspace) (i
 			lambda2 = 0
 		}
 		if lambda2/2 <= o.NewtonTol {
-			return iter, false, true, nil
+			cs.converged = true
+			return cs, nil
 		}
 		// Below the barrier value's double-precision resolution the
 		// Armijo test compares round-off noise: at large t the value is
@@ -293,43 +342,87 @@ func center(p *Problem, x linalg.Vector, t float64, o Options, ws *Workspace) (i
 		// suffices for the decrement to collapse below NewtonTol.
 		if floor := 16 * machEps * math.Abs(val); lambda2/2 <= floor {
 			if polish >= maxPolish || lambda2 >= lastPolish {
-				return iter, false, true, nil
+				cs.converged = true
+				return cs, nil
 			}
 			polish++
 			lastPolish = lambda2
 			xTrial.Add(x, dx)
-			if !p.IsStrictlyFeasible(xTrial) {
-				return iter, false, true, nil
+			tMark = time.Now()
+			feasible := ops.feasible(xTrial)
+			cs.linesearchNs += time.Since(tMark).Nanoseconds()
+			if !feasible {
+				cs.converged = true
+				return cs, nil
 			}
 			copy(x, xTrial)
 			continue
 		}
 		polish, lastPolish = 0, math.Inf(1)
 
-		// Backtracking line search on t·f0 + φ, keeping strict feasibility.
-		step := 1.0
+		// Backtracking line search on t·f0 + φ, keeping strict
+		// feasibility (ops.trial reports ok=false on any fi >= 0, which
+		// subsumes the feasibility check). A failed search gets one
+		// retry with an iteratively refined direction before giving up:
+		// 1e18-range boundary curvatures can cost the factor+solve
+		// enough digits that the raw direction yields no decrease.
+		tMark = time.Now()
 		improved := false
-		for ls := 0; ls < 60; ls++ {
-			xTrial.AddScaled(x, step, dx)
-			if p.IsStrictlyFeasible(xTrial) {
-				if vt, okT := barrierValue(p, xTrial, t); okT && vt <= val-o.Alpha*step*lambda2 {
+		for round := 0; round < 2 && !improved; round++ {
+			if round == 1 {
+				if !ops.refine(dx) {
+					break
+				}
+				lambda2 = -grad.Dot(dx)
+				if lambda2 < 0 {
+					lambda2 = 0
+				}
+			}
+			step := 1.0
+			ops.lineStart(x, dx)
+			for ls := 0; ls < 60; ls++ {
+				if vt, okT := ops.trial(xTrial, x, dx, step, t); okT && vt <= val-o.Alpha*step*lambda2 {
+					// Damped phase (λ²/2 > 1): the unit Newton step can stop
+					// far short of the minimum along dx — on barrier valleys
+					// with many near-parallel constraints (the gradient
+					// variant's pairwise rows) this degrades Newton to a
+					// constant-decrement crawl, hundreds of iterations per
+					// centering. Forward-track: keep doubling the step while
+					// the value strictly improves and the iterate stays in
+					// the domain. Each probe is one value evaluation; in the
+					// quadratic phase (λ small) the extension is skipped and
+					// the unit step stands.
+					if ls == 0 && lambda2/2 > 1 {
+						best := vt
+						for ext := 2 * step; ext <= 1024; ext *= 2 {
+							ve, okE := ops.trial(xTrial, x, dx, ext, t)
+							if !okE || ve >= best {
+								break
+							}
+							best, step = ve, ext
+						}
+						xTrial.AddScaled(x, step, dx)
+					}
 					copy(x, xTrial)
 					improved = true
 					break
 				}
+				step *= o.Beta
 			}
-			step *= o.Beta
 		}
+		cs.linesearchNs += time.Since(tMark).Nanoseconds()
 		if !improved {
 			// No descent at the smallest step: declare convergence if the
 			// decrement is already tiny, otherwise report failure.
 			if lambda2/2 <= math.Sqrt(o.NewtonTol) {
-				return iter, false, true, nil
+				cs.converged = true
+				return cs, nil
 			}
-			return iter, false, false, fmt.Errorf("%w: line search failed (decrement %v)", ErrNumerical, lambda2/2)
+			return cs, fmt.Errorf("%w: line search failed (decrement %v)", ErrNumerical, lambda2/2)
 		}
 	}
-	return o.MaxNewton, false, false, nil
+	cs.iters = o.MaxNewton
+	return cs, nil
 }
 
 // assemble computes value, gradient and Hessian of t·f0 + φ at x.
@@ -408,11 +501,11 @@ func barrierValue(p *Problem, x linalg.Vector, t float64) (float64, bool) {
 // the reused buffer without allocating. Returns false only if even
 // heavy regularization fails.
 func newtonDirection(ws *Workspace, g, dx linalg.Vector) bool {
-	h := ws.hess
+	h := ws.hessM()
 	n := len(g)
 	rhs := ws.rhs.Scale(-1, g)
 	reg := 0.0
-	scale := 1 + h.MaxAbs()
+	scale := 0.0
 	for attempt := 0; attempt < 8; attempt++ {
 		trial := h
 		if reg > 0 {
@@ -428,6 +521,12 @@ func newtonDirection(ws *Workspace, g, dx linalg.Vector) bool {
 			}
 		}
 		if reg == 0 {
+			// The O(n²) magnitude scan only runs when the unregularized
+			// factorization actually failed — the hot path (success on
+			// the first attempt) never pays for it.
+			if scale == 0 {
+				scale = 1 + h.MaxAbs()
+			}
 			reg = 1e-12 * scale
 		} else {
 			reg *= 1e3

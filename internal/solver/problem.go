@@ -133,9 +133,17 @@ func (f *DiagQuadratic) AddHessian(h *linalg.Matrix, w float64, x linalg.Vector)
 
 // Problem is a smooth convex program: minimize Objective subject to
 // every Constraints[i](x) <= 0.
+//
+// Pattern, when non-nil, is a structure hint: the compiled arrow shape
+// of the barrier Hessian (see CompileHessianPattern). The solver
+// verifies it against the problem at solve start and takes the
+// block-elimination fast path on a match, falling back to dense
+// assembly and Cholesky otherwise — results are equivalent either way,
+// only the cost changes.
 type Problem struct {
 	Objective   Func
 	Constraints []Func
+	Pattern     *HessianPattern
 }
 
 // Validate checks dimensional consistency.
