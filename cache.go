@@ -48,6 +48,12 @@ type CacheStats struct {
 	// StoreErrors counts store loads/saves that failed; store failures
 	// degrade to a fresh generation, never to a caller-visible error.
 	StoreErrors uint64
+	// FetchHits counts store misses served by the network tier (a
+	// cluster peer's store) instead of a Phase-1 sweep; FetchMisses
+	// counts fetcher consultations that fell through to generation.
+	// Both stay zero without WithTableFetcher.
+	FetchHits   uint64
+	FetchMisses uint64
 	// Size is the current number of cached (or in-flight) tables.
 	Size int
 }
@@ -64,6 +70,8 @@ type cacheCounters struct {
 	storeMisses *metrics.Counter
 	storeWrites *metrics.Counter
 	storeErrors *metrics.Counter
+	fetchHits   *metrics.Counter
+	fetchMisses *metrics.Counter
 }
 
 func newCacheCounters(reg *metrics.Registry) cacheCounters {
@@ -77,6 +85,8 @@ func newCacheCounters(reg *metrics.Registry) cacheCounters {
 		storeMisses: reg.Counter("table_store_misses"),
 		storeWrites: reg.Counter("table_store_writes"),
 		storeErrors: reg.Counter("table_store_errors"),
+		fetchHits:   reg.Counter("table_fetch_hits"),
+		fetchMisses: reg.Counter("table_fetch_misses"),
 	}
 }
 
@@ -100,26 +110,30 @@ type tableCache struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[string]*cacheEntry
-	order   *list.List // front = most recently used
-	store   TableStore // nil = memory only
+	order   *list.List   // front = most recently used
+	store   TableStore   // nil = memory only
+	fetcher TableFetcher // nil = no network tier
 	c       cacheCounters
 }
 
-func newTableCache(capacity int, store TableStore, reg *metrics.Registry) *tableCache {
+func newTableCache(capacity int, store TableStore, fetcher TableFetcher, reg *metrics.Registry) *tableCache {
 	return &tableCache{
 		cap:     capacity,
 		entries: make(map[string]*cacheEntry),
 		order:   list.New(),
 		store:   store,
+		fetcher: fetcher,
 		c:       newCacheCounters(reg),
 	}
 }
 
 // fill resolves a miss outside the cache lock: persistent store first,
-// Phase-1 generation second, write-through on a fresh generation.
-// Store failures are counted and degrade to generation — a bad disk
-// must not take down the control plane.
-func (c *tableCache) fill(key string, gen func() (*core.Table, error)) (*core.Table, error) {
+// then the network tier (a cluster peer's store), Phase-1 generation
+// last. Both a fetched and a freshly generated table are written
+// through to the store. Store and fetch failures are counted and
+// degrade to the next tier — a bad disk or a dark peer must not take
+// down the control plane.
+func (c *tableCache) fill(ctx context.Context, key string, gen func() (*core.Table, error)) (*core.Table, error) {
 	if c.store != nil {
 		t, ok, err := c.store.Load(key)
 		if err != nil {
@@ -131,16 +145,68 @@ func (c *tableCache) fill(key string, gen func() (*core.Table, error)) (*core.Ta
 			c.c.storeMisses.Inc()
 		}
 	}
+	if c.fetcher != nil {
+		if t, ok := c.fetcher(ctx, key); ok {
+			c.c.fetchHits.Inc()
+			c.writeThrough(key, t)
+			return t, nil
+		}
+		c.c.fetchMisses.Inc()
+	}
 	c.c.generations.Inc()
 	t, err := gen()
-	if err == nil && c.store != nil {
-		if serr := c.store.Save(key, t); serr != nil {
-			c.c.storeErrors.Inc()
-		} else {
-			c.c.storeWrites.Inc()
-		}
+	if err == nil {
+		c.writeThrough(key, t)
 	}
 	return t, err
+}
+
+// writeThrough persists one resolved table; failures degrade to
+// memory-only and are counted.
+func (c *tableCache) writeThrough(key string, t *core.Table) {
+	if c.store == nil {
+		return
+	}
+	if serr := c.store.Save(key, t); serr != nil {
+		c.c.storeErrors.Inc()
+	} else {
+		c.c.storeWrites.Inc()
+	}
+}
+
+// lookup returns the table for key only if it is already materialized
+// locally — a completed in-memory entry or a store hit — without
+// generating, fetching, or joining an in-flight generation. It is the
+// read side a node serves to its peers: answering only from local
+// tiers keeps peer fetches from cascading across the ring.
+func (c *tableCache) lookup(key string) (*core.Table, bool) {
+	if c.cap != 0 {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			select {
+			case <-e.done:
+				if e.err == nil {
+					c.c.hits.Inc()
+					c.order.MoveToFront(e.elem)
+					t := e.table
+					c.mu.Unlock()
+					return t, true
+				}
+			default:
+			}
+		}
+		c.mu.Unlock()
+	}
+	if c.store != nil {
+		t, ok, err := c.store.Load(key)
+		if err != nil {
+			c.c.storeErrors.Inc()
+		} else if ok {
+			c.c.storeHits.Inc()
+			return t, true
+		}
+	}
+	return nil, false
 }
 
 // get returns the table for key, running the fill (store load or
@@ -150,7 +216,7 @@ func (c *tableCache) fill(key string, gen func() (*core.Table, error)) (*core.Ta
 func (c *tableCache) get(ctx context.Context, key string, gen func() (*core.Table, error)) (*core.Table, error) {
 	if c.cap == 0 { // in-memory caching disabled; the store still works
 		c.c.misses.Inc()
-		return c.fill(key, gen)
+		return c.fill(ctx, key, gen)
 	}
 	for {
 		c.mu.Lock()
@@ -196,7 +262,7 @@ func (c *tableCache) get(ctx context.Context, key string, gen func() (*core.Tabl
 			c.c.misses.Inc()
 			c.mu.Unlock()
 
-			tbl, err := c.fill(key, gen)
+			tbl, err := c.fill(ctx, key, gen)
 
 			c.mu.Lock()
 			e.table, e.err = tbl, err
@@ -261,6 +327,8 @@ func (c *tableCache) Stats() CacheStats {
 		StoreMisses: c.c.storeMisses.Value(),
 		StoreWrites: c.c.storeWrites.Value(),
 		StoreErrors: c.c.storeErrors.Value(),
+		FetchHits:   c.c.fetchHits.Value(),
+		FetchMisses: c.c.fetchMisses.Value(),
 	}
 	c.mu.Lock()
 	s.Size = len(c.entries)

@@ -1,0 +1,232 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"protemp/api"
+)
+
+func TestNewRejectsBadURLs(t *testing.T) {
+	for _, bad := range []string{"", "not-a-url", "127.0.0.1:8080"} {
+		if _, err := New(bad); err == nil {
+			t.Fatalf("New(%q) accepted", bad)
+		}
+	}
+	c, err := New("http://127.0.0.1:8080/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BaseURL() != "http://127.0.0.1:8080" {
+		t.Fatalf("base %q", c.BaseURL())
+	}
+}
+
+func TestSentinelMapping(t *testing.T) {
+	cases := []struct {
+		status   int
+		sentinel error
+	}{
+		{http.StatusNotFound, ErrNotFound},
+		{http.StatusBadRequest, ErrBadRequest},
+		{http.StatusConflict, ErrConflict},
+		{http.StatusTooManyRequests, ErrOverloaded},
+		{http.StatusServiceUnavailable, ErrUnavailable},
+		{http.StatusBadGateway, ErrServer},
+	}
+	for _, tc := range cases {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(tc.status)
+			fmt.Fprint(w, `{"error":"deliberate"}`)
+		}))
+		c, err := New(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = c.Session(context.Background(), "feed")
+		if !errors.Is(err, tc.sentinel) {
+			t.Fatalf("status %d mapped to %v, want %v", tc.status, err, tc.sentinel)
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("status %d: no APIError in chain: %v", tc.status, err)
+		}
+		if apiErr.Status != tc.status || apiErr.Message != "deliberate" {
+			t.Fatalf("APIError %+v", apiErr)
+		}
+		if apiErr.RetryAfter != 7*time.Second {
+			t.Fatalf("retry-after %v", apiErr.RetryAfter)
+		}
+		srv.Close()
+	}
+}
+
+// TestRetryIdempotentOnly: GETs retry through transient 5xx; a POST
+// that failed must never be resent (it may have advanced a session).
+func TestRetryIdempotentOnly(t *testing.T) {
+	var gets, posts int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			gets++
+			if gets < 3 {
+				w.WriteHeader(http.StatusBadGateway)
+				return
+			}
+			fmt.Fprint(w, `{"id":"feed","mode":"table"}`)
+		case http.MethodPost:
+			posts++
+			w.WriteHeader(http.StatusBadGateway)
+		}
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL, WithRetry(3, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Session(context.Background(), "feed")
+	if err != nil {
+		t.Fatalf("GET with retries: %v", err)
+	}
+	if info.ID != "feed" || gets != 3 {
+		t.Fatalf("info %+v after %d GETs", info, gets)
+	}
+
+	if _, err := c.CreateSession(context.Background(), api.SessionCreateRequest{}); !errors.Is(err, ErrServer) {
+		t.Fatalf("POST error: %v", err)
+	}
+	if posts != 1 {
+		t.Fatalf("POST sent %d times", posts)
+	}
+}
+
+func TestForwardedHeader(t *testing.T) {
+	var sawPlain, sawForwarded string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(api.HeaderForwarded) != "" {
+			sawForwarded = r.Header.Get(api.HeaderForwarded)
+		} else {
+			sawPlain = "yes"
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}))
+	defer srv.Close()
+
+	plain, err := New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := New(srv.URL, WithForwarded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fwd.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sawPlain != "yes" || sawForwarded != "1" {
+		t.Fatalf("plain=%q forwarded=%q", sawPlain, sawForwarded)
+	}
+}
+
+func TestStreamDecode(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"window":0,"time_s":0.1,"throughput_hz":8e8}`)
+		fmt.Fprintln(w, ``)
+		fmt.Fprintln(w, `{"window":1,"time_s":0.2,"throughput_hz":9e8}`)
+		fmt.Fprintln(w, `{"summary":{"windows":2,"violations":0}}`)
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var windows []api.StreamWindow
+	sum, err := c.Stream(context.Background(), "feed", api.StreamRequest{}, func(w api.StreamWindow) error {
+		windows = append(windows, w)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 2 || windows[1].Window != 1 {
+		t.Fatalf("windows %+v", windows)
+	}
+	if sum.Windows != 2 {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+func TestStreamInBandError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"window":0}`)
+		fmt.Fprintln(w, `{"error":"solver exploded"}`)
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Stream(context.Background(), "feed", api.StreamRequest{}, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Message != "solver exploded" {
+		t.Fatalf("in-band error surfaced as %v", err)
+	}
+}
+
+func TestStreamCallbackAborts(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for i := 0; i < 100; i++ {
+			fmt.Fprintf(w, `{"window":%d}`+"\n", i)
+		}
+		fmt.Fprintln(w, `{"summary":{"windows":100}}`)
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("enough")
+	n := 0
+	_, err = c.Stream(context.Background(), "feed", api.StreamRequest{}, func(api.StreamWindow) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("callback error surfaced as %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("callback ran %d times", n)
+	}
+}
+
+func TestStreamMissingSummary(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"window":0}`)
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stream(context.Background(), "feed", api.StreamRequest{}, nil); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

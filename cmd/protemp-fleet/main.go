@@ -14,11 +14,19 @@
 //	              [-workers 0] [-horizon 0] [-max-sim 0] [-run-timeout 0]
 //	              [-grid paper|coarse] [-dt 0.0004] [-steps 250]
 //	              [-tmax 100] [-store DIR] [-json FILE] [-csv FILE]
-//	              [-list]
+//	              [-server URL] [-list]
+//
+// With -server the batch is submitted to a running protemp-serve
+// daemon (or cluster node) over the fleet API instead of a local
+// engine: the job runs remotely, progress is polled, and the same
+// ranked report is printed from the fetched results. Engine-shaping
+// flags (-grid, -dt, -steps, -tmax, -floorplan, -store) are ignored in
+// this mode — the server's engine configuration governs.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +38,8 @@ import (
 	"time"
 
 	"protemp"
+	"protemp/api"
+	"protemp/client"
 	"protemp/internal/cli"
 	"protemp/internal/fleet"
 	"protemp/internal/floorplan"
@@ -55,6 +65,7 @@ func main() {
 		storeDir   = flag.String("store", "", "persistent table-store directory (tables survive across invocations)")
 		jsonPath   = flag.String("json", "", "write the full batch result as JSON to this file")
 		csvPath    = flag.String("csv", "", "write per-run summary rows as CSV to this file")
+		serverURL  = flag.String("server", "", "submit the batch to a running protemp-serve daemon at this URL instead of a local engine")
 		list       = flag.Bool("list", false, "list the built-in scenarios and exit")
 	)
 	flag.Parse()
@@ -78,6 +89,33 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	spec := protemp.FleetSpec{
+		Scenarios:  splitCSV(*scenarios),
+		Workers:    *workers,
+		Horizon:    *horizon,
+		MaxSimTime: *maxSim,
+		RunTimeout: *runTimeout,
+	}
+	for _, p := range splitCSV(*policies) {
+		pol, err := parsePolicy(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Policies = append(spec.Policies, pol)
+	}
+	for _, s := range splitCSV(*seeds) {
+		seed, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			log.Fatalf("bad seed %q: %v", s, err)
+		}
+		spec.Seeds = append(spec.Seeds, seed)
+	}
+
+	if *serverURL != "" {
+		runRemote(ctx, *serverURL, spec, *jsonPath, *csvPath)
+		return
+	}
 
 	opts := []protemp.Option{
 		protemp.WithWindow(*dt, *steps),
@@ -104,28 +142,6 @@ func main() {
 	engine, err := protemp.New(opts...)
 	if err != nil {
 		log.Fatal(err)
-	}
-
-	spec := protemp.FleetSpec{
-		Scenarios:  splitCSV(*scenarios),
-		Workers:    *workers,
-		Horizon:    *horizon,
-		MaxSimTime: *maxSim,
-		RunTimeout: *runTimeout,
-	}
-	for _, p := range splitCSV(*policies) {
-		pol, err := parsePolicy(p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		spec.Policies = append(spec.Policies, pol)
-	}
-	for _, s := range splitCSV(*seeds) {
-		seed, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			log.Fatalf("bad seed %q: %v", s, err)
-		}
-		spec.Seeds = append(spec.Seeds, seed)
 	}
 
 	runner := fleet.NewRunner(engine, nil, nil)
@@ -160,6 +176,91 @@ func main() {
 		writeFile(*csvPath, func(f *os.File) error { return fleet.WriteCSV(f, res) })
 	}
 	if err != nil || res.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runRemote submits the batch over the fleet API, polls the job until
+// it settles, and prints the same ranked report from the fetched
+// results. Ctrl-C cancels the remote job (partial results are kept and
+// reported, matching local-mode semantics).
+func runRemote(ctx context.Context, url string, spec protemp.FleetSpec, jsonPath, csvPath string) {
+	req := api.FleetSubmitRequest{
+		Scenarios:   spec.Scenarios,
+		Seeds:       spec.Seeds,
+		Workers:     spec.Workers,
+		HorizonS:    spec.Horizon,
+		MaxSimTimeS: spec.MaxSimTime,
+		RunTimeoutS: spec.RunTimeout.Seconds(),
+	}
+	for _, p := range spec.Policies {
+		req.Policies = append(req.Policies, api.FleetPolicy{
+			Kind:       p.Kind,
+			Clusters:   p.Clusters,
+			ThresholdC: p.ThresholdC,
+			Variant:    p.Variant,
+			Estimator:  p.Estimator,
+		})
+	}
+
+	c, err := client.New(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := c.FleetSubmit(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("submitted job %s to %s (%d cells)", job.ID, url, job.Total)
+
+	canceled := false
+	for job.Status == api.FleetJobRunning {
+		select {
+		case <-ctx.Done():
+			if !canceled {
+				log.Print("interrupt: canceling remote job (partial results kept)")
+				// The signal context is done; cancel and poll on a fresh one.
+				dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				if err := c.FleetDelete(dctx, job.ID); err != nil {
+					cancel()
+					log.Fatal(err)
+				}
+				cancel()
+				canceled = true
+			}
+		case <-time.After(500 * time.Millisecond):
+		}
+		pctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		job, err = c.FleetStatus(pctx, job.ID)
+		cancel()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("  %d/%d done (%d failed)", job.Done, job.Total, job.Failed)
+	}
+
+	rctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, err := c.FleetResults(rctx, job.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var res fleet.BatchResult
+	if err := json.Unmarshal(resp.Result, &res); err != nil {
+		log.Fatalf("decoding remote results: %v", err)
+	}
+
+	fmt.Println()
+	if err := fleet.WriteReportTable(os.Stdout, &res); err != nil {
+		log.Fatal(err)
+	}
+	if jsonPath != "" {
+		writeFile(jsonPath, func(f *os.File) error { return fleet.WriteJSON(f, &res) })
+	}
+	if csvPath != "" {
+		writeFile(csvPath, func(f *os.File) error { return fleet.WriteCSV(f, &res) })
+	}
+	if job.Status != api.FleetJobDone || res.Failed > 0 {
 		os.Exit(1)
 	}
 }

@@ -30,6 +30,14 @@
 //	              [-variant variable|uniform|gradient] [-floorplan file]
 //	              [-cache 8] [-workers N] [-flight 32] [-log text]
 //	              [-ops-addr :6060] [-mutex-profile-fraction N] [-block-profile-rate N]
+//	              [-self URL -peers URL,URL,...]
+//	              [-step-p95-budget 0] [-max-steps 0] [-step-queue 0]
+//	              [-breaker-trip 3] [-breaker-cooldown 5s]
+//
+// With -self and -peers the daemon joins a static-membership cluster:
+// sessions are consistent-hash routed (any node accepts any request
+// and transparently proxies to the owner), and each node serves its
+// stored Phase-1 tables to the others over GET /v1/tables/{key}.
 package main
 
 import (
@@ -43,15 +51,28 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"protemp"
 	"protemp/internal/cli"
+	"protemp/internal/cluster"
 	"protemp/internal/core"
 	"protemp/internal/floorplan"
 	"protemp/internal/server"
 )
+
+// splitPeers parses the comma-separated -peers list.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	cli.Init("protemp-serve")
@@ -74,6 +95,15 @@ func main() {
 		opsAddr    = flag.String("ops-addr", "", "opt-in ops listener serving net/http/pprof (empty = off)")
 		mutexFrac  = flag.Int("mutex-profile-fraction", 0, "runtime mutex profile sampling fraction (0 = off)")
 		blockRate  = flag.Int("block-profile-rate", 0, "runtime block profile sampling rate in ns (0 = off)")
+
+		selfURL  = flag.String("self", "", "this node's advertised URL (required with -peers)")
+		peersCSV = flag.String("peers", "", "comma-separated cluster member URLs (empty = single node)")
+		trip     = flag.Int("breaker-trip", 3, "consecutive peer failures that open its circuit breaker")
+		cooldown = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker interval before a half-open probe")
+
+		p95Budget = flag.Duration("step-p95-budget", 0, "step-solve p95 budget; above it new online/dmpc sessions degrade to table mode (0 = off)")
+		maxSteps  = flag.Int("max-steps", 0, "concurrent solver-backed steps admitted (0 = unbounded)")
+		stepQueue = flag.Int("step-queue", 0, "steps queued beyond -max-steps before 429 (with -max-steps)")
 	)
 	flag.Parse()
 
@@ -124,6 +154,27 @@ func main() {
 		log.Fatalf("unknown log format %q (want text, json or off)", *logFormat)
 	}
 
+	// The cluster is built before the engine so the peer table tier can
+	// be wired under the engine's cache (store miss → peer fetch →
+	// Phase-1 generation).
+	var clu *cluster.Cluster
+	if *peersCSV != "" {
+		if *selfURL == "" {
+			log.Fatal("-peers requires -self (this node's advertised URL)")
+		}
+		var err error
+		clu, err = cluster.New(cluster.Config{
+			Self:             *selfURL,
+			Peers:            splitPeers(*peersCSV),
+			BreakerThreshold: *trip,
+			BreakerCooldown:  *cooldown,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, protemp.WithTableFetcher(clu.TableFetcher()))
+	}
+
 	engine, err := protemp.New(opts...)
 	if err != nil {
 		log.Fatal(err)
@@ -134,9 +185,15 @@ func main() {
 	}
 	srv, err := server.New(server.Config{
 		Engine:     engine,
+		Cluster:    clu,
 		Shards:     *shards,
 		SessionTTL: ttl,
 		Logger:     logger,
+		Admission: cluster.AdmissionConfig{
+			StepP95Budget:      *p95Budget,
+			MaxConcurrentSteps: *maxSteps,
+			StepQueueDepth:     *stepQueue,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -183,8 +240,13 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (%d cores, %s variant, store=%q)",
-			*addr, engine.Chip().NumCores(), engine.Variant(), *storeDir)
+		if clu != nil {
+			log.Printf("listening on %s (%d cores, %s variant, store=%q, cluster node %s of %d)",
+				*addr, engine.Chip().NumCores(), engine.Variant(), *storeDir, clu.Self(), clu.Size())
+		} else {
+			log.Printf("listening on %s (%d cores, %s variant, store=%q)",
+				*addr, engine.Chip().NumCores(), engine.Variant(), *storeDir)
+		}
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -78,7 +78,7 @@ func New(opts ...Option) (*Engine, error) {
 		model:  model,
 		disc:   disc,
 		window: window,
-		cache:  newTableCache(cfg.cacheSize, cfg.store, reg),
+		cache:  newTableCache(cfg.cacheSize, cfg.store, cfg.fetcher, reg),
 		reg:    reg,
 		start:  time.Now(),
 	}
@@ -192,6 +192,25 @@ func (e *Engine) TableKey(tstarts, ftargets []float64, v core.Variant) string {
 func (e *Engine) TableKeyOverride(tstarts, ftargets []float64, v core.Variant, tmax float64) string {
 	spec := e.tableSpec(tstarts, ftargets, v, tmax)
 	return spec.CacheKey()
+}
+
+// LookupTable returns the table stored under a cache key only if it is
+// already materialized on this node — in the in-memory LRU or the
+// persistent store. It never generates, never consults the network
+// tier, and never joins an in-flight generation: this is the read side
+// a cluster node serves to its peers, and answering only from local
+// tiers keeps peer fetches from cascading around the ring.
+func (e *Engine) LookupTable(key string) (*core.Table, bool) {
+	return e.cache.lookup(key)
+}
+
+// StepLatencyQuantile returns the given quantile of the live
+// step_solve_nanos histogram (in nanoseconds) together with its
+// observation count — the signal admission control keys off. With no
+// observations both return zero.
+func (e *Engine) StepLatencyQuantile(p float64) (nanos, count uint64) {
+	h := e.reg.Histogram("step_solve_nanos")
+	return h.Quantile(p), h.Count()
 }
 
 // tableSpec assembles a Phase-1 table spec against this engine,

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen reports a call refused locally because the peer's
+// circuit breaker is open: the peer failed repeatedly and its cooldown
+// has not elapsed.
+var ErrBreakerOpen = errors.New("cluster: peer circuit breaker open")
+
+// Breaker states.
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+// Breaker is a per-peer circuit breaker: consecutive failures trip it
+// open, open calls are refused without touching the network, and after
+// a cooldown a single half-open probe is admitted — its outcome closes
+// the breaker or re-opens it for another cooldown. Safe for concurrent
+// use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // zero while closed
+	probing  bool      // a half-open probe is in flight
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive
+// failures (min 1) and probing after cooldown. A nil now uses
+// time.Now; tests inject a fake clock.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a call may proceed. In the open state it
+// admits exactly one probe once the cooldown has elapsed; concurrent
+// callers during the probe are refused, so a sick peer sees at most
+// one request per cooldown.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openedAt.IsZero() {
+		return true
+	}
+	if b.probing || b.now().Sub(b.openedAt) < b.cooldown {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Success records a completed call: it closes the breaker (ending any
+// half-open probe) and resets the failure run.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.openedAt = time.Time{}
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a failed call: it extends the failure run, trips the
+// breaker at the threshold, and re-opens it for a fresh cooldown when
+// a half-open probe fails.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.openedAt.IsZero() {
+		// A failed probe (or a straggler from before the trip): restart
+		// the cooldown.
+		b.openedAt = b.now()
+		b.probing = false
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.openedAt = b.now()
+		b.probing = false
+	}
+}
+
+// State returns "closed", "open" or "half-open" (open with the
+// cooldown elapsed, i.e. the next Allow admits a probe).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.openedAt.IsZero():
+		return breakerClosed
+	case !b.probing && b.now().Sub(b.openedAt) >= b.cooldown:
+		return breakerHalfOpen
+	default:
+		return breakerOpen
+	}
+}

@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"protemp/client"
+	"protemp/internal/core"
+	"protemp/internal/metrics"
+	"protemp/internal/tablestore"
+)
+
+// Config describes one node's view of a static-membership cluster.
+type Config struct {
+	// Self is this node's advertised URL; it must be one of Peers (it
+	// is added when absent).
+	Self string
+	// Peers are the member URLs, self included. Scheme defaults to
+	// http://.
+	Peers []string
+	// BreakerThreshold trips a peer's circuit breaker after that many
+	// consecutive failures (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is the open interval before a half-open probe
+	// (default 5s).
+	BreakerCooldown time.Duration
+	// RetryAttempts is the extra tries on idempotent proxied calls
+	// (default 2); RetryBackoff the linear backoff base (default 50ms).
+	RetryAttempts int
+	RetryBackoff  time.Duration
+	// HTTPClient overrides the transport used toward peers (tests point
+	// it at loopback listeners).
+	HTTPClient *http.Client
+
+	// now overrides the breaker clock in tests.
+	now func() time.Time
+}
+
+// Peer is one remote member: a typed client behind a circuit breaker.
+type Peer struct {
+	name    string
+	client  *client.Client
+	breaker *Breaker
+}
+
+// Name returns the peer's normalized URL (its ring name).
+func (p *Peer) Name() string { return p.name }
+
+// Breaker exposes the peer's circuit breaker (for health surfaces).
+func (p *Peer) Breaker() *Breaker { return p.breaker }
+
+// Cluster is one node's routing state: the ring, the peer table and
+// the proxy counters. Immutable after New and safe for concurrent use.
+type Cluster struct {
+	self  string
+	ring  *Ring
+	peers map[string]*Peer // keyed by ring name; self absent
+	reg   *metrics.Registry
+
+	proxied     *metrics.Counter
+	proxyErrors *metrics.Counter
+	rejected    *metrics.Counter
+	tableHits   *metrics.Counter
+	tableMisses *metrics.Counter
+}
+
+// normalizeNode canonicalizes a member URL into its ring name: scheme
+// defaulted to http, trailing slash dropped.
+func normalizeNode(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", fmt.Errorf("cluster: empty peer address")
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return "", fmt.Errorf("cluster: bad peer address %q: %w", s, err)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("cluster: peer address %q has no host", s)
+	}
+	return strings.TrimRight(u.String(), "/"), nil
+}
+
+// New builds this node's cluster view and one breaker-guarded client
+// per remote peer.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	if cfg.RetryAttempts < 0 {
+		cfg.RetryAttempts = 0
+	} else if cfg.RetryAttempts == 0 {
+		cfg.RetryAttempts = 2
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	self, err := normalizeNode(cfg.Self)
+	if err != nil {
+		return nil, err
+	}
+	names := []string{self}
+	seen := map[string]bool{self: true}
+	for _, p := range cfg.Peers {
+		n, err := normalizeNode(p)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	ring, err := NewRing(names)
+	if err != nil {
+		return nil, err
+	}
+	reg := metrics.NewRegistry()
+	c := &Cluster{
+		self:        self,
+		ring:        ring,
+		peers:       make(map[string]*Peer, len(names)-1),
+		reg:         reg,
+		proxied:     reg.Counter("cluster_proxied_requests"),
+		proxyErrors: reg.Counter("cluster_proxy_errors"),
+		rejected:    reg.Counter("cluster_breaker_rejected"),
+		tableHits:   reg.Counter("cluster_peer_table_hits"),
+		tableMisses: reg.Counter("cluster_peer_table_misses"),
+	}
+	reg.Gauge("cluster_peers").Set(int64(len(names)))
+	copts := []client.Option{
+		client.WithForwarded(),
+		client.WithRetry(cfg.RetryAttempts, cfg.RetryBackoff),
+	}
+	if cfg.HTTPClient != nil {
+		copts = append(copts, client.WithHTTPClient(cfg.HTTPClient))
+	}
+	for _, n := range names {
+		if n == self {
+			continue
+		}
+		cl, err := client.New(n, copts...)
+		if err != nil {
+			return nil, err
+		}
+		c.peers[n] = &Peer{
+			name:    n,
+			client:  cl,
+			breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
+		}
+	}
+	return c, nil
+}
+
+// Self returns this node's ring name.
+func (c *Cluster) Self() string { return c.self }
+
+// Size returns the member count, self included.
+func (c *Cluster) Size() int { return c.ring.Len() }
+
+// Ring exposes the ring (for tests and health surfaces).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Registry exposes the cluster counters for merging into a /metrics
+// surface.
+func (c *Cluster) Registry() *metrics.Registry { return c.reg }
+
+// SessionOwner resolves a session id: (nil, false) when this node owns
+// it, otherwise the peer to proxy to.
+func (c *Cluster) SessionOwner(id string) (*Peer, bool) {
+	owner := c.ring.Owner(id)
+	if owner == c.self {
+		return nil, false
+	}
+	return c.peers[owner], true
+}
+
+// TableOwner resolves a table cache key the same way.
+func (c *Cluster) TableOwner(key string) (*Peer, bool) {
+	owner := c.ring.Owner(key)
+	if owner == c.self {
+		return nil, false
+	}
+	return c.peers[owner], true
+}
+
+// Call runs one proxied operation against a peer under its circuit
+// breaker. Peer-reported client errors (4xx) count as breaker
+// successes — the peer is healthy, the request was just bad — while
+// transport failures and 5xx count as failures. An open breaker
+// refuses immediately with ErrBreakerOpen.
+func (c *Cluster) Call(p *Peer, fn func(*client.Client) error) error {
+	if !p.breaker.Allow() {
+		c.rejected.Inc()
+		return fmt.Errorf("%w (peer %s)", ErrBreakerOpen, p.name)
+	}
+	c.proxied.Inc()
+	err := fn(p.client)
+	var apiErr *client.APIError
+	switch {
+	case err == nil:
+		p.breaker.Success()
+	case errors.As(err, &apiErr) && apiErr.Status < 500:
+		p.breaker.Success()
+	default:
+		p.breaker.Failure()
+		c.proxyErrors.Inc()
+	}
+	return err
+}
+
+// TableFetcher returns the peer tier for the engine's table cache: on
+// a local store miss it fetches the table from its ring owner (when
+// that is a remote peer) over GET /v1/tables/{key}, decoding the
+// versioned envelope. Misses of any kind — self-owned keys, open
+// breakers, 404s, decode failures — report (nil, false) so the engine
+// falls back to local Phase-1 generation; the network tier degrades,
+// never blocks.
+func (c *Cluster) TableFetcher() func(ctx context.Context, key string) (*core.Table, bool) {
+	return func(ctx context.Context, key string) (*core.Table, bool) {
+		p, remote := c.TableOwner(key)
+		if !remote {
+			return nil, false
+		}
+		var tbl *core.Table
+		err := c.Call(p, func(cl *client.Client) error {
+			body, err := cl.TableRaw(ctx, key)
+			if err != nil {
+				return err
+			}
+			defer body.Close()
+			t, err := tablestore.Decode(body)
+			if err != nil {
+				return err
+			}
+			tbl = t
+			return nil
+		})
+		if err != nil {
+			c.tableMisses.Inc()
+			return nil, false
+		}
+		c.tableHits.Inc()
+		return tbl, true
+	}
+}

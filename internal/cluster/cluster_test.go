@@ -1,0 +1,473 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"protemp/client"
+	"protemp/internal/metrics"
+)
+
+func TestRingDeterministicAndOrderInsensitive(t *testing.T) {
+	a, err := NewRing([]string{"http://n1", "http://n2", "http://n3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://n3", "http://n1", "http://n2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner of %q differs across member orderings", key)
+		}
+		if a.Owner(key) != a.Owner(key) {
+			t.Fatalf("owner of %q not deterministic", key)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"http://n1:8080", "http://n2:8080", "http://n3:8080"}
+	r, err := NewRing(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("%032x", i))]++
+	}
+	for _, n := range nodes {
+		got := counts[n]
+		// Rendezvous hashing should land within a loose band of the
+		// uniform share; a wildly skewed split means the hash is broken.
+		if got < keys/6 || got > keys/2 {
+			t.Fatalf("node %s owns %d of %d keys (want roughly %d)", n, got, keys, keys/3)
+		}
+	}
+}
+
+// TestRingMinimalReassignment is the property rendezvous hashing buys:
+// removing a member only moves the keys that member owned.
+func TestRingMinimalReassignment(t *testing.T) {
+	full, err := NewRing([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before != "c" && before != after {
+			t.Fatalf("key %q moved %s→%s though its owner never left", key, before, after)
+		}
+	}
+}
+
+func TestRingRejectsBadMembers(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+func TestNormalizeNode(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:8080":        "http://127.0.0.1:8080",
+		"http://node-a:9090/":   "http://node-a:9090",
+		" https://node-b:8443 ": "https://node-b:8443",
+		"http://node-c:7070///": "http://node-c:7070",
+	}
+	for in, want := range cases {
+		got, err := normalizeNode(in)
+		if err != nil {
+			t.Fatalf("normalizeNode(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("normalizeNode(%q) = %q want %q", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "   ", "http://"} {
+		if _, err := normalizeNode(bad); err == nil {
+			t.Fatalf("normalizeNode(%q) accepted", bad)
+		}
+	}
+}
+
+// fakeClock is a settable breaker clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func TestBreakerTripHalfOpenRecover(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(3, 5*time.Second, clk.now)
+
+	if b.State() != breakerClosed {
+		t.Fatalf("initial state %s", b.State())
+	}
+	// Two failures stay closed; the third trips.
+	b.Failure()
+	b.Failure()
+	if !b.Allow() || b.State() != breakerClosed {
+		t.Fatal("breaker tripped before the threshold")
+	}
+	b.Failure()
+	if b.State() != breakerOpen {
+		t.Fatalf("state after trip: %s", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call")
+	}
+
+	// Cooldown elapses → exactly one half-open probe.
+	clk.advance(5 * time.Second)
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state after cooldown: %s", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// The probe succeeds → closed, failure run reset.
+	b.Success()
+	if b.State() != breakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != breakerClosed {
+		t.Fatal("failure run survived the reset")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(1, 10*time.Second, clk.now)
+
+	b.Failure()
+	clk.advance(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Failure() // probe failed → fresh cooldown
+	if b.State() != breakerOpen {
+		t.Fatalf("state after failed probe: %s", b.State())
+	}
+	clk.advance(9 * time.Second)
+	if b.Allow() {
+		t.Fatal("probe admitted before the fresh cooldown elapsed")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after the fresh cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b := NewBreaker(3, time.Second, nil)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != breakerClosed {
+		t.Fatal("interleaved success did not reset the failure run")
+	}
+}
+
+// TestClusterCallClassification drives Call against a live peer and
+// checks the error→breaker mapping: 4xx keeps the breaker closed (the
+// peer is healthy), 5xx trips it, and the open breaker refuses with
+// ErrBreakerOpen without touching the network.
+func TestClusterCallClassification(t *testing.T) {
+	var status int
+	var hits int
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.WriteHeader(status)
+		fmt.Fprintf(w, `{"error":"nope"}`)
+	}))
+	defer peer.Close()
+
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c, err := New(Config{
+		Self:             "http://self:1",
+		Peers:            []string{"http://self:1", peer.URL},
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+		RetryAttempts:    -1, // no retries: each Call is one request
+		now:              clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 2 {
+		t.Fatalf("size %d", c.Size())
+	}
+	p := c.peers[normMust(t, peer.URL)]
+	if p == nil {
+		t.Fatal("peer missing from table")
+	}
+
+	get := func(cl *client.Client) error {
+		_, err := cl.Session(context.Background(), "00000000000000000000000000000000")
+		return err
+	}
+
+	// 4xx: error surfaces, breaker stays closed.
+	status = http.StatusNotFound
+	if err := c.Call(p, get); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("404 call: %v", err)
+	}
+	if p.Breaker().State() != breakerClosed {
+		t.Fatal("4xx moved the breaker")
+	}
+
+	// Consecutive 5xx trip the breaker at the threshold.
+	status = http.StatusInternalServerError
+	c.Call(p, get)
+	c.Call(p, get)
+	if p.Breaker().State() != breakerOpen {
+		t.Fatalf("breaker after two 5xx: %s", p.Breaker().State())
+	}
+
+	// Open breaker: refused locally, the peer sees nothing.
+	before := hits
+	if err := c.Call(p, get); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open-breaker call: %v", err)
+	}
+	if hits != before {
+		t.Fatal("open breaker let a request through")
+	}
+
+	// After the cooldown a successful probe closes it again.
+	clk.advance(time.Minute)
+	status = http.StatusNotFound // 4xx counts as peer-healthy
+	if err := c.Call(p, get); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("probe call: %v", err)
+	}
+	if p.Breaker().State() != breakerClosed {
+		t.Fatalf("breaker after healthy probe: %s", p.Breaker().State())
+	}
+
+	snap := c.Registry().Snapshot()
+	if snap["cluster_breaker_rejected"] == 0 {
+		t.Fatal("breaker rejection not counted")
+	}
+	if snap["cluster_proxy_errors"] == 0 {
+		t.Fatal("proxy errors not counted")
+	}
+}
+
+func normMust(t *testing.T, s string) string {
+	t.Helper()
+	n, err := normalizeNode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestClusterRejectsPeersWithoutSelf(t *testing.T) {
+	if _, err := New(Config{Self: "", Peers: []string{"http://a:1"}}); err == nil {
+		t.Fatal("empty self accepted")
+	}
+}
+
+func TestSessionOwnerSelfVsRemote(t *testing.T) {
+	c, err := New(Config{Self: "http://a:1", Peers: []string{"http://a:1", "http://b:1", "http://c:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSelf, sawRemote := false, false
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("%032x", i)
+		p, remote := c.SessionOwner(id)
+		if remote {
+			sawRemote = true
+			if p == nil {
+				t.Fatalf("remote owner of %q has no peer entry", id)
+			}
+			if p.Name() == c.Self() {
+				t.Fatal("self returned as a remote peer")
+			}
+		} else {
+			sawSelf = true
+			if p != nil {
+				t.Fatal("self-owned key returned a peer")
+			}
+		}
+	}
+	if !sawSelf || !sawRemote {
+		t.Fatalf("ownership never split (self=%v remote=%v)", sawSelf, sawRemote)
+	}
+}
+
+func TestAdmissionDegradeCreate(t *testing.T) {
+	var p95, count uint64
+	reg := metrics.NewRegistry()
+	a := NewAdmission(AdmissionConfig{
+		StepP95Budget: time.Millisecond,
+		MinSamples:    10,
+	}, func() (uint64, uint64) { return p95, count }, reg)
+
+	// Cold histogram: never degrade, however bad the p95 looks.
+	p95, count = uint64(time.Second), 5
+	if a.DegradeCreate() {
+		t.Fatal("degraded on a cold histogram")
+	}
+	// Warm and under budget: no degrade.
+	p95, count = uint64(500*time.Microsecond), 100
+	if a.DegradeCreate() {
+		t.Fatal("degraded under budget")
+	}
+	// Warm and over budget: degrade and count it.
+	p95 = uint64(2 * time.Millisecond)
+	if !a.DegradeCreate() {
+		t.Fatal("did not degrade over budget")
+	}
+	snap := reg.Snapshot()
+	if snap["cluster_degraded_sessions"] != 1 {
+		t.Fatalf("degraded counter %d", snap["cluster_degraded_sessions"])
+	}
+	if snap["cluster_shedding"] != 1 {
+		t.Fatalf("shedding gauge %d", snap["cluster_shedding"])
+	}
+	// Recovery clears the gauge.
+	p95 = uint64(100 * time.Microsecond)
+	if a.DegradeCreate() {
+		t.Fatal("degraded after recovery")
+	}
+	if reg.Snapshot()["cluster_shedding"] != 0 {
+		t.Fatal("shedding gauge stuck")
+	}
+}
+
+func TestAdmissionDisabled(t *testing.T) {
+	reg := metrics.NewRegistry()
+	a := NewAdmission(AdmissionConfig{}, func() (uint64, uint64) { return 1 << 60, 1 << 20 }, reg)
+	if a.DegradeCreate() {
+		t.Fatal("zero budget degraded a create")
+	}
+	release, err := a.AcquireStep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	var nilA *Admission
+	if nilA.DegradeCreate() {
+		t.Fatal("nil admission degraded")
+	}
+	if _, err := nilA.AcquireStep(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if nilA.RetryAfter() != time.Second {
+		t.Fatal("nil RetryAfter")
+	}
+}
+
+func TestAdmissionStepQueueRejects(t *testing.T) {
+	reg := metrics.NewRegistry()
+	a := NewAdmission(AdmissionConfig{
+		MaxConcurrentSteps: 1,
+		StepQueueDepth:     1,
+		RetryAfter:         3 * time.Second,
+	}, nil, reg)
+
+	// Slot taken.
+	rel1, err := a.AcquireStep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One waiter fits in the queue...
+	acquired := make(chan func(), 1)
+	go func() {
+		rel, err := a.AcquireStep(context.Background())
+		if err != nil {
+			return
+		}
+		acquired <- rel
+	}()
+	// Wait until the waiter is queued.
+	deadline := time.Now().Add(time.Second)
+	for a.queued.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if a.queued.Load() != 1 {
+		t.Fatal("waiter never queued")
+	}
+
+	// ...the next arrival overflows and is refused immediately.
+	if _, err := a.AcquireStep(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow arrival: %v", err)
+	}
+	if reg.Snapshot()["cluster_steps_rejected"] != 1 {
+		t.Fatal("rejection not counted")
+	}
+	if a.RetryAfter() != 3*time.Second {
+		t.Fatalf("retry-after %v", a.RetryAfter())
+	}
+
+	// Releasing the slot admits the queued waiter.
+	rel1()
+	select {
+	case rel := <-acquired:
+		rel()
+		rel() // double release is a no-op
+	case <-time.After(time.Second):
+		t.Fatal("queued waiter never admitted")
+	}
+}
+
+func TestAdmissionStepContextCancel(t *testing.T) {
+	reg := metrics.NewRegistry()
+	a := NewAdmission(AdmissionConfig{MaxConcurrentSteps: 1, StepQueueDepth: 4}, nil, reg)
+	rel, err := a.AcquireStep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.AcquireStep(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire under canceled ctx: %v", err)
+	}
+	if a.queued.Load() != 0 {
+		t.Fatal("queue count leaked after cancel")
+	}
+}

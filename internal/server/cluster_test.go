@@ -1,0 +1,512 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"protemp"
+	"protemp/api"
+	"protemp/client"
+	"protemp/internal/cluster"
+)
+
+// clientFor builds a typed client pointed at one test node.
+func clientFor(nd *testNode) (*client.Client, error) {
+	return client.New(nd.ts.URL)
+}
+
+// testNode is one member of a loopback test cluster: its own engine,
+// server and listener, wired to the others through the real client.
+type testNode struct {
+	srv *Server
+	ts  *httptest.Server
+	eng *protemp.Engine
+	clu *cluster.Cluster
+}
+
+// newTestCluster boots n nodes on loopback listeners. The listeners
+// are created unstarted first so every member knows the full peer list
+// before any engine exists, mirroring the -self/-peers flag flow.
+func newTestCluster(t testing.TB, n int, adm cluster.AdmissionConfig) []*testNode {
+	t.Helper()
+	servers := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range servers {
+		servers[i] = httptest.NewUnstartedServer(nil)
+		urls[i] = "http://" + servers[i].Listener.Addr().String()
+	}
+	nodes := make([]*testNode, n)
+	for i := range nodes {
+		clu, err := cluster.New(cluster.Config{
+			Self:            urls[i],
+			Peers:           urls,
+			BreakerCooldown: 100 * time.Millisecond,
+			RetryBackoff:    5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := testClusterEngine(t, protemp.WithTableFetcher(clu.TableFetcher()))
+		srv, err := New(Config{Engine: eng, Cluster: clu, Admission: adm, SessionTTL: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i].Config = &http.Server{Handler: srv.Handler()}
+		servers[i].Start()
+		nodes[i] = &testNode{srv: srv, ts: servers[i], eng: eng, clu: clu}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.ts.Close()
+		}
+	})
+	return nodes
+}
+
+// testClusterEngine matches fastEngine but takes a testing.TB so the
+// benchmarks can share it.
+func testClusterEngine(t testing.TB, extra ...protemp.Option) *protemp.Engine {
+	t.Helper()
+	opts := append([]protemp.Option{
+		protemp.WithWindow(1e-3, 100),
+		protemp.WithTableGrid([]float64{47, 100}, []float64{250e6, 500e6, 750e6}),
+	}, extra...)
+	e, err := protemp.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// createOwnedBy creates sessions through via until the ring lands one
+// on the wanted owner node, deleting the misses. The id is random, so
+// a handful of tries suffices with two or three members.
+func createOwnedBy(t *testing.T, via *testNode, owner string, mode string) api.SessionInfo {
+	t.Helper()
+	for i := 0; i < 64; i++ {
+		var info api.SessionInfo
+		resp := postJSON(t, via.ts.URL+"/v1/sessions", api.SessionCreateRequest{Mode: mode}, &info)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create: status %d", resp.StatusCode)
+		}
+		if info.Node == owner {
+			return info
+		}
+		deleteReq(t, via.ts.URL+"/v1/sessions/"+info.ID)
+	}
+	t.Fatalf("no session landed on %s in 64 tries", owner)
+	return api.SessionInfo{}
+}
+
+// TestClusterProxiedSessionLifecycle drives a full session lifecycle
+// through the NON-owner node: the create, stat, step and delete must
+// all transparently proxy to the owner, and the proxy must be a
+// single hop (a forwarded request is always served locally).
+func TestClusterProxiedSessionLifecycle(t *testing.T) {
+	nodes := newTestCluster(t, 2, cluster.AdmissionConfig{})
+	a, b := nodes[0], nodes[1]
+
+	// A session owned by B, driven entirely through A.
+	info := createOwnedBy(t, a, b.clu.Self(), "table")
+	if info.Mode != "table" || info.Degraded {
+		t.Fatalf("info %+v", info)
+	}
+
+	// The session lives on B, not A.
+	if got := b.srv.sessions.Len(); got != 1 {
+		t.Fatalf("owner holds %d sessions", got)
+	}
+	if got := a.srv.sessions.Len(); got != 0 {
+		t.Fatalf("non-owner holds %d sessions", got)
+	}
+
+	// Stat through A: proxied to B, reports B as the node.
+	var stat api.SessionInfo
+	getJSON(t, a.ts.URL+"/v1/sessions/"+info.ID, &stat)
+	if stat.ID != info.ID || stat.Node != b.clu.Self() {
+		t.Fatalf("stat %+v", stat)
+	}
+
+	// Step through A.
+	var step api.StepResponse
+	resp := postJSON(t, a.ts.URL+"/v1/sessions/"+info.ID+"/step",
+		api.StepRequest{MaxCoreTempC: 60, RequiredFreqHz: 5e8}, &step)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied step: status %d", resp.StatusCode)
+	}
+	if len(step.FreqsHz) == 0 {
+		t.Fatalf("proxied step %+v", step)
+	}
+	getJSON(t, a.ts.URL+"/v1/sessions/"+info.ID, &stat)
+	if stat.Steps != 1 {
+		t.Fatalf("step not applied on the owner: %+v", stat)
+	}
+
+	// Single hop: a forwarded request for a B-owned session hitting A
+	// must NOT be proxied again — A answers locally (404).
+	req, err := http.NewRequest(http.MethodGet, a.ts.URL+"/v1/sessions/"+info.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(api.HeaderForwarded, "1")
+	fresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresp.Body.Close()
+	if fresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("forwarded request re-proxied: status %d", fresp.StatusCode)
+	}
+
+	// Delete through A removes it on B.
+	if resp := deleteReq(t, a.ts.URL+"/v1/sessions/"+info.ID); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("proxied delete: status %d", resp.StatusCode)
+	}
+	if got := b.srv.sessions.Len(); got != 0 {
+		t.Fatalf("owner still holds %d sessions after delete", got)
+	}
+
+	snap := a.clu.Registry().Snapshot()
+	if snap["cluster_proxied_requests"] < 4 {
+		t.Fatalf("proxied counter %d", snap["cluster_proxied_requests"])
+	}
+	if snap["cluster_proxy_errors"] != 0 {
+		t.Fatalf("proxy errors %d", snap["cluster_proxy_errors"])
+	}
+}
+
+// TestClusterProxiedStream relays a co-simulated NDJSON stream through
+// the non-owner: window lines and the closing summary must arrive
+// untouched.
+func TestClusterProxiedStream(t *testing.T) {
+	nodes := newTestCluster(t, 2, cluster.AdmissionConfig{})
+	a, b := nodes[0], nodes[1]
+
+	info := createOwnedBy(t, a, b.clu.Self(), "table")
+	windows, summary := streamWindowLines(t, a.ts.URL, info.ID, api.StreamRequest{Windows: 3, Seed: 1})
+	if len(windows) == 0 {
+		t.Fatal("no window lines relayed")
+	}
+	if summary.Summary.Windows != len(windows) {
+		t.Fatalf("summary %+v for %d windows", summary.Summary, len(windows))
+	}
+	// The windows were simulated on the owner.
+	var stat api.SessionInfo
+	getJSON(t, a.ts.URL+"/v1/sessions/"+info.ID, &stat)
+	if stat.Steps == 0 || stat.Node != b.clu.Self() {
+		t.Fatalf("owner stats %+v", stat)
+	}
+}
+
+// TestClusterTableColdStartExactlyOnce hits both nodes with the same
+// table spec concurrently on a cold cluster: the owner generates the
+// grid exactly once and the other node fetches it over the peer tier,
+// so the cluster-wide Phase-1 generation count is 1.
+func TestClusterTableColdStartExactlyOnce(t *testing.T) {
+	nodes := newTestCluster(t, 2, cluster.AdmissionConfig{})
+
+	var wg sync.WaitGroup
+	responses := make([]api.TablesResponse, len(nodes))
+	errs := make([]int, len(nodes))
+	for i, nd := range nodes {
+		wg.Add(1)
+		go func(i int, nd *testNode) {
+			defer wg.Done()
+			resp := postJSON(t, nd.ts.URL+"/v1/tables", api.TablesRequest{Variant: "variable"}, &responses[i])
+			errs[i] = resp.StatusCode
+		}(i, nd)
+	}
+	wg.Wait()
+	for i, code := range errs {
+		if code != http.StatusOK {
+			t.Fatalf("node %d: status %d", i, code)
+		}
+	}
+	if responses[0].Key == "" || responses[0].Key != responses[1].Key {
+		t.Fatalf("keys diverge: %q vs %q", responses[0].Key, responses[1].Key)
+	}
+
+	var generations, fetches uint64
+	for _, nd := range nodes {
+		stats := nd.eng.CacheStats()
+		generations += stats.Generations
+		fetches += stats.FetchHits
+	}
+	if generations != 1 {
+		t.Fatalf("cluster-wide generations = %d, want exactly 1", generations)
+	}
+	if fetches != 1 {
+		t.Fatalf("peer fetches = %d, want 1", fetches)
+	}
+
+	// The non-owner counted the peer hit; the surface the smoke test
+	// scrapes must agree.
+	var hits uint64
+	for _, nd := range nodes {
+		hits += nd.clu.Registry().Snapshot()["cluster_peer_table_hits"]
+		var m map[string]uint64
+		getJSON(t, nd.ts.URL+"/metrics", &m)
+		if _, ok := m["cluster_peers"]; !ok {
+			t.Fatal("cluster counters missing from /metrics")
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("cluster_peer_table_hits = %d, want 1", hits)
+	}
+}
+
+// TestClusterTableGetUnknown404 covers the peer-tier miss path: a key
+// no node can regenerate answers 404, not a generation.
+func TestClusterTableGetUnknown404(t *testing.T) {
+	nodes := newTestCluster(t, 2, cluster.AdmissionConfig{})
+	resp, err := http.Get(nodes[0].ts.URL + "/v1/tables/deadbeefdeadbeefdeadbeefdeadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown key: status %d", resp.StatusCode)
+	}
+}
+
+// TestClusterHealthz reports membership on both nodes.
+func TestClusterHealthz(t *testing.T) {
+	nodes := newTestCluster(t, 3, cluster.AdmissionConfig{})
+	for _, nd := range nodes {
+		var h api.Health
+		getJSON(t, nd.ts.URL+"/healthz", &h)
+		if h.Node != nd.clu.Self() || h.Peers != 3 {
+			t.Fatalf("healthz %+v", h)
+		}
+	}
+}
+
+// TestOverloadDegradesCreates: with a 1 ns p95 budget and one recorded
+// solve, every later online/dmpc create must be admitted degraded —
+// a table-mode session flagged degraded:true — and counted.
+func TestOverloadDegradesCreates(t *testing.T) {
+	engine := fastEngine(t)
+	srv, err := New(Config{
+		Engine:     engine,
+		SessionTTL: time.Minute,
+		Admission: cluster.AdmissionConfig{
+			StepP95Budget: time.Nanosecond,
+			MinSamples:    1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The histogram is cold: the first online create is admitted whole.
+	var first api.SessionInfo
+	resp := postJSON(t, ts.URL+"/v1/sessions", api.SessionCreateRequest{Mode: "online"}, &first)
+	if resp.StatusCode != http.StatusCreated || first.Degraded || first.Mode != "online" {
+		t.Fatalf("cold create: status %d info %+v", resp.StatusCode, first)
+	}
+
+	// One real solve records a latency sample >> 1 ns.
+	var step api.StepResponse
+	resp = postJSON(t, ts.URL+"/v1/sessions/"+first.ID+"/step",
+		api.StepRequest{MaxCoreTempC: 60, RequiredFreqHz: 5e8}, &step)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup step: status %d", resp.StatusCode)
+	}
+
+	// Now over budget: online and dmpc creates degrade to table mode.
+	for _, mode := range []string{"online", "dmpc"} {
+		var info api.SessionInfo
+		resp := postJSON(t, ts.URL+"/v1/sessions", api.SessionCreateRequest{Mode: mode}, &info)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("%s create under overload: status %d", mode, resp.StatusCode)
+		}
+		if !info.Degraded || info.Mode != "table" {
+			t.Fatalf("%s create not degraded: %+v", mode, info)
+		}
+	}
+	// Table creates are never degraded.
+	var tinfo api.SessionInfo
+	postJSON(t, ts.URL+"/v1/sessions", api.SessionCreateRequest{Mode: "table"}, &tinfo)
+	if tinfo.Degraded {
+		t.Fatalf("table create degraded: %+v", tinfo)
+	}
+
+	var m map[string]uint64
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m["cluster_degraded_sessions"] != 2 {
+		t.Fatalf("cluster_degraded_sessions = %d", m["cluster_degraded_sessions"])
+	}
+	if m["cluster_shedding"] != 1 {
+		t.Fatalf("cluster_shedding = %d", m["cluster_shedding"])
+	}
+}
+
+// TestOverloadStepQueue429 saturates a 1-slot, 0-queue step gate with
+// a burst of concurrent solver steps: the overflow must be refused
+// with 429 + Retry-After, never a 5xx, and successes must still land.
+func TestOverloadStepQueue429(t *testing.T) {
+	engine := fastEngine(t)
+	srv, err := New(Config{
+		Engine:     engine,
+		SessionTTL: time.Minute,
+		Admission: cluster.AdmissionConfig{
+			MaxConcurrentSteps: 1,
+			StepQueueDepth:     0,
+			RetryAfter:         2 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var info api.SessionInfo
+	if resp := postJSON(t, ts.URL+"/v1/sessions", api.SessionCreateRequest{Mode: "online"}, &info); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+
+	doStep := func() *http.Response {
+		body := fmt.Sprintf(`{"max_core_temp_c":60,"required_freq_hz":%g}`, 5e8)
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sessions/"+info.ID+"/step",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// Pin the single solver slot so the next step deterministically
+	// overflows the (empty) queue.
+	release, err := srv.admission.AcquireStep(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp429 := doStep()
+	if resp429.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("step with the gate full: status %d, want 429", resp429.StatusCode)
+	}
+	if got := resp429.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After %q", got)
+	}
+
+	// Releasing the slot turns the same request into a 200 — the
+	// overload path never produced a 5xx.
+	release()
+	if resp := doStep(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("step after release: status %d", resp.StatusCode)
+	}
+
+	var m map[string]uint64
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m["cluster_steps_rejected"] == 0 {
+		t.Fatal("rejections not counted")
+	}
+
+	// Table-mode steps bypass the solver gate entirely.
+	var tinfo api.SessionInfo
+	postJSON(t, ts.URL+"/v1/sessions", api.SessionCreateRequest{Mode: "table"}, &tinfo)
+	resp := postJSON(t, ts.URL+"/v1/sessions/"+tinfo.ID+"/step",
+		api.StepRequest{MaxCoreTempC: 60, RequiredFreqHz: 5e8}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("table step throttled: status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkClusterStepLocal / Proxied measure the step path on the
+// owner versus one network hop through the non-owner; the delta is
+// the cluster's forwarding tax.
+func BenchmarkClusterStepLocal(b *testing.B)   { benchClusterStep(b, true) }
+func BenchmarkClusterStepProxied(b *testing.B) { benchClusterStep(b, false) }
+
+func benchClusterStep(b *testing.B, local bool) {
+	nodes := newTestCluster(b, 2, cluster.AdmissionConfig{})
+	a, bb := nodes[0], nodes[1]
+
+	// One session owned by B; drive it from B (local) or A (proxied).
+	cl, err := clientFor(bb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var owned api.SessionInfo
+	for i := 0; i < 128; i++ {
+		info, err := cl.CreateSession(b.Context(), api.SessionCreateRequest{Mode: "table"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if info.Node == bb.clu.Self() {
+			owned = info
+			break
+		}
+		cl.DeleteSession(b.Context(), info.ID)
+	}
+	if owned.ID == "" {
+		b.Fatal("no B-owned session")
+	}
+	via := bb
+	if !local {
+		via = a
+	}
+	vcl, err := clientFor(via)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := api.StepRequest{MaxCoreTempC: 60, RequiredFreqHz: 5e8}
+	if _, err := vcl.Step(b.Context(), owned.ID, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vcl.Step(b.Context(), owned.ID, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterSessionsPerNode2 / 3 measure create+step+delete
+// throughput with every request entering through node 0 and the ring
+// spreading ownership: the 2→3 node delta is the scale-out curve.
+func BenchmarkClusterSessionsPerNode2(b *testing.B) { benchClusterScaleOut(b, 2) }
+func BenchmarkClusterSessionsPerNode3(b *testing.B) { benchClusterScaleOut(b, 3) }
+
+func benchClusterScaleOut(b *testing.B, n int) {
+	nodes := newTestCluster(b, n, cluster.AdmissionConfig{})
+	cl, err := clientFor(nodes[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the table so session creates don't pay Phase-1 generation.
+	info, err := cl.CreateSession(b.Context(), api.SessionCreateRequest{Mode: "table"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl.DeleteSession(b.Context(), info.ID)
+	req := api.StepRequest{MaxCoreTempC: 60, RequiredFreqHz: 5e8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		info, err := cl.CreateSession(b.Context(), api.SessionCreateRequest{Mode: "table"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cl.Step(b.Context(), info.ID, req); err != nil {
+			b.Fatal(err)
+		}
+		if err := cl.DeleteSession(b.Context(), info.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "nodes")
+}

@@ -1,0 +1,42 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"protemp/api"
+)
+
+// TestSessionCreateOnlineShim: the retired `online` boolean must keep
+// working — mapped onto mode, counted as deprecated usage — and an
+// explicit mode must win over it.
+func TestSessionCreateOnlineShim(t *testing.T) {
+	engine := fastEngine(t)
+	_, ts := newTestServer(t, engine)
+
+	var info api.SessionInfo
+	resp := postJSON(t, ts.URL+"/v1/sessions", map[string]any{"online": true}, &info)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("legacy create: status %d", resp.StatusCode)
+	}
+	if info.Mode != "online" {
+		t.Fatalf("legacy online:true mapped to mode %q", info.Mode)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/sessions", map[string]any{"online": false}, &info)
+	if resp.StatusCode != http.StatusCreated || info.Mode != "table" {
+		t.Fatalf("legacy online:false: status %d mode %q", resp.StatusCode, info.Mode)
+	}
+
+	// Both fields present: mode governs.
+	resp = postJSON(t, ts.URL+"/v1/sessions", map[string]any{"online": true, "mode": "table"}, &info)
+	if resp.StatusCode != http.StatusCreated || info.Mode != "table" {
+		t.Fatalf("mode+online: status %d mode %q", resp.StatusCode, info.Mode)
+	}
+
+	var m map[string]uint64
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m["deprecated_online_requests"] != 3 {
+		t.Fatalf("deprecated_online_requests = %d", m["deprecated_online_requests"])
+	}
+}

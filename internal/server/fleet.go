@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"protemp"
+	"protemp/api"
 	"protemp/internal/fleet"
 	"protemp/internal/metrics"
 )
@@ -23,12 +25,12 @@ var (
 	ErrTooManyJobs = errors.New("server: too many fleet jobs running")
 )
 
-// Fleet job states.
+// Fleet job states (the api package owns the wire spellings).
 const (
-	jobRunning   = "running"
-	jobDone      = "done"
-	jobFailed    = "failed"
-	jobCancelled = "cancelled"
+	jobRunning   = api.FleetJobRunning
+	jobDone      = api.FleetJobDone
+	jobFailed    = api.FleetJobFailed
+	jobCancelled = api.FleetJobCancelled
 )
 
 // fleetJob is one asynchronous batch evaluation: submitted over POST
@@ -50,14 +52,14 @@ type fleetJob struct {
 	errMsg   string
 }
 
-func (j *fleetJob) snapshot(now time.Time) fleetJobStatus {
+func (j *fleetJob) snapshot(now time.Time) api.FleetJobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	end := j.finished
 	if j.status == jobRunning {
 		end = now
 	}
-	return fleetJobStatus{
+	return api.FleetJobStatus{
 		ID:       j.id,
 		Status:   j.status,
 		Total:    j.total,
@@ -117,17 +119,17 @@ func newFleetManager(engine *protemp.Engine, maxRuns, maxJobs int, reg *metrics.
 
 // Submit validates the spec, registers a job and starts its runner
 // goroutine. The returned snapshot carries the job id the client polls.
-func (m *fleetManager) Submit(spec fleet.BatchSpec) (fleetJobStatus, error) {
+func (m *fleetManager) Submit(spec fleet.BatchSpec) (api.FleetJobStatus, error) {
 	runs, err := m.runner.Plan(spec)
 	if err != nil {
-		return fleetJobStatus{}, err
+		return api.FleetJobStatus{}, err
 	}
 	if len(runs) > m.maxRuns {
-		return fleetJobStatus{}, fmt.Errorf("fleet: batch of %d runs exceeds the limit of %d", len(runs), m.maxRuns)
+		return api.FleetJobStatus{}, fmt.Errorf("fleet: batch of %d runs exceeds the limit of %d", len(runs), m.maxRuns)
 	}
 	id, err := newSessionID()
 	if err != nil {
-		return fleetJobStatus{}, err
+		return api.FleetJobStatus{}, err
 	}
 	jobCtx, jobCancel := context.WithCancel(m.ctx)
 	job := &fleetJob{
@@ -142,7 +144,7 @@ func (m *fleetManager) Submit(spec fleet.BatchSpec) (fleetJobStatus, error) {
 	if m.closed {
 		m.mu.Unlock()
 		jobCancel()
-		return fleetJobStatus{}, ErrDraining
+		return api.FleetJobStatus{}, ErrDraining
 	}
 	m.pruneLocked()
 	running := 0
@@ -156,7 +158,7 @@ func (m *fleetManager) Submit(spec fleet.BatchSpec) (fleetJobStatus, error) {
 	if running >= m.maxJobs {
 		m.mu.Unlock()
 		jobCancel()
-		return fleetJobStatus{}, ErrTooManyJobs
+		return api.FleetJobStatus{}, ErrTooManyJobs
 	}
 	m.byID[id] = job
 	m.order = append(m.order, job)
@@ -235,12 +237,12 @@ func (m *fleetManager) Get(id string) (*fleetJob, error) {
 }
 
 // List snapshots every retained job in submission order.
-func (m *fleetManager) List() []fleetJobStatus {
+func (m *fleetManager) List() []api.FleetJobStatus {
 	m.mu.Lock()
 	jobs := append([]*fleetJob(nil), m.order...)
 	m.mu.Unlock()
 	now := m.now()
-	out := make([]fleetJobStatus, len(jobs))
+	out := make([]api.FleetJobStatus, len(jobs))
 	for i, j := range jobs {
 		out[i] = j.snapshot(now)
 	}
@@ -295,25 +297,7 @@ func (m *fleetManager) Shutdown(ctx context.Context) error {
 	}
 }
 
-// ---- wire types ----
-
-// fleetSubmitRequest is the POST /v1/fleet body. It mirrors
-// fleet.BatchSpec with wire-friendly seconds instead of a Go duration.
-type fleetSubmitRequest struct {
-	Scenarios   []string          `json:"scenarios"`
-	Policies    []fleetPolicyWire `json:"policies"`
-	Seeds       []int64           `json:"seeds,omitempty"`
-	Workers     int               `json:"workers,omitempty"`
-	HorizonS    float64           `json:"horizon_s,omitempty"`
-	RunTimeoutS float64           `json:"run_timeout_s,omitempty"`
-	MaxSimTimeS float64           `json:"max_sim_time_s,omitempty"`
-}
-
-type fleetPolicyWire struct {
-	Kind       string  `json:"kind"`
-	ThresholdC float64 `json:"threshold_c,omitempty"`
-	Variant    string  `json:"variant,omitempty"`
-}
+// ---- wire mapping ----
 
 // maxFleetSeconds bounds every wire-supplied duration of a fleet job
 // (horizon, sim-time cap, run timeout): trace generation and
@@ -321,7 +305,8 @@ type fleetPolicyWire struct {
 // CPU/memory lever, not a longer experiment.
 const maxFleetSeconds = 86400
 
-func (r fleetSubmitRequest) spec() (fleet.BatchSpec, error) {
+// fleetSpec maps the wire request onto the runner's BatchSpec.
+func fleetSpec(r api.FleetSubmitRequest) (fleet.BatchSpec, error) {
 	for name, v := range map[string]float64{
 		"horizon_s": r.HorizonS, "run_timeout_s": r.RunTimeoutS, "max_sim_time_s": r.MaxSimTimeS,
 	} {
@@ -339,35 +324,11 @@ func (r fleetSubmitRequest) spec() (fleet.BatchSpec, error) {
 	}
 	for _, p := range r.Policies {
 		spec.Policies = append(spec.Policies, fleet.PolicySpec{
-			Kind: p.Kind, ThresholdC: p.ThresholdC, Variant: p.Variant,
+			Kind: p.Kind, Clusters: p.Clusters, ThresholdC: p.ThresholdC,
+			Variant: p.Variant, Estimator: p.Estimator,
 		})
 	}
 	return spec, nil
-}
-
-type fleetJobStatus struct {
-	ID       string  `json:"id"`
-	Status   string  `json:"status"`
-	Total    int     `json:"total"`
-	Done     int     `json:"done"`
-	Failed   int     `json:"failed"`
-	ElapsedS float64 `json:"elapsed_s"`
-	Error    string  `json:"error,omitempty"`
-}
-
-type fleetResultsResponse struct {
-	fleetJobStatus
-	Result      *fleet.BatchResult     `json:"result"`
-	Ranked      []fleet.RunResult      `json:"ranked,omitempty"`
-	Leaderboard []fleet.LeaderboardRow `json:"leaderboard,omitempty"`
-}
-
-type fleetScenarioInfo struct {
-	Name        string  `json:"name"`
-	Description string  `json:"description"`
-	HorizonS    float64 `json:"horizon_s"`
-	T0C         float64 `json:"t0_c,omitempty"`
-	TMaxC       float64 `json:"tmax_c,omitempty"`
 }
 
 // ---- handlers ----
@@ -392,12 +353,12 @@ func (s *Server) fleetError(w http.ResponseWriter, err error) {
 // the job id to poll. 202 Accepted — the batch runs in the background
 // against the shared engine.
 func (s *Server) handleFleetSubmit(w http.ResponseWriter, r *http.Request) {
-	var req fleetSubmitRequest
+	var req api.FleetSubmitRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	spec, err := req.spec()
+	spec, err := fleetSpec(req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -411,19 +372,23 @@ func (s *Server) handleFleetSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFleetList(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{"jobs": s.fleet.List()})
+	jobs := s.fleet.List()
+	if jobs == nil {
+		jobs = []api.FleetJobStatus{}
+	}
+	s.writeJSON(w, http.StatusOK, api.FleetJobList{Jobs: jobs})
 }
 
 func (s *Server) handleFleetScenarios(w http.ResponseWriter, r *http.Request) {
 	all := s.fleet.runner.Scenarios().All() // already sorted by name
-	infos := make([]fleetScenarioInfo, len(all))
+	infos := make([]api.FleetScenario, len(all))
 	for i, sc := range all {
-		infos[i] = fleetScenarioInfo{
+		infos[i] = api.FleetScenario{
 			Name: sc.Name, Description: sc.Description,
 			HorizonS: sc.Horizon, T0C: sc.T0C, TMaxC: sc.TMaxC,
 		}
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"scenarios": infos})
+	s.writeJSON(w, http.StatusOK, api.FleetScenarioList{Scenarios: infos})
 }
 
 func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
@@ -452,10 +417,13 @@ func (s *Server) handleFleetResults(w http.ResponseWriter, r *http.Request) {
 	job.mu.Lock()
 	res := job.result
 	job.mu.Unlock()
-	resp := fleetResultsResponse{fleetJobStatus: snap, Result: res}
+	resp := api.FleetResultsResponse{FleetJobStatus: snap}
 	if res != nil {
-		resp.Ranked = fleet.Rank(res)
-		resp.Leaderboard = fleet.Leaderboard(res)
+		resp.Result = mustMarshal(res)
+		resp.Ranked = mustMarshal(fleet.Rank(res))
+		resp.Leaderboard = mustMarshal(fleet.Leaderboard(res))
+	} else {
+		resp.Result = json.RawMessage("null")
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

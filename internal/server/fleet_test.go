@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"protemp/api"
 	"protemp/internal/fleet"
 )
 
@@ -40,13 +41,24 @@ func deleteReq(t *testing.T, url string) *http.Response {
 	return resp
 }
 
+// decodeBatchResult parses the RawMessage result payload of a fleet
+// results response ("null" decodes to nil).
+func decodeBatchResult(t *testing.T, raw json.RawMessage) *fleet.BatchResult {
+	t.Helper()
+	var batch *fleet.BatchResult
+	if err := json.Unmarshal(raw, &batch); err != nil {
+		t.Fatalf("batch result payload: %v", err)
+	}
+	return batch
+}
+
 // pollFleetJob polls the status endpoint until the job leaves the
 // running state.
-func pollFleetJob(t *testing.T, baseURL, id string) fleetJobStatus {
+func pollFleetJob(t *testing.T, baseURL, id string) api.FleetJobStatus {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
 	for {
-		var st fleetJobStatus
+		var st api.FleetJobStatus
 		resp := getJSON(t, baseURL+"/v1/fleet/"+id, &st)
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("poll status %d", resp.StatusCode)
@@ -66,9 +78,9 @@ func pollFleetJob(t *testing.T, baseURL, id string) fleetJobStatus {
 func TestFleetJobRoundTrip(t *testing.T) {
 	_, ts := newTestServer(t, fastEngine(t))
 
-	req := fleetSubmitRequest{
+	req := api.FleetSubmitRequest{
 		Scenarios: []string{"mixed", "bursty", "adversarial"},
-		Policies: []fleetPolicyWire{
+		Policies: []api.FleetPolicy{
 			{Kind: "protemp"},
 			{Kind: "no-tc"},
 		},
@@ -76,7 +88,7 @@ func TestFleetJobRoundTrip(t *testing.T) {
 		HorizonS:    2,
 		MaxSimTimeS: 6,
 	}
-	var submitted fleetJobStatus
+	var submitted api.FleetJobStatus
 	resp := postJSON(t, ts.URL+"/v1/fleet", req, &submitted)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit status %d", resp.StatusCode)
@@ -90,18 +102,29 @@ func TestFleetJobRoundTrip(t *testing.T) {
 		t.Fatalf("final status %+v", final)
 	}
 
-	var results fleetResultsResponse
+	var results api.FleetResultsResponse
 	resp = getJSON(t, ts.URL+"/v1/fleet/"+submitted.ID+"/results", &results)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("results status %d", resp.StatusCode)
 	}
-	if results.Result == nil || results.Result.Completed != 6 {
+	batch := decodeBatchResult(t, results.Result)
+	if batch == nil || batch.Completed != 6 {
 		t.Fatalf("results payload %+v", results)
 	}
-	if len(results.Ranked) != 6 || len(results.Leaderboard) != 2 {
-		t.Fatalf("ranked %d / leaderboard %d", len(results.Ranked), len(results.Leaderboard))
+	var (
+		ranked      []fleet.RunResult
+		leaderboard []fleet.LeaderboardRow
+	)
+	if err := json.Unmarshal(results.Ranked, &ranked); err != nil {
+		t.Fatalf("ranked payload: %v", err)
 	}
-	for _, rr := range results.Result.Runs {
+	if err := json.Unmarshal(results.Leaderboard, &leaderboard); err != nil {
+		t.Fatalf("leaderboard payload: %v", err)
+	}
+	if len(ranked) != 6 || len(leaderboard) != 2 {
+		t.Fatalf("ranked %d / leaderboard %d", len(ranked), len(leaderboard))
+	}
+	for _, rr := range batch.Runs {
 		if rr.Summary == nil {
 			t.Fatalf("run %s/%s missing summary", rr.Scenario, rr.Policy)
 		}
@@ -110,7 +133,7 @@ func TestFleetJobRoundTrip(t *testing.T) {
 	// The job list shows it, and /metrics carries the progress
 	// counters and gauges.
 	var list struct {
-		Jobs []fleetJobStatus `json:"jobs"`
+		Jobs []api.FleetJobStatus `json:"jobs"`
 	}
 	getJSON(t, ts.URL+"/v1/fleet", &list)
 	if len(list.Jobs) != 1 || list.Jobs[0].ID != submitted.ID {
@@ -145,14 +168,14 @@ func TestFleetJobRoundTrip(t *testing.T) {
 func TestFleetJobCancel(t *testing.T) {
 	_, ts := newTestServer(t, fastEngine(t))
 
-	req := fleetSubmitRequest{
+	req := api.FleetSubmitRequest{
 		Scenarios: []string{"compute", "diurnal", "mixed"},
-		Policies:  []fleetPolicyWire{{Kind: "no-tc"}, {Kind: "basic-dfs"}},
+		Policies:  []api.FleetPolicy{{Kind: "no-tc"}, {Kind: "basic-dfs"}},
 		Seeds:     []int64{1, 2, 3, 4},
 		Workers:   1,
 		HorizonS:  30, // deliberately slow so the cancel lands mid-batch
 	}
-	var submitted fleetJobStatus
+	var submitted api.FleetJobStatus
 	if resp := postJSON(t, ts.URL+"/v1/fleet", req, &submitted); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit status %d", resp.StatusCode)
 	}
@@ -166,14 +189,15 @@ func TestFleetJobCancel(t *testing.T) {
 	if final.Status != jobCancelled {
 		t.Fatalf("status after cancel: %+v", final)
 	}
-	var results fleetResultsResponse
+	var results api.FleetResultsResponse
 	if resp := getJSON(t, ts.URL+"/v1/fleet/"+submitted.ID+"/results", &results); resp.StatusCode != http.StatusOK {
 		t.Fatalf("post-cancel results: status %d", resp.StatusCode)
 	}
-	if results.Result == nil || len(results.Result.Runs) != 24 {
-		t.Fatalf("partial results %+v", results.Result)
+	batch := decodeBatchResult(t, results.Result)
+	if batch == nil || len(batch.Runs) != 24 {
+		t.Fatalf("partial results %+v", batch)
 	}
-	if results.Result.Skipped == 0 {
+	if batch.Skipped == 0 {
 		t.Fatal("cancelled job skipped nothing — it ran to completion")
 	}
 }
@@ -181,13 +205,13 @@ func TestFleetJobCancel(t *testing.T) {
 func TestFleetSubmitValidation(t *testing.T) {
 	srv, ts := newTestServer(t, fastEngine(t))
 
-	cases := []fleetSubmitRequest{
+	cases := []api.FleetSubmitRequest{
 		{},
-		{Scenarios: []string{"no-such"}, Policies: []fleetPolicyWire{{Kind: "no-tc"}}},
-		{Scenarios: []string{"mixed"}, Policies: []fleetPolicyWire{{Kind: "bogus"}}},
-		{Scenarios: []string{"mixed"}, Policies: []fleetPolicyWire{{Kind: "no-tc"}}, RunTimeoutS: -1},
-		{Scenarios: []string{"mixed"}, Policies: []fleetPolicyWire{{Kind: "no-tc"}}, HorizonS: 1e300},
-		{Scenarios: []string{"mixed"}, Policies: []fleetPolicyWire{{Kind: "no-tc"}}, MaxSimTimeS: maxFleetSeconds + 1},
+		{Scenarios: []string{"no-such"}, Policies: []api.FleetPolicy{{Kind: "no-tc"}}},
+		{Scenarios: []string{"mixed"}, Policies: []api.FleetPolicy{{Kind: "bogus"}}},
+		{Scenarios: []string{"mixed"}, Policies: []api.FleetPolicy{{Kind: "no-tc"}}, RunTimeoutS: -1},
+		{Scenarios: []string{"mixed"}, Policies: []api.FleetPolicy{{Kind: "no-tc"}}, HorizonS: 1e300},
+		{Scenarios: []string{"mixed"}, Policies: []api.FleetPolicy{{Kind: "no-tc"}}, MaxSimTimeS: maxFleetSeconds + 1},
 	}
 	for i, req := range cases {
 		if resp := postJSON(t, ts.URL+"/v1/fleet", req, nil); resp.StatusCode != http.StatusBadRequest {
@@ -200,9 +224,9 @@ func TestFleetSubmitValidation(t *testing.T) {
 	for i := range seeds {
 		seeds[i] = int64(i)
 	}
-	big := fleetSubmitRequest{
+	big := api.FleetSubmitRequest{
 		Scenarios: []string{"mixed"},
-		Policies:  []fleetPolicyWire{{Kind: "no-tc"}},
+		Policies:  []api.FleetPolicy{{Kind: "no-tc"}},
 		Seeds:     seeds,
 	}
 	if resp := postJSON(t, ts.URL+"/v1/fleet", big, nil); resp.StatusCode != http.StatusBadRequest {
@@ -214,7 +238,7 @@ func TestFleetSubmitValidation(t *testing.T) {
 	}
 
 	var scen struct {
-		Scenarios []fleetScenarioInfo `json:"scenarios"`
+		Scenarios []api.FleetScenario `json:"scenarios"`
 	}
 	getJSON(t, ts.URL+"/v1/fleet/scenarios", &scen)
 	if len(scen.Scenarios) != len(fleet.Builtin().Names()) {
@@ -228,7 +252,7 @@ func TestGridBounds(t *testing.T) {
 	srv, ts := newTestServer(t, fastEngine(t))
 
 	// 100×100 = 10000 points > the 4096 default cap.
-	big := tablesRequest{KeyOnly: true}
+	big := api.TablesRequest{KeyOnly: true}
 	for i := 0; i < 100; i++ {
 		big.TStartsC = append(big.TStartsC, 40+float64(i)/2)
 		big.FTargetsHz = append(big.FTargetsHz, float64(i+1)*1e7)
@@ -271,7 +295,7 @@ func TestGridBounds(t *testing.T) {
 	}
 
 	// A valid in-bounds request still succeeds end to end.
-	if resp := postJSON(t, ts.URL+"/v1/optimize", optimizeRequest{TStartC: 60, FTargetHz: 5e8}, nil); resp.StatusCode != http.StatusOK {
+	if resp := postJSON(t, ts.URL+"/v1/optimize", api.OptimizeRequest{TStartC: 60, FTargetHz: 5e8}, nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("valid optimize rejected: %d", resp.StatusCode)
 	}
 

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"protemp"
+	"protemp/api"
 	"protemp/internal/metrics"
 	"protemp/internal/obs"
 )
@@ -118,14 +119,14 @@ func TestDebugTracesDMPCFallback(t *testing.T) {
 	)
 	_, ts := newTestServer(t, engine)
 
-	var info sessionInfoResponse
+	var info api.SessionInfo
 	resp := postJSON(t, ts.URL+"/v1/sessions", map[string]any{"mode": "dmpc"}, &info)
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("create dmpc session: status %d", resp.StatusCode)
 	}
-	var step stepResponse
+	var step api.StepResponse
 	resp = postJSON(t, ts.URL+"/v1/sessions/"+info.ID+"/step",
-		stepRequest{MaxCoreTempC: 60, RequiredFreqHz: 5e8}, &step)
+		api.StepRequest{MaxCoreTempC: 60, RequiredFreqHz: 5e8}, &step)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("step: status %d", resp.StatusCode)
 	}
@@ -136,7 +137,7 @@ func TestDebugTracesDMPCFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	var list struct {
-		Traces []traceSummary `json:"traces"`
+		Traces []api.TraceSummary `json:"traces"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
 		t.Fatalf("decode listing: %v", err)

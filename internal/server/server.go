@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -12,14 +13,19 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"protemp"
+	"protemp/api"
+	"protemp/client"
+	"protemp/internal/cluster"
 	"protemp/internal/core"
 	"protemp/internal/linalg"
 	"protemp/internal/metrics"
 	"protemp/internal/sim"
+	"protemp/internal/tablestore"
 	"protemp/internal/workload"
 )
 
@@ -27,6 +33,16 @@ import (
 // serving defaults.
 type Config struct {
 	Engine *protemp.Engine
+	// Cluster, when non-nil, makes this node a member of a multi-node
+	// control plane: session requests whose ring owner is a peer are
+	// transparently proxied (single hop), GET /v1/tables/{key} serves
+	// this node's stored tables to peers, and the cluster's proxy
+	// counters merge into /metrics. Nil serves single-node.
+	Cluster *cluster.Cluster
+	// Admission tunes load shedding (create degradation keyed off the
+	// live step-latency p95, bounded step queue). The zero value leaves
+	// both gates off.
+	Admission cluster.AdmissionConfig
 	// Shards is the session-manager shard count (default 16).
 	Shards int
 	// SessionTTL expires sessions idle longer than this (default 15
@@ -61,18 +77,40 @@ type Config struct {
 	now func() time.Time
 }
 
+// tableSpecArgs are the grid arguments behind one known table cache
+// key, enough to regenerate the table on demand for a peer fetch. Nil
+// grids select the engine defaults.
+type tableSpecArgs struct {
+	ts, fs []float64
+	v      core.Variant
+}
+
+// maxKnownSpecs bounds the known-spec map: keys are content hashes, so
+// the map can only grow, and a peer must not be able to balloon it
+// with throwaway grids.
+const maxKnownSpecs = 256
+
 // Server serves the thermal control plane over HTTP/JSON. Create with
 // New, mount via Handler (it also implements http.Handler directly),
 // and call Shutdown to drain gracefully.
 type Server struct {
-	engine   *protemp.Engine
-	sessions *sessionManager
-	fleet    *fleetManager
-	reg      *metrics.Registry
-	mux      *http.ServeMux
-	cfg      Config
-	log      *slog.Logger
-	reqID    atomic.Uint64
+	engine    *protemp.Engine
+	cluster   *cluster.Cluster // nil = single node
+	admission *cluster.Admission
+	sessions  *sessionManager
+	fleet     *fleetManager
+	reg       *metrics.Registry
+	mux       *http.ServeMux
+	cfg       Config
+	log       *slog.Logger
+	reqID     atomic.Uint64
+
+	// knownSpecs maps table cache keys this node can regenerate to
+	// their grid arguments; handleTableGet falls back to it when the
+	// local tiers miss, so a cluster-wide cold start funnels into the
+	// owner's singleflight (exactly one Phase-1 sweep per spec).
+	specMu     sync.Mutex
+	knownSpecs map[string]tableSpecArgs
 
 	requests      *metrics.Counter
 	errorsCount   *metrics.Counter
@@ -81,7 +119,11 @@ type Server struct {
 	// all sensed streams — the sensor-health alarm signal.
 	streamDegraded *metrics.Counter
 	tableRequests  *metrics.Counter
+	tableServes    *metrics.Counter
 	optimizes      *metrics.Counter
+	// deprecatedOnline counts session creates still using the retired
+	// `online` field — drop the shim when this stays zero.
+	deprecatedOnline *metrics.Counter
 }
 
 // New builds a Server and starts its session reaper.
@@ -115,22 +157,35 @@ func New(cfg Config) (*Server, error) {
 	}
 	reg := metrics.NewRegistry()
 	s := &Server{
-		engine:         cfg.Engine,
-		sessions:       newSessionManager(cfg.Shards, cfg.SessionTTL, cfg.ReapInterval, reg, cfg.now),
-		fleet:          newFleetManager(cfg.Engine, cfg.MaxFleetRuns, cfg.MaxFleetJobs, reg, cfg.now),
-		reg:            reg,
-		mux:            http.NewServeMux(),
-		cfg:            cfg,
-		log:            cfg.Logger,
-		requests:       reg.Counter("http_requests"),
-		errorsCount:    reg.Counter("http_errors"),
-		streamWindows:  reg.Counter("stream_windows"),
-		streamDegraded: reg.Counter("stream_degraded_windows"),
-		tableRequests:  reg.Counter("table_requests"),
-		optimizes:      reg.Counter("optimize_requests"),
+		engine:           cfg.Engine,
+		cluster:          cfg.Cluster,
+		sessions:         newSessionManager(cfg.Shards, cfg.SessionTTL, cfg.ReapInterval, reg, cfg.now),
+		fleet:            newFleetManager(cfg.Engine, cfg.MaxFleetRuns, cfg.MaxFleetJobs, reg, cfg.now),
+		reg:              reg,
+		mux:              http.NewServeMux(),
+		cfg:              cfg,
+		log:              cfg.Logger,
+		knownSpecs:       make(map[string]tableSpecArgs),
+		requests:         reg.Counter("http_requests"),
+		errorsCount:      reg.Counter("http_errors"),
+		streamWindows:    reg.Counter("stream_windows"),
+		streamDegraded:   reg.Counter("stream_degraded_windows"),
+		tableRequests:    reg.Counter("table_requests"),
+		tableServes:      reg.Counter("table_peer_serves"),
+		optimizes:        reg.Counter("optimize_requests"),
+		deprecatedOnline: reg.Counter("deprecated_online_requests"),
+	}
+	s.admission = cluster.NewAdmission(cfg.Admission, func() (uint64, uint64) {
+		return cfg.Engine.StepLatencyQuantile(0.95)
+	}, reg)
+	// The default-grid tables of every variant are always regenerable
+	// for peers; explicit grids register as POST /v1/tables sees them.
+	for _, v := range []core.Variant{core.VariantVariable, core.VariantUniform, core.VariantGradient} {
+		s.registerSpec(cfg.Engine.TableKey(nil, nil, v), tableSpecArgs{v: v})
 	}
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/tables", s.handleTables)
+	s.mux.HandleFunc("GET /v1/tables/{key}", s.handleTableGet)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleSessionStep)
@@ -158,7 +213,7 @@ func (s *Server) Handler() http.Handler { return s }
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
 	id := s.reqID.Add(1)
-	w.Header().Set("X-Request-Id", strconv.FormatUint(id, 10))
+	w.Header().Set(api.HeaderRequestID, strconv.FormatUint(id, 10))
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
 	start := time.Now()
@@ -220,158 +275,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // SessionCount returns the number of live sessions.
 func (s *Server) SessionCount() int { return s.sessions.Len() }
 
-// ---- wire types ----
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-type optimizeRequest struct {
-	TStartC   float64 `json:"tstart_c"`
-	FTargetHz float64 `json:"ftarget_hz"`
-	Variant   string  `json:"variant,omitempty"`
-}
-
-type assignmentResponse struct {
-	Feasible    bool      `json:"feasible"`
-	FreqsHz     []float64 `json:"freqs_hz,omitempty"`
-	PowersW     []float64 `json:"powers_w,omitempty"`
-	AvgFreqHz   float64   `json:"avg_freq_hz,omitempty"`
-	TotalPowerW float64   `json:"total_power_w,omitempty"`
-	PeakTempC   float64   `json:"peak_temp_c,omitempty"`
-	TGradC      float64   `json:"tgrad_c,omitempty"`
-	NewtonIters int       `json:"newton_iters,omitempty"`
-}
-
-type tablesRequest struct {
-	TStartsC   []float64 `json:"tstarts_c,omitempty"`
-	FTargetsHz []float64 `json:"ftargets_hz,omitempty"`
-	Variant    string    `json:"variant,omitempty"`
-	// KeyOnly skips the table payload in the response — useful to warm
-	// the cache/store or discover the store filename without shipping
-	// the grid back.
-	KeyOnly bool `json:"key_only,omitempty"`
-}
-
-type tablesResponse struct {
-	Key   string      `json:"key"`
-	Table *core.Table `json:"table,omitempty"`
-}
-
-type sessionCreateRequest struct {
-	// Mode selects the session kind: "table" (default), "online" (one
-	// convex solve per step on the full thermal map) or "dmpc" (the
-	// chip partitioned into clusters solved in parallel under ADMM
-	// boundary consensus — the many-core mode).
-	Mode string `json:"mode,omitempty"`
-	// Online is the pre-Mode spelling of mode "online", kept for
-	// existing clients; Mode wins when both are set.
-	Online bool `json:"online,omitempty"`
-}
-
-type sessionInfoResponse struct {
-	ID   string `json:"id"`
-	Mode string `json:"mode"`
-	// Online mirrors Mode == "online" for pre-Mode clients.
-	Online     bool    `json:"online"`
-	NumCores   int     `json:"num_cores"`
-	WindowS    float64 `json:"window_s"`
-	Steps      uint64  `json:"steps"`
-	Downgrades uint64  `json:"downgrades"`
-	Idles      uint64  `json:"idles"`
-	Solves     uint64  `json:"solves"`
-	// WarmHits / WarmRejects report an online or dmpc session's
-	// warm-start effectiveness (always zero for table sessions).
-	WarmHits    uint64 `json:"warm_hits"`
-	WarmRejects uint64 `json:"warm_rejects"`
-	// Consensus-layer accounting of a dmpc session (zero otherwise):
-	// partition size, total ADMM outer iterations and windows that
-	// walked the fallback ladder.
-	Clusters   int    `json:"clusters,omitempty"`
-	OuterIters uint64 `json:"outer_iters,omitempty"`
-	Fallbacks  uint64 `json:"fallbacks,omitempty"`
-}
-
-type stepRequest struct {
-	MaxCoreTempC   float64   `json:"max_core_temp_c"`
-	RequiredFreqHz float64   `json:"required_freq_hz"`
-	BlockTempsC    []float64 `json:"block_temps_c,omitempty"`
-	// SensingDegraded marks the observed state as pure prediction or
-	// held-over readings (a fully blind sensor window): an online
-	// session drops its warm solver state so the blind window's optimum
-	// never seeds the next real solve.
-	SensingDegraded bool `json:"sensing_degraded,omitempty"`
-}
-
-type stepResponse struct {
-	FreqsHz []float64 `json:"freqs_hz"`
-	Steps   uint64    `json:"steps"`
-}
-
-type streamRequest struct {
-	// Windows bounds how many DFS windows to drive (default: until the
-	// workload drains, capped by the server's StreamWindowCap).
-	Windows int `json:"windows,omitempty"`
-	// Tasks is an explicit workload (arrival-ordered). When empty a
-	// synthetic mixed trace is generated from Seed/DurationS/Utilization.
-	Tasks []streamTask `json:"tasks,omitempty"`
-	// Seed / DurationS / Utilization parameterize the synthetic trace
-	// (defaults 1 / one window per requested step / 0.7).
-	Seed        int64   `json:"seed,omitempty"`
-	DurationS   float64 `json:"duration_s,omitempty"`
-	Utilization float64 `json:"utilization,omitempty"`
-	// T0C is the uniform initial temperature (default model ambient).
-	T0C float64 `json:"t0_c,omitempty"`
-	// Sensing, when present, interposes the imperfect measurement path:
-	// the session observes degraded sensor readings (optionally filtered
-	// through the configured estimator) instead of the true
-	// temperatures, and the closing summary reports the sense counters.
-	Sensing *sim.Sensing `json:"sensing,omitempty"`
-}
-
-type streamTask struct {
-	ArrivalS float64 `json:"arrival_s"`
-	WorkS    float64 `json:"work_s"`
-}
-
-// streamWindow is one NDJSON line of a stream response.
-type streamWindow struct {
-	Window         int       `json:"window"`
-	TimeS          float64   `json:"t_s"`
-	MaxCoreTempC   float64   `json:"max_core_temp_c"`
-	RequiredFreqHz float64   `json:"required_freq_hz"`
-	FreqsHz        []float64 `json:"freqs_hz"`
-	QueueLen       int       `json:"queue_len"`
-	// SensingDegraded marks a fully blind sensor window (sensed streams
-	// only): the reported temperatures are predictions or held-over
-	// readings, and the session's warm solver state was invalidated.
-	SensingDegraded bool `json:"sensing_degraded,omitempty"`
-	Done            bool `json:"done"`
-}
-
-// streamSummary is the final NDJSON line.
-type streamSummary struct {
-	Summary struct {
-		Windows       int     `json:"windows"`
-		SimTimeS      float64 `json:"sim_time_s"`
-		Completed     int     `json:"completed"`
-		Unfinished    int     `json:"unfinished"`
-		MaxCoreTempC  float64 `json:"max_core_temp_c"`
-		ViolationFrac float64 `json:"violation_frac"`
-		EnergyJ       float64 `json:"energy_j"`
-		// Sense carries the imperfect-sensing counters and estimator
-		// accuracy of a sensed stream (absent otherwise).
-		Sense *sim.SenseSummary `json:"sense,omitempty"`
-	} `json:"summary"`
-}
-
 // ---- helpers ----
 
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	s.errorsCount.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+	json.NewEncoder(w).Encode(api.Error{Message: fmt.Sprintf(format, args...)})
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -392,6 +302,17 @@ func decodeJSON(r *http.Request, v any) error {
 		return err
 	}
 	return nil
+}
+
+// mustMarshal renders a trusted in-process value for a RawMessage
+// field; these values round-tripped through json elsewhere already, so
+// a failure is a programming error worth surfacing loudly in the body.
+func mustMarshal(v any) json.RawMessage {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		raw, _ = json.Marshal(map[string]string{"marshal_error": err.Error()})
+	}
+	return raw
 }
 
 func parseVariant(name string, def core.Variant) (core.Variant, error) {
@@ -435,31 +356,110 @@ func (s *Server) sessionError(w http.ResponseWriter, err error) {
 	}
 }
 
+// ---- cluster routing ----
+
+// forwarded reports whether a peer already proxied this request: it
+// must be served locally (single-hop rule).
+func forwarded(r *http.Request) bool {
+	return r.Header.Get(api.HeaderForwarded) != ""
+}
+
+// sessionPeer resolves where a session request belongs: the peer to
+// proxy to, or nil to serve locally (single node, forwarded request,
+// or this node owns the id).
+func (s *Server) sessionPeer(r *http.Request, id string) *cluster.Peer {
+	if s.cluster == nil || forwarded(r) {
+		return nil
+	}
+	p, remote := s.cluster.SessionOwner(id)
+	if !remote {
+		return nil
+	}
+	return p
+}
+
+// proxyError maps a failed proxied call onto this node's response: the
+// owner's own API verdict (status, message, Retry-After) passes
+// through untouched; breaker refusals and transport failures become
+// 503 with a retry hint, since the cluster may heal.
+func (s *Server) proxyError(w http.ResponseWriter, err error) {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		if apiErr.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(apiErr.RetryAfter.Seconds())))
+		}
+		s.writeError(w, apiErr.Status, "%s", apiErr.Message)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	if errors.Is(err, cluster.ErrBreakerOpen) {
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.writeError(w, http.StatusServiceUnavailable, "cluster: session owner unreachable: %v", err)
+}
+
+// registerSpec remembers the grid behind a table cache key so
+// handleTableGet can regenerate it for peers. The map is bounded;
+// beyond the cap new specs are simply not remembered (peers then fall
+// back to generating locally — correctness is unaffected).
+func (s *Server) registerSpec(key string, args tableSpecArgs) {
+	s.specMu.Lock()
+	defer s.specMu.Unlock()
+	if _, ok := s.knownSpecs[key]; ok {
+		return
+	}
+	if len(s.knownSpecs) >= maxKnownSpecs {
+		return
+	}
+	s.knownSpecs[key] = args
+}
+
+func (s *Server) lookupSpec(key string) (tableSpecArgs, bool) {
+	s.specMu.Lock()
+	defer s.specMu.Unlock()
+	args, ok := s.knownSpecs[key]
+	return args, ok
+}
+
 // ---- handlers ----
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"sessions": s.sessions.Len(),
-	})
+	h := api.Health{Status: "ok", Sessions: s.sessions.Len()}
+	if s.cluster != nil {
+		h.Node = s.cluster.Self()
+		h.Peers = s.cluster.Size()
+	}
+	s.writeJSON(w, http.StatusOK, h)
 }
 
-// handleMetrics merges the engine's counters (table cache and store)
-// with the serving counters and gauges (active sessions, in-flight
-// fleet runs and jobs) into one flat JSON object, or — when the Accept
-// header asks for text/plain or OpenMetrics — the same samples in the
-// Prometheus text exposition format, so a scrape_config needs nothing
-// beyond the endpoint. JSON stays the default for existing clients.
+// handleMetrics merges the engine's counters (table cache and store),
+// the serving counters and gauges (active sessions, in-flight fleet
+// runs and jobs) and — on a cluster member — the proxy/peer-tier
+// counters into one flat JSON object, or, when the Accept header asks
+// for text/plain or OpenMetrics, the same samples in the Prometheus
+// text exposition format, so a scrape_config needs nothing beyond the
+// endpoint. JSON stays the default for existing clients.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	merged := s.engine.MetricsSnapshot()
 	for name, v := range s.reg.Snapshot() {
 		merged[name] = v
+	}
+	if s.cluster != nil {
+		for name, v := range s.cluster.Registry().Snapshot() {
+			merged[name] = v
+		}
 	}
 	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") ||
 		strings.Contains(accept, "openmetrics") {
 		kinds := s.engine.MetricsKinds()
 		for name, kind := range s.reg.Kinds() {
 			kinds[name] = kind
+		}
+		if s.cluster != nil {
+			for name, kind := range s.cluster.Registry().Kinds() {
+				kinds[name] = kind
+			}
 		}
 		w.Header().Set("Content-Type", metrics.PrometheusContentType)
 		metrics.WritePrometheus(w, merged, kinds, metrics.BuildInfo{
@@ -476,18 +476,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(merged)
 }
 
-// traceSummary is one row of the /debug/traces listing; the full span
-// tree of a trace hangs off /debug/traces/{id}.
-type traceSummary struct {
-	ID        uint64    `json:"id"`
-	Mode      string    `json:"mode"`
-	Start     time.Time `json:"start"`
-	ElapsedMs float64   `json:"elapsed_ms"`
-	Solves    int       `json:"solves"`
-	Err       string    `json:"err,omitempty"`
-	Fallback  string    `json:"fallback,omitempty"`
-}
-
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	fr := s.engine.FlightRecorder()
 	if fr == nil {
@@ -495,9 +483,9 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	traces := fr.Traces()
-	out := make([]traceSummary, 0, len(traces))
+	out := api.TraceList{Traces: make([]api.TraceSummary, 0, len(traces))}
 	for _, tr := range traces {
-		out = append(out, traceSummary{
+		out.Traces = append(out.Traces, api.TraceSummary{
 			ID:        tr.ID,
 			Mode:      tr.Mode,
 			Start:     tr.Start,
@@ -507,7 +495,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 			Fallback:  tr.FallbackRung,
 		})
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"traces": out})
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
@@ -531,7 +519,7 @@ func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	s.optimizes.Inc()
-	var req optimizeRequest
+	var req api.OptimizeRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
@@ -553,7 +541,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "optimize: %v", err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, assignmentResponse{
+	s.writeJSON(w, http.StatusOK, api.Assignment{
 		Feasible:    a.Feasible,
 		FreqsHz:     a.Freqs,
 		PowersW:     a.Powers,
@@ -571,7 +559,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 // a restarted server serves it from disk.
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	s.tableRequests.Inc()
-	var req tablesRequest
+	var req api.TablesRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
@@ -593,6 +581,10 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "table: %v", err)
 		return
 	}
+	key := s.engine.TableKey(ts, fs, v)
+	// Remember the grid behind the key before generating, so a peer
+	// racing the same cold start can already resolve it against us.
+	s.registerSpec(key, tableSpecArgs{ts: ts, fs: fs, v: v})
 	table, err := s.engine.GenerateTableGrid(r.Context(), ts, fs, v)
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -601,26 +593,128 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "table: %v", err)
 		return
 	}
-	resp := tablesResponse{Key: s.engine.TableKey(ts, fs, v)}
+	resp := api.TablesResponse{Key: key}
 	if !req.KeyOnly {
-		resp.Table = table
+		resp.Table = mustMarshal(table)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleTableGet serves one stored table by its content-addressed key
+// in the versioned tablestore envelope — the peer tier of the cluster
+// table store. Local cache/store tiers answer first; a miss on a key
+// whose grid this node knows falls into the engine's singleflight
+// generation (so a cluster-wide cold start runs exactly one Phase-1
+// sweep, on the key's owner); anything else is 404 and the asking peer
+// generates for itself.
+func (s *Server) handleTableGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	table, ok := s.engine.LookupTable(key)
+	if !ok {
+		args, known := s.lookupSpec(key)
+		if !known {
+			s.writeError(w, http.StatusNotFound, "table %q not stored on this node", key)
+			return
+		}
+		var err error
+		table, err = s.engine.GenerateTableGrid(r.Context(), args.ts, args.fs, args.v)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			s.writeError(w, http.StatusInternalServerError, "table: %v", err)
+			return
+		}
+	}
+	s.tableServes.Inc()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	if err := tablestore.Encode(w, table); err != nil {
+		// Headers are gone; the truncated body fails the peer's
+		// checksum, which is the failure mode we want.
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "table serve failed",
+			slog.String("key", key), slog.String("err", err.Error()))
+	}
+}
+
+// sessionCreateWire is api.SessionCreateRequest plus the deprecated
+// pre-Mode `online` flag old clients still send. Only the server
+// carries the shim; the public api struct no longer names the field.
+type sessionCreateWire struct {
+	api.SessionCreateRequest
+	// Online is the deprecated spelling of mode "online"; Mode wins
+	// when both are set.
+	Online *bool `json:"online,omitempty"`
+}
+
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
-	var req sessionCreateRequest
-	if err := decodeJSON(r, &req); err != nil {
+	var wire sessionCreateWire
+	if err := decodeJSON(r, &wire); err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
+	req := wire.SessionCreateRequest
+	if wire.Online != nil {
+		s.deprecatedOnline.Inc()
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "deprecated session create field",
+			slog.String("field", "online"),
+			slog.String("hint", `use "mode": "online" instead; the online field will be removed`))
+		if req.Mode == "" && *wire.Online {
+			req.Mode = "online"
+		}
+	}
 	mode := req.Mode
 	if mode == "" {
-		if req.Online {
-			mode = "online"
-		} else {
-			mode = "table"
+		mode = "table"
+	}
+	switch mode {
+	case "table", "online", "dmpc":
+	default:
+		s.writeError(w, http.StatusBadRequest, "session: unknown mode %q (want table, online or dmpc)", mode)
+		return
+	}
+
+	id := req.ID
+	if !forwarded(r) {
+		if id != "" {
+			s.writeError(w, http.StatusBadRequest, "session: id is assigned by the server (the field is reserved for cluster forwarding)")
+			return
 		}
+		var err error
+		id, err = newSessionID()
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if s.cluster != nil {
+			if p, remote := s.cluster.SessionOwner(id); remote {
+				var info api.SessionInfo
+				err := s.cluster.Call(p, func(cl *client.Client) error {
+					out, cerr := cl.CreateSession(r.Context(), api.SessionCreateRequest{Mode: req.Mode, ID: id})
+					info = out
+					return cerr
+				})
+				if err != nil {
+					s.proxyError(w, err)
+					return
+				}
+				s.writeJSON(w, http.StatusCreated, info)
+				return
+			}
+		}
+	} else if id == "" {
+		// A forwarded create without a pinned id would land on a node
+		// that does not own it; refuse rather than strand the session.
+		s.writeError(w, http.StatusBadRequest, "session: forwarded create without an id")
+		return
+	}
+
+	// Admission: under solve-latency overload a new solver-backed
+	// session is accepted but served by the table-driven policy.
+	degraded := false
+	if (mode == "online" || mode == "dmpc") && s.admission.DegradeCreate() {
+		degraded = true
+		mode = "table"
 	}
 	var (
 		sess *protemp.Session
@@ -644,8 +738,9 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case "table":
-		// Table generation (or cache/store hit) happens here, under
-		// the request context: a cancelled create aborts the sweep.
+		// Table generation (or cache/store/peer hit) happens here,
+		// under the request context: a cancelled create aborts the
+		// sweep.
 		sess, err = s.engine.NewSession(r.Context())
 		if err != nil {
 			if r.Context().Err() != nil {
@@ -654,26 +749,23 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusInternalServerError, "session: %v", err)
 			return
 		}
-	default:
-		s.writeError(w, http.StatusBadRequest, "session: unknown mode %q (want table, online or dmpc)", mode)
-		return
 	}
-	id, err := s.sessions.Add(sess, mode == "online")
+	ms, err := s.sessions.Add(id, sess, mode, degraded)
 	if err != nil {
 		s.sessionError(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusCreated, s.sessionInfo(id, sess))
+	s.writeJSON(w, http.StatusCreated, s.sessionInfo(ms))
 }
 
-func (s *Server) sessionInfo(id string, sess *protemp.Session) sessionInfoResponse {
-	steps, downgrades, idles, solves := sess.Stats()
-	warmHits, warmRejects := sess.WarmStats()
-	outer, fallbacks := sess.ADMMStats()
-	return sessionInfoResponse{
-		ID:          id,
-		Mode:        sess.Mode(),
-		Online:      sess.Online(),
+func (s *Server) sessionInfo(ms *managedSession) api.SessionInfo {
+	steps, downgrades, idles, solves := ms.sess.Stats()
+	warmHits, warmRejects := ms.sess.WarmStats()
+	outer, fallbacks := ms.sess.ADMMStats()
+	info := api.SessionInfo{
+		ID:          ms.id,
+		Mode:        ms.sess.Mode(),
+		Degraded:    ms.degraded,
 		NumCores:    s.engine.Chip().NumCores(),
 		WindowS:     s.engine.WindowSeconds(),
 		Steps:       steps,
@@ -682,24 +774,55 @@ func (s *Server) sessionInfo(id string, sess *protemp.Session) sessionInfoRespon
 		Solves:      solves,
 		WarmHits:    warmHits,
 		WarmRejects: warmRejects,
-		Clusters:    sess.Clusters(),
+		Clusters:    ms.sess.Clusters(),
 		OuterIters:  outer,
 		Fallbacks:   fallbacks,
 	}
+	if s.cluster != nil {
+		info.Node = s.cluster.Self()
+	}
+	return info
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
-	ms, release, err := s.sessions.Acquire(r.PathValue("id"))
+	id := r.PathValue("id")
+	if p := s.sessionPeer(r, id); p != nil {
+		var info api.SessionInfo
+		err := s.cluster.Call(p, func(cl *client.Client) error {
+			out, cerr := cl.Session(r.Context(), id)
+			info = out
+			return cerr
+		})
+		if err != nil {
+			s.proxyError(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, info)
+		return
+	}
+	ms, release, err := s.sessions.Acquire(id)
 	if err != nil {
 		s.sessionError(w, err)
 		return
 	}
 	defer release()
-	s.writeJSON(w, http.StatusOK, s.sessionInfo(ms.id, ms.sess))
+	s.writeJSON(w, http.StatusOK, s.sessionInfo(ms))
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.sessions.Remove(r.PathValue("id")) {
+	id := r.PathValue("id")
+	if p := s.sessionPeer(r, id); p != nil {
+		err := s.cluster.Call(p, func(cl *client.Client) error {
+			return cl.DeleteSession(r.Context(), id)
+		})
+		if err != nil {
+			s.proxyError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if !s.sessions.Remove(id) {
 		s.writeError(w, http.StatusNotFound, "%v", ErrSessionNotFound)
 		return
 	}
@@ -707,17 +830,47 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
-	var req stepRequest
+	var req api.StepRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	ms, release, err := s.sessions.Acquire(r.PathValue("id"))
+	id := r.PathValue("id")
+	if p := s.sessionPeer(r, id); p != nil {
+		var out api.StepResponse
+		err := s.cluster.Call(p, func(cl *client.Client) error {
+			resp, cerr := cl.Step(r.Context(), id, req)
+			out = resp
+			return cerr
+		})
+		if err != nil {
+			s.proxyError(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, out)
+		return
+	}
+	ms, release, err := s.sessions.Acquire(id)
 	if err != nil {
 		s.sessionError(w, err)
 		return
 	}
 	defer release()
+	// Admission: solver-backed steps are bounded; past the queue the
+	// client gets 429 + Retry-After instead of a goroutine pile-up.
+	// Table lookups are a few array reads and pass unthrottled.
+	if ms.mode != "table" {
+		releaseStep, err := s.admission.AcquireStep(r.Context())
+		if err != nil {
+			if errors.Is(err, cluster.ErrOverloaded) {
+				w.Header().Set("Retry-After", strconv.Itoa(int(s.admission.RetryAfter().Seconds())))
+				s.writeError(w, http.StatusTooManyRequests, "step: %v", err)
+				return
+			}
+			return // context cancelled while queued
+		}
+		defer releaseStep()
+	}
 	freqs, err := ms.sess.Step(r.Context(), protemp.State{
 		MaxCoreTemp:     req.MaxCoreTempC,
 		RequiredFreq:    req.RequiredFreqHz,
@@ -733,21 +886,32 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 	}
 	s.sessions.steps.Inc()
 	steps, _, _, _ := ms.sess.Stats()
-	s.writeJSON(w, http.StatusOK, stepResponse{FreqsHz: freqs, Steps: steps})
+	s.writeJSON(w, http.StatusOK, api.StepResponse{FreqsHz: freqs, Steps: steps})
 }
 
 // handleSessionStream drives a sim.Stepper window-at-a-time under the
 // session's controller and streams one NDJSON object per DFS window,
 // closing with a summary line. The stream pins the session, so the
 // idle reaper cannot expire it mid-run, and graceful drain waits for
-// the stream to finish.
+// the stream to finish. On a non-owner node the stream is relayed
+// byte-for-byte from the owner, flushing as lines arrive.
 func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
-	var req streamRequest
+	var req api.StreamRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	ms, release, err := s.sessions.Acquire(r.PathValue("id"))
+	id := r.PathValue("id")
+	if p := s.sessionPeer(r, id); p != nil {
+		s.proxyStream(w, r, p, id, req)
+		return
+	}
+	sensing, err := decodeSensing(req.Sensing)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "stream: %v", err)
+		return
+	}
+	ms, release, err := s.sessions.Acquire(id)
 	if err != nil {
 		s.sessionError(w, err)
 		return
@@ -773,7 +937,7 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 		TMax:    s.engine.TMax(),
 		T0:      req.T0C,
 		MaxTime: float64(maxWindows+1) * s.engine.WindowSeconds(),
-		Sensing: req.Sensing,
+		Sensing: sensing,
 	})
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "stream: %v", err)
@@ -799,11 +963,11 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 		})
 		if err != nil {
 			// Headers are gone; report in-band and stop.
-			enc.Encode(errorResponse{Error: fmt.Sprintf("step: %v", err)})
+			enc.Encode(api.Error{Message: fmt.Sprintf("step: %v", err)})
 			return
 		}
 		if err := stepper.StepWith(linalg.VectorOf(freqs...)); err != nil {
-			enc.Encode(errorResponse{Error: fmt.Sprintf("advance: %v", err)})
+			enc.Encode(api.Error{Message: fmt.Sprintf("advance: %v", err)})
 			return
 		}
 		windows++
@@ -812,7 +976,7 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 		if st.SensingDegraded {
 			s.streamDegraded.Inc()
 		}
-		line := streamWindow{
+		line := api.StreamWindow{
 			Window:          windows,
 			TimeS:           stepper.Time(),
 			MaxCoreTempC:    st.MaxCoreTemp,
@@ -830,7 +994,7 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	res := stepper.Result()
-	var sum streamSummary
+	var sum api.StreamSummary
 	sum.Summary.Windows = windows
 	sum.Summary.SimTimeS = res.SimTime
 	sum.Summary.Completed = res.Completed
@@ -838,11 +1002,64 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 	sum.Summary.MaxCoreTempC = res.MaxCoreTemp
 	sum.Summary.ViolationFrac = res.ViolationFrac
 	sum.Summary.EnergyJ = res.EnergyJ
-	sum.Summary.Sense = res.Sense
+	if res.Sense != nil {
+		sum.Summary.Sense = mustMarshal(res.Sense)
+	}
 	enc.Encode(sum)
 	if flusher != nil {
 		flusher.Flush()
 	}
+}
+
+// proxyStream relays an NDJSON stream from the session's owner,
+// flushing as bytes arrive so windows still reach the client live.
+func (s *Server) proxyStream(w http.ResponseWriter, r *http.Request, p *cluster.Peer, id string, req api.StreamRequest) {
+	var resp *http.Response
+	err := s.cluster.Call(p, func(cl *client.Client) error {
+		var cerr error
+		resp, cerr = cl.StreamRaw(r.Context(), id, req)
+		return cerr
+	})
+	if err != nil {
+		s.proxyError(w, err)
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return // our client went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			return // EOF or the owner went away mid-stream
+		}
+	}
+}
+
+// decodeSensing parses the sensing document of a stream request with
+// the same strictness the top-level body gets.
+func decodeSensing(raw json.RawMessage) (*sim.Sensing, error) {
+	if len(raw) == 0 || string(raw) == "null" {
+		return nil, nil
+	}
+	sn := new(sim.Sensing)
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(sn); err != nil {
+		return nil, fmt.Errorf("bad sensing: %w", err)
+	}
+	return sn, nil
 }
 
 // streamTrace builds the workload for a stream request: explicit tasks
@@ -850,7 +1067,7 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 // The synthetic parameters are bounded server-side: trace generation
 // cost scales with the duration, so an absurd duration_s must be
 // rejected up front, not discovered at OOM.
-func (s *Server) streamTrace(req streamRequest, maxWindows int) (*workload.Trace, error) {
+func (s *Server) streamTrace(req api.StreamRequest, maxWindows int) (*workload.Trace, error) {
 	for name, v := range map[string]float64{
 		"duration_s": req.DurationS, "utilization": req.Utilization, "t0_c": req.T0C,
 	} {

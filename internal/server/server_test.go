@@ -13,9 +13,22 @@ import (
 	"time"
 
 	"protemp"
+	"protemp/api"
+	"protemp/internal/core"
 	"protemp/internal/sense"
 	"protemp/internal/sim"
 )
+
+// rawJSON marshals a value into a json.RawMessage for the api types'
+// passthrough fields.
+func rawJSON(t *testing.T, v any) json.RawMessage {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
 
 // fastEngine builds a cheap engine: 1 ms steps, 100 ms windows, a
 // 2x3 Phase-1 grid (6 solves).
@@ -71,7 +84,7 @@ func postJSON(t *testing.T, url string, body any, out any) *http.Response {
 
 func createSession(t *testing.T, baseURL string) string {
 	t.Helper()
-	var info sessionInfoResponse
+	var info api.SessionInfo
 	resp := postJSON(t, baseURL+"/v1/sessions", map[string]any{}, &info)
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("create session: status %d", resp.StatusCode)
@@ -84,8 +97,8 @@ func createSession(t *testing.T, baseURL string) string {
 
 func TestOptimizeEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, fastEngine(t))
-	var a assignmentResponse
-	resp := postJSON(t, ts.URL+"/v1/optimize", optimizeRequest{TStartC: 47, FTargetHz: 5e8}, &a)
+	var a api.Assignment
+	resp := postJSON(t, ts.URL+"/v1/optimize", api.OptimizeRequest{TStartC: 47, FTargetHz: 5e8}, &a)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
@@ -97,7 +110,7 @@ func TestOptimizeEndpoint(t *testing.T) {
 	}
 
 	// Unknown variant is a 400 with a JSON error body.
-	resp = postJSON(t, ts.URL+"/v1/optimize", optimizeRequest{TStartC: 47, FTargetHz: 5e8, Variant: "bogus"}, nil)
+	resp = postJSON(t, ts.URL+"/v1/optimize", api.OptimizeRequest{TStartC: 47, FTargetHz: 5e8, Variant: "bogus"}, nil)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bogus variant: status %d", resp.StatusCode)
 	}
@@ -108,9 +121,9 @@ func TestSessionStepAndLifecycle(t *testing.T) {
 	_, ts := newTestServer(t, engine)
 	id := createSession(t, ts.URL)
 
-	var step stepResponse
+	var step api.StepResponse
 	resp := postJSON(t, ts.URL+"/v1/sessions/"+id+"/step",
-		stepRequest{MaxCoreTempC: 60, RequiredFreqHz: 5e8}, &step)
+		api.StepRequest{MaxCoreTempC: 60, RequiredFreqHz: 5e8}, &step)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("step: status %d", resp.StatusCode)
 	}
@@ -118,7 +131,7 @@ func TestSessionStepAndLifecycle(t *testing.T) {
 		t.Fatalf("step %+v", step)
 	}
 
-	var info sessionInfoResponse
+	var info api.SessionInfo
 	getResp, err := http.Get(ts.URL + "/v1/sessions/" + id)
 	if err != nil {
 		t.Fatal(err)
@@ -138,7 +151,7 @@ func TestSessionStepAndLifecycle(t *testing.T) {
 	if delResp.StatusCode != http.StatusNoContent {
 		t.Fatalf("delete: status %d", delResp.StatusCode)
 	}
-	resp = postJSON(t, ts.URL+"/v1/sessions/"+id+"/step", stepRequest{MaxCoreTempC: 60, RequiredFreqHz: 5e8}, nil)
+	resp = postJSON(t, ts.URL+"/v1/sessions/"+id+"/step", api.StepRequest{MaxCoreTempC: 60, RequiredFreqHz: 5e8}, nil)
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("step after delete: status %d", resp.StatusCode)
 	}
@@ -151,12 +164,12 @@ func TestSessionDMPCMode(t *testing.T) {
 	engine := fastEngine(t, protemp.WithClusters(2))
 	_, ts := newTestServer(t, engine)
 
-	var info sessionInfoResponse
+	var info api.SessionInfo
 	resp := postJSON(t, ts.URL+"/v1/sessions", map[string]any{"mode": "dmpc"}, &info)
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("create dmpc session: status %d", resp.StatusCode)
 	}
-	if info.Mode != "dmpc" || info.Online || info.Clusters != 2 {
+	if info.Mode != "dmpc" || info.Degraded || info.Clusters != 2 {
 		t.Fatalf("session info %+v", info)
 	}
 	// No Phase-1 table behind a dmpc session.
@@ -164,9 +177,9 @@ func TestSessionDMPCMode(t *testing.T) {
 		t.Fatalf("dmpc session triggered %d Phase-1 generations", gen)
 	}
 
-	var step stepResponse
+	var step api.StepResponse
 	resp = postJSON(t, ts.URL+"/v1/sessions/"+info.ID+"/step",
-		stepRequest{MaxCoreTempC: 60, RequiredFreqHz: 5e8}, &step)
+		api.StepRequest{MaxCoreTempC: 60, RequiredFreqHz: 5e8}, &step)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("step: status %d", resp.StatusCode)
 	}
@@ -193,7 +206,7 @@ func TestSessionDMPCMode(t *testing.T) {
 
 // streamWindows posts a stream request and returns the parsed window
 // lines plus the summary line.
-func streamWindowLines(t *testing.T, baseURL, id string, req streamRequest) ([]streamWindow, streamSummary) {
+func streamWindowLines(t *testing.T, baseURL, id string, req api.StreamRequest) ([]api.StreamWindow, api.StreamSummary) {
 	t.Helper()
 	var buf bytes.Buffer
 	json.NewEncoder(&buf).Encode(req)
@@ -209,8 +222,8 @@ func streamWindowLines(t *testing.T, baseURL, id string, req streamRequest) ([]s
 		t.Fatalf("stream content type %q", ct)
 	}
 	var (
-		windows []streamWindow
-		summary streamSummary
+		windows []api.StreamWindow
+		summary api.StreamSummary
 		sawSum  bool
 	)
 	sc := bufio.NewScanner(resp.Body)
@@ -227,7 +240,7 @@ func streamWindowLines(t *testing.T, baseURL, id string, req streamRequest) ([]s
 		if bytes.Contains(line, []byte(`"error"`)) {
 			t.Fatalf("stream error line: %s", line)
 		}
-		var w streamWindow
+		var w api.StreamWindow
 		if err := json.Unmarshal(line, &w); err != nil {
 			t.Fatalf("window line %q: %v", line, err)
 		}
@@ -255,7 +268,7 @@ func TestServerEndToEndWarmRestart(t *testing.T) {
 	_, ts1 := newTestServer(t, engine1)
 	id := createSession(t, ts1.URL)
 
-	windows, summary := streamWindowLines(t, ts1.URL, id, streamRequest{
+	windows, summary := streamWindowLines(t, ts1.URL, id, api.StreamRequest{
 		Windows:     3,
 		Seed:        7,
 		DurationS:   2,
@@ -283,7 +296,7 @@ func TestServerEndToEndWarmRestart(t *testing.T) {
 	_, ts2 := newTestServer(t, engine2)
 	id2 := createSession(t, ts2.URL)
 
-	windows2, _ := streamWindowLines(t, ts2.URL, id2, streamRequest{
+	windows2, _ := streamWindowLines(t, ts2.URL, id2, api.StreamRequest{
 		Windows: 3, Seed: 8, DurationS: 2, Utilization: 0.5,
 	})
 	if len(windows2) < 3 {
@@ -320,20 +333,24 @@ func TestTablesEndpointCoalescesAndServesKey(t *testing.T) {
 	engine := fastEngine(t)
 	_, ts := newTestServer(t, engine)
 
-	var resp1 tablesResponse
-	r := postJSON(t, ts.URL+"/v1/tables", tablesRequest{}, &resp1)
+	var resp1 api.TablesResponse
+	r := postJSON(t, ts.URL+"/v1/tables", api.TablesRequest{}, &resp1)
 	if r.StatusCode != http.StatusOK {
 		t.Fatalf("tables: status %d", r.StatusCode)
 	}
-	if resp1.Key == "" || resp1.Table == nil {
+	if resp1.Key == "" || len(resp1.Table) == 0 {
 		t.Fatalf("tables response missing key/table")
 	}
-	if got := len(resp1.Table.TStarts); got != 2 {
+	var table core.Table
+	if err := json.Unmarshal(resp1.Table, &table); err != nil {
+		t.Fatalf("table payload: %v", err)
+	}
+	if got := len(table.TStarts); got != 2 {
 		t.Fatalf("table rows %d", got)
 	}
 
-	var resp2 tablesResponse
-	postJSON(t, ts.URL+"/v1/tables", tablesRequest{KeyOnly: true}, &resp2)
+	var resp2 api.TablesResponse
+	postJSON(t, ts.URL+"/v1/tables", api.TablesRequest{KeyOnly: true}, &resp2)
 	if resp2.Key != resp1.Key || resp2.Table != nil {
 		t.Fatalf("key_only response %+v", resp2)
 	}
@@ -346,9 +363,9 @@ func TestStreamWithExplicitTasks(t *testing.T) {
 	engine := fastEngine(t)
 	_, ts := newTestServer(t, engine)
 	id := createSession(t, ts.URL)
-	req := streamRequest{
+	req := api.StreamRequest{
 		Windows: 4,
-		Tasks: []streamTask{
+		Tasks: []api.StreamTask{
 			{ArrivalS: 0, WorkS: 0.05},
 			{ArrivalS: 0, WorkS: 0.05},
 			{ArrivalS: 0.1, WorkS: 0.02},
@@ -377,7 +394,7 @@ func TestServerRejectsWorkWhileDraining(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("create while draining: status %d", resp.StatusCode)
 	}
-	resp = postJSON(t, ts.URL+"/v1/sessions/"+id+"/step", stepRequest{MaxCoreTempC: 50, RequiredFreqHz: 2.5e8}, nil)
+	resp = postJSON(t, ts.URL+"/v1/sessions/"+id+"/step", api.StepRequest{MaxCoreTempC: 50, RequiredFreqHz: 2.5e8}, nil)
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("step while draining: status %d", resp.StatusCode)
 	}
@@ -416,11 +433,11 @@ func TestBadRequestBodies(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var e errorResponse
+		var e api.Error
 		json.NewDecoder(resp.Body).Decode(&e)
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest || e.Error == "" {
-			t.Fatalf("%s %s: status %d error %q", tc.url, tc.body, resp.StatusCode, e.Error)
+		if resp.StatusCode != http.StatusBadRequest || e.Message == "" {
+			t.Fatalf("%s %s: status %d error %q", tc.url, tc.body, resp.StatusCode, e.Message)
 		}
 	}
 }
@@ -428,7 +445,7 @@ func TestBadRequestBodies(t *testing.T) {
 func TestMetricsEndpointShape(t *testing.T) {
 	engine := fastEngine(t)
 	_, ts := newTestServer(t, engine)
-	postJSON(t, ts.URL+"/v1/optimize", optimizeRequest{TStartC: 47, FTargetHz: 2.5e8}, nil)
+	postJSON(t, ts.URL+"/v1/optimize", api.OptimizeRequest{TStartC: 47, FTargetHz: 2.5e8}, nil)
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -457,14 +474,14 @@ func TestStreamWithSensing(t *testing.T) {
 	engine := fastEngine(t)
 	srv, ts := newTestServer(t, engine)
 	id := createSession(t, ts.URL)
-	req := streamRequest{
+	req := api.StreamRequest{
 		Windows: 12,
 		Seed:    7,
-		Sensing: &sim.Sensing{
+		Sensing: rawJSON(t, sim.Sensing{
 			Sensors:   []sense.Config{{NoiseSigma: 0.5, DropoutProb: 1}},
 			Seed:      7,
 			Estimator: "kalman",
-		},
+		}),
 	}
 	windows, summary := streamWindowLines(t, ts.URL, id, req)
 	if len(windows) == 0 {
@@ -479,9 +496,12 @@ func TestStreamWithSensing(t *testing.T) {
 	if degraded != len(windows) {
 		t.Fatalf("%d/%d windows flagged degraded under certain dropout", degraded, len(windows))
 	}
-	sn := summary.Summary.Sense
-	if sn == nil {
+	if len(summary.Summary.Sense) == 0 {
 		t.Fatal("sensed stream summary carries no sense block")
+	}
+	var sn sim.SenseSummary
+	if err := json.Unmarshal(summary.Summary.Sense, &sn); err != nil {
+		t.Fatalf("sense block: %v", err)
 	}
 	if sn.Estimator != "kalman" || sn.DegradedWindows == 0 || sn.Dropouts == 0 {
 		t.Fatalf("sense summary %+v", sn)
@@ -491,7 +511,7 @@ func TestStreamWithSensing(t *testing.T) {
 	}
 
 	// A malformed sensing config is a 400, not a stream.
-	bad := streamRequest{Windows: 2, Sensing: &sim.Sensing{Estimator: "bogus"}}
+	bad := api.StreamRequest{Windows: 2, Sensing: rawJSON(t, sim.Sensing{Estimator: "bogus"})}
 	var buf bytes.Buffer
 	json.NewEncoder(&buf).Encode(bad)
 	resp, err := http.Post(ts.URL+"/v1/sessions/"+id+"/stream", "application/json", &buf)

@@ -22,9 +22,23 @@ func newTestManager(t *testing.T, shards int, ttl, reap time.Duration) (*session
 	return m, reg
 }
 
+// addSession registers a nil session under a fresh id (the handlers
+// generate ids before Add so cluster routing can pin ownership).
+func addSession(t testing.TB, m *sessionManager) (string, error) {
+	t.Helper()
+	id, err := newSessionID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add(id, nil, "table", false); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
 func TestManagerAddAcquireRemove(t *testing.T) {
 	m, _ := newTestManager(t, 4, time.Minute, time.Minute)
-	id, err := m.Add(nil, false)
+	id, err := addSession(t, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,14 +77,14 @@ func TestManagerConcurrent(t *testing.T) {
 			defer wg.Done()
 			var ids []string
 			for i := 0; i < 50; i++ {
-				id, err := m.Add(nil, false)
+				id, err := addSession(t, m)
 				if err != nil {
 					t.Errorf("add: %v", err)
 					return
 				}
 				ids = append(ids, id)
 				if ms, release, err := m.Acquire(id); err == nil {
-					_ = ms.online
+					_ = ms.mode
 					release()
 				}
 				if i%3 == 0 {
@@ -97,7 +111,7 @@ func TestManagerConcurrent(t *testing.T) {
 // its session from expiry, and that release restarts the idle clock.
 func TestManagerReaperSkipsPinned(t *testing.T) {
 	m, _ := newTestManager(t, 2, 40*time.Millisecond, 5*time.Millisecond)
-	id, err := m.Add(nil, false)
+	id, err := addSession(t, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +138,7 @@ func TestManagerReaperSkipsPinned(t *testing.T) {
 func TestManagerDrainWaitsForInflight(t *testing.T) {
 	reg := metrics.NewRegistry()
 	m := newSessionManager(4, time.Minute, time.Minute, reg, nil)
-	id, err := m.Add(nil, false)
+	id, err := addSession(t, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +155,7 @@ func TestManagerDrainWaitsForInflight(t *testing.T) {
 	cancel()
 
 	// Draining refuses new work.
-	if _, err := m.Add(nil, false); !errors.Is(err, ErrDraining) {
+	if _, err := addSession(t, m); !errors.Is(err, ErrDraining) {
 		t.Fatalf("add while draining: %v", err)
 	}
 	if _, _, err := m.Acquire(id); !errors.Is(err, ErrDraining) {
@@ -167,7 +181,7 @@ func TestManagerDrainConcurrentOps(t *testing.T) {
 	m := newSessionManager(8, time.Minute, time.Minute, reg, nil)
 	var ids []string
 	for i := 0; i < 32; i++ {
-		id, err := m.Add(nil, false)
+		id, err := addSession(t, m)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package protemp
 
 import (
+	"context"
 	"fmt"
 
 	"protemp/internal/core"
@@ -33,6 +34,7 @@ type engineConfig struct {
 	workers       int
 	cacheSize     int
 	store         TableStore
+	fetcher       TableFetcher
 	observer      core.SweepObserver
 	// Distributed-MPC (ADMM) configuration; zero fields select the
 	// dmpc package defaults.
@@ -227,6 +229,30 @@ func WithTableStore(ts TableStore) Option {
 			return fmt.Errorf("protemp: nil table store")
 		}
 		c.store = ts
+		return nil
+	}
+}
+
+// TableFetcher is a network tier under the engine's table cache: given
+// a cache key it returns the table from elsewhere (a cluster peer's
+// store, a blob service) or reports a miss. It runs after the local
+// persistent store misses and before a Phase-1 generation is paid for;
+// a fetched table is written through to the local store. Fetchers must
+// be safe for concurrent use and should treat every failure as a miss
+// — the engine always falls back to generating locally.
+type TableFetcher func(ctx context.Context, key string) (*core.Table, bool)
+
+// WithTableFetcher installs a network tier between the engine's
+// persistent table store and Phase-1 generation: on a store miss the
+// fetcher is consulted, and only when it also misses does the engine
+// run the sweep. Combined with each node serving its stored tables,
+// this turns N nodes' stores into one content-addressed table service.
+func WithTableFetcher(fn TableFetcher) Option {
+	return func(c *engineConfig) error {
+		if fn == nil {
+			return fmt.Errorf("protemp: nil table fetcher")
+		}
+		c.fetcher = fn
 		return nil
 	}
 }
